@@ -1,0 +1,26 @@
+//! Machine description for the Merrimac streaming supercomputer.
+//!
+//! This crate is the single source of truth for the architectural
+//! parameters the paper lists in Table 1, the derived bandwidth figures
+//! quoted throughout Section 2, and the functional-unit latency/throughput
+//! table used by the VLIW kernel scheduler. Every other crate in the
+//! workspace reads its constants from here so that a parameter sweep (for
+//! ablations) only has to touch one struct.
+//!
+//! Two cost models live here:
+//!
+//! * [`MachineConfig`] — the Merrimac node (Section 2 of the paper).
+//! * [`P4Config`] — the 2.4 GHz Pentium 4 baseline the paper compares
+//!   against (Section 4.1).
+
+pub mod machine;
+pub mod ops;
+pub mod p4;
+
+pub use machine::{MachineConfig, NetworkConfig};
+pub use ops::{FpuOpClass, OpCosts};
+pub use p4::P4Config;
+
+/// Bytes per machine word. Merrimac is a 64-bit double-precision machine;
+/// all stream records and bandwidth figures in the paper count 8-byte words.
+pub const WORD_BYTES: u64 = 8;

@@ -1,0 +1,186 @@
+//! Functional-unit operation classes and their cost table.
+//!
+//! The Merrimac cluster FPU is a 64-bit multiply-accumulate (MADD) unit
+//! with single-cycle throughput and a short pipeline. Divides and square
+//! roots are *not* hardware primitives: the paper (Section 5.1) notes they
+//! "are computed iteratively and require several operations", which is why
+//! the optimal StreamMD rate is well below the 128 GFLOPS peak. The kernel
+//! crate lowers [`FpuOpClass::Div`]/[`FpuOpClass::Sqrt`]/[`FpuOpClass::Rsqrt`]
+//! into Newton–Raphson sequences of MADD-class operations using the
+//! iteration counts recorded here.
+
+use serde::{Deserialize, Serialize};
+
+/// Classes of operations the VLIW scheduler places into FPU slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FpuOpClass {
+    /// Add/subtract (single flop).
+    Add,
+    /// Multiply (single flop).
+    Mul,
+    /// Fused multiply-add (two flops, the unit the peak rate assumes).
+    Madd,
+    /// Iteratively computed divide (lowered before scheduling).
+    Div,
+    /// Iteratively computed square root (lowered before scheduling).
+    Sqrt,
+    /// Iteratively computed reciprocal square root (lowered before
+    /// scheduling). The water kernel uses this for 1/r.
+    Rsqrt,
+    /// Table-lookup seed for an iterative op (rcp/rsqrt estimate).
+    Seed,
+    /// Compare producing a boolean (select mask).
+    Cmp,
+    /// Select between two values by a mask.
+    Sel,
+    /// Logical op on masks.
+    Logic,
+    /// Conditional-stream access bookkeeping (sequencer op, not a flop).
+    CondStream,
+    /// Inter-cluster communication via the cluster switch.
+    Comm,
+    /// Copy/move through the LRF (scheduled but zero flops).
+    Mov,
+}
+
+impl FpuOpClass {
+    /// Programmer-visible floating point operations this op contributes to
+    /// the "solution flops" count. Matches the GROMACS flop-accounting
+    /// convention used by the paper: div and sqrt count as one operation
+    /// each even though the hardware expands them.
+    pub fn solution_flops(self) -> u64 {
+        match self {
+            FpuOpClass::Add | FpuOpClass::Mul | FpuOpClass::Div | FpuOpClass::Sqrt => 1,
+            FpuOpClass::Rsqrt => 1,
+            FpuOpClass::Madd => 2,
+            _ => 0,
+        }
+    }
+
+    /// True if the op occupies an FPU issue slot (everything does in this
+    /// model except nothing — even `CondStream` bookkeeping issues, which
+    /// is the "slight overhead of unexecuted instructions" the paper
+    /// mentions for the variable scheme).
+    pub fn issues(self) -> bool {
+        true
+    }
+}
+
+/// Latency/throughput table plus iterative-expansion parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpCosts {
+    /// Pipeline latency in cycles of a MADD-class op (result available N
+    /// cycles after issue).
+    pub madd_latency: u64,
+    /// Latency of compare/select/logic ops.
+    pub simple_latency: u64,
+    /// Latency of the seed lookup.
+    pub seed_latency: u64,
+    /// Latency of an inter-cluster communication.
+    pub comm_latency: u64,
+    /// Latency of conditional-stream bookkeeping.
+    pub cond_latency: u64,
+    /// Newton–Raphson iterations to refine a reciprocal seed to full
+    /// double precision (each iteration is 2 MADD-class ops).
+    pub recip_iterations: u32,
+    /// Newton–Raphson iterations for reciprocal square root (each
+    /// iteration is 3 MADD-class ops in the standard refinement).
+    pub rsqrt_iterations: u32,
+}
+
+impl Default for OpCosts {
+    fn default() -> Self {
+        Self {
+            madd_latency: 4,
+            simple_latency: 1,
+            seed_latency: 2,
+            comm_latency: 3,
+            cond_latency: 2,
+            recip_iterations: 3,
+            rsqrt_iterations: 3,
+        }
+    }
+}
+
+impl OpCosts {
+    /// Issue-to-use latency for an op class. Iterative classes must be
+    /// lowered before scheduling; asking for their latency is a logic error.
+    pub fn latency(&self, op: FpuOpClass) -> u64 {
+        match op {
+            FpuOpClass::Add | FpuOpClass::Mul | FpuOpClass::Madd => self.madd_latency,
+            FpuOpClass::Cmp | FpuOpClass::Sel | FpuOpClass::Logic | FpuOpClass::Mov => {
+                self.simple_latency
+            }
+            FpuOpClass::Seed => self.seed_latency,
+            FpuOpClass::Comm => self.comm_latency,
+            FpuOpClass::CondStream => self.cond_latency,
+            FpuOpClass::Div | FpuOpClass::Sqrt | FpuOpClass::Rsqrt => {
+                panic!("iterative op {op:?} must be lowered before cost lookup")
+            }
+        }
+    }
+
+    /// Hardware (issue-slot) operations an iterative op expands into,
+    /// including the seed. Used for static estimates; the lowering pass in
+    /// the kernel crate produces the actual instruction sequence.
+    pub fn expansion_ops(&self, op: FpuOpClass) -> u64 {
+        match op {
+            // seed, N × {e = 2−b·y, y = y·e}, q = a·y, then a correction
+            // nmsub+madd pair — mirrors `lower::emit_div` exactly.
+            FpuOpClass::Div => 4 + 2 * self.recip_iterations as u64,
+            // seed, hx = 0.5·x, N × {t = y·y, w = 1.5−hx·t, y = y·w} —
+            // mirrors `lower::emit_rsqrt`.
+            FpuOpClass::Rsqrt => 2 + 3 * self.rsqrt_iterations as u64,
+            // rsqrt then multiply by the argument.
+            FpuOpClass::Sqrt => 3 + 3 * self.rsqrt_iterations as u64,
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solution_flop_accounting() {
+        assert_eq!(FpuOpClass::Madd.solution_flops(), 2);
+        assert_eq!(FpuOpClass::Div.solution_flops(), 1);
+        assert_eq!(FpuOpClass::Rsqrt.solution_flops(), 1);
+        assert_eq!(FpuOpClass::Sel.solution_flops(), 0);
+        assert_eq!(FpuOpClass::Comm.solution_flops(), 0);
+    }
+
+    #[test]
+    fn latencies_defined_for_all_schedulable_ops() {
+        let c = OpCosts::default();
+        for op in [
+            FpuOpClass::Add,
+            FpuOpClass::Mul,
+            FpuOpClass::Madd,
+            FpuOpClass::Cmp,
+            FpuOpClass::Sel,
+            FpuOpClass::Logic,
+            FpuOpClass::Mov,
+            FpuOpClass::Seed,
+            FpuOpClass::Comm,
+            FpuOpClass::CondStream,
+        ] {
+            assert!(c.latency(op) >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lowered")]
+    fn iterative_latency_panics() {
+        OpCosts::default().latency(FpuOpClass::Div);
+    }
+
+    #[test]
+    fn expansions_are_multi_op() {
+        let c = OpCosts::default();
+        assert!(c.expansion_ops(FpuOpClass::Div) > 5);
+        assert!(c.expansion_ops(FpuOpClass::Sqrt) > c.expansion_ops(FpuOpClass::Rsqrt));
+        assert_eq!(c.expansion_ops(FpuOpClass::Madd), 1);
+    }
+}

@@ -1,0 +1,20 @@
+//! The paper's baseline: hand-optimized GROMACS on a 2.4 GHz Pentium 4.
+//!
+//! Two halves:
+//!
+//! * [`gromacs_like`] — a faithful Rust port of the structure of the
+//!   GROMACS 3.x water-water inner loop (`inl1130`): single-precision
+//!   arithmetic, per-pair `rsqrt` with one Newton–Raphson refinement
+//!   step (the `rsqrtps` idiom), Lennard-Jones on the oxygen pair only,
+//!   shift-vector PBC. It is used both to cross-check the reference
+//!   engine and as a host-measurable workload.
+//! * [`model`] — the Pentium 4 cycle model that converts interaction
+//!   counts into the wall-clock estimate the paper's Figure 9 uses
+//!   ("we only estimate the performance on a conventional processor
+//!   based on the wall-clock time of simulating the same data set").
+
+pub mod gromacs_like;
+pub mod model;
+
+pub use gromacs_like::{water_water_forces_sse_like, SingleForceResult};
+pub use model::P4Estimate;

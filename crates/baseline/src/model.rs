@@ -1,0 +1,80 @@
+//! Pentium 4 performance estimate for the Figure 9 comparison.
+//!
+//! The paper estimates the baseline from wall-clock time of GROMACS on
+//! the same dataset. We combine the published characteristics of the
+//! GROMACS 3.x SSE water loop (~130 cycles per molecule-pair
+//! interaction on a Northwood P4, including list traversal and memory
+//! stalls) with an optional calibration against the host running our own
+//! port, and report the same solution-GFLOPS metric as the Merrimac
+//! rows.
+
+use std::time::Instant;
+
+use md_sim::force::FLOPS_PER_INTERACTION;
+use md_sim::neighbor::NeighborList;
+use md_sim::system::WaterBox;
+use merrimac_arch::P4Config;
+
+use crate::gromacs_like::water_water_forces_sse_like;
+
+/// Baseline estimate for one force step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct P4Estimate {
+    /// Molecule-pair interactions evaluated.
+    pub interactions: u64,
+    /// Modelled P4 force-phase time (seconds).
+    pub seconds: f64,
+    /// Solution GFLOPS under the paper's 234-flop accounting.
+    pub solution_gflops: f64,
+    /// Host wall-clock seconds for our own port (for sanity
+    /// cross-checks; not the reported number).
+    pub host_seconds: f64,
+}
+
+/// Estimate the baseline on `system`/`list`.
+///
+/// Also runs the actual single-precision loop once, both to keep the
+/// estimate honest (the interaction count is taken from real execution)
+/// and to measure host wall-clock for cross-checking.
+pub fn estimate(cfg: &P4Config, system: &WaterBox, list: &NeighborList) -> P4Estimate {
+    let t0 = Instant::now();
+    let result = water_water_forces_sse_like(system, list);
+    let host_seconds = t0.elapsed().as_secs_f64();
+    let seconds = cfg.force_time_seconds(result.interactions);
+    P4Estimate {
+        interactions: result.interactions,
+        seconds,
+        solution_gflops: cfg.solution_gflops(result.interactions, FLOPS_PER_INTERACTION),
+        host_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_sim::neighbor::NeighborListParams;
+
+    #[test]
+    fn estimate_scales_with_interactions() {
+        let cfg = P4Config::default();
+        let sys = WaterBox::builder().molecules(64).seed(8).build();
+        let params = NeighborListParams {
+            cutoff: (0.45 * sys.pbc().side()).min(1.0),
+            skin: 0.0,
+            rebuild_interval: 1,
+        };
+        let list = NeighborList::build(&sys, params);
+        let est = estimate(&cfg, &sys, &list);
+        assert_eq!(est.interactions as usize, list.num_pairs());
+        assert!(est.seconds > 0.0);
+        assert!(est.solution_gflops > 0.5 && est.solution_gflops < 10.0);
+    }
+
+    #[test]
+    fn paper_dataset_single_digit_gflops() {
+        // Figure 9's P4 bar: a few solution GFLOPS at ~62k interactions.
+        let cfg = P4Config::default();
+        let g = cfg.solution_gflops(61_680, FLOPS_PER_INTERACTION);
+        assert!(g > 2.0 && g < 8.0, "P4 = {g} GFLOPS");
+    }
+}

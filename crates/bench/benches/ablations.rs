@@ -1,0 +1,119 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. fixed-L sweep (the paper: "overheads are typically not large for a
+//!    reasonable value of L (between 8 and 32)");
+//! 2. combining-store depth for scatter-add;
+//! 3. stream-cache allocation for gathers on/off;
+//! 4. stream-descriptor-register count under the naive policy;
+//! 5. strip size vs SRF double-buffering pressure.
+
+use md_sim::neighbor::NeighborList;
+use md_sim::system::WaterBox;
+use merrimac_arch::MachineConfig;
+use merrimac_bench::{banner, paper_params, paper_system, SEED};
+use merrimac_sim::SdrPolicy;
+use streammd::{StreamMdApp, Variant};
+
+fn run_with(
+    cfg: MachineConfig,
+    variant: Variant,
+    policy: SdrPolicy,
+    strip: Option<usize>,
+    l: usize,
+) -> u64 {
+    let system = WaterBox::paper_dataset(SEED);
+    let list = NeighborList::build(&system, paper_params());
+    let mut app = StreamMdApp::new(cfg)
+        .with_neighbor(paper_params())
+        .with_policy(policy)
+        .with_block_l(l);
+    if let Some(s) = strip {
+        app = app.with_strip_iterations(s);
+    }
+    app.run_step_with_list(&system, &list, variant)
+        .expect("run")
+        .perf
+        .cycles
+}
+
+fn main() {
+    banner("Ablations", "design-choice sweeps on the paper dataset");
+
+    println!("-- (1) fixed-L block length --");
+    println!("{:>4} {:>12} {:>14}", "L", "cycles", "vs L=8");
+    let base_l8 = run_with(
+        MachineConfig::default(),
+        Variant::Fixed,
+        SdrPolicy::Eager,
+        None,
+        8,
+    );
+    let mut l_cycles = Vec::new();
+    for l in [2usize, 4, 8, 16, 32] {
+        let c = run_with(
+            MachineConfig::default(),
+            Variant::Fixed,
+            SdrPolicy::Eager,
+            None,
+            l,
+        );
+        l_cycles.push((l, c));
+        println!("{l:>4} {c:>12} {:>13.2}x", c as f64 / base_l8 as f64);
+    }
+    // Tiny L pays padding+centre replication; the 8..32 plateau is flat.
+    let worst_small = l_cycles.iter().find(|(l, _)| *l == 2).unwrap().1;
+    assert!(worst_small > base_l8, "L=2 must be worse than L=8");
+
+    println!("\n-- (2) combining-store entries (expanded variant, scatter-heavy) --");
+    println!("{:>8} {:>12}", "entries", "cycles");
+    let mut combine = Vec::new();
+    for entries in [0usize, 1, 8, 64] {
+        let mut cfg = MachineConfig::default();
+        cfg.combining_store_entries = entries;
+        let c = run_with(cfg, Variant::Expanded, SdrPolicy::Eager, None, 8);
+        combine.push((entries, c));
+        println!("{entries:>8} {c:>12}");
+    }
+    assert!(combine[0].1 >= combine[2].1, "combining must not hurt");
+
+    println!("\n-- (3) stream-cache allocation for gathers --");
+    for (name, alloc) in [("bypass (default)", false), ("allocate", true)] {
+        let mut cfg = MachineConfig::default();
+        cfg.cache_allocates_gathers = alloc;
+        let c = run_with(cfg, Variant::Variable, SdrPolicy::Eager, None, 8);
+        println!("{name:<20} {c:>12} cycles");
+    }
+
+    println!("\n-- (4) stream descriptor registers under the naive policy --");
+    println!("{:>6} {:>12}", "SDRs", "cycles");
+    let mut sdr_cycles = Vec::new();
+    for sdrs in [4usize, 6, 8, 16, 32] {
+        let mut cfg = MachineConfig::default();
+        cfg.stream_descriptor_registers = sdrs;
+        let c = run_with(cfg, Variant::Duplicated, SdrPolicy::Naive, None, 8);
+        sdr_cycles.push((sdrs, c));
+        println!("{sdrs:>6} {c:>12}");
+    }
+    assert!(
+        sdr_cycles.first().unwrap().1 >= sdr_cycles.last().unwrap().1,
+        "more SDRs cannot hurt"
+    );
+
+    println!("\n-- (5) strip size (variable variant) --");
+    println!("{:>8} {:>12}", "strip", "cycles");
+    for strip in [128usize, 512, 2048, 4096] {
+        let c = run_with(
+            MachineConfig::default(),
+            Variant::Variable,
+            SdrPolicy::Eager,
+            Some(strip),
+            8,
+        );
+        println!("{strip:>8} {c:>12}");
+    }
+
+    // Keep the compiler honest about the full dataset too.
+    let (_system, list) = paper_system();
+    println!("\n(dataset: {} interactions)", list.num_pairs());
+    println!("\n[ok] ablation sweeps complete");
+}

@@ -1,0 +1,56 @@
+//! Figure 10 — VLIW schedules of the `variable` interaction kernel
+//! before (list-scheduled, no pipelining) and after optimization
+//! (unrolled twice + software pipelined), with the issue-rate
+//! improvement the paper quantifies at 28%.
+
+use merrimac_arch::{MachineConfig, OpCosts};
+use merrimac_bench::banner;
+use merrimac_kernel::render::{render_pipelined, render_schedule};
+use merrimac_sim::{CompiledKernel, KernelOpt};
+use streammd::kernels::variable_kernel;
+
+fn main() {
+    banner(
+        "Figure 10",
+        "schedules of the variable interaction kernel, before/after optimization",
+    );
+    let cfg = MachineConfig::default();
+    let costs = OpCosts::default();
+
+    let unopt = CompiledKernel::compile(variable_kernel(), &cfg, &costs, KernelOpt::unoptimized());
+    let opt = CompiledKernel::compile(variable_kernel(), &cfg, &costs, KernelOpt::optimized());
+
+    // (a) the first screens of the unoptimized schedule.
+    let text = render_schedule(&unopt.lowered, &unopt.schedule);
+    let head: Vec<&str> = text.lines().take(28).collect();
+    println!("(a) unoptimized — one iteration per schedule, latencies exposed");
+    println!("{}", head.join("\n"));
+    println!("      ... ({} cycles total)\n", unopt.schedule.length);
+
+    // (b) steady state of the optimized modulo schedule.
+    let pipe = opt.pipelined.as_ref().expect("pipelined");
+    let text = render_pipelined(&opt.lowered, pipe);
+    let head: Vec<&str> = text.lines().take(28).collect();
+    println!("(b) optimized — unrolled 2x, software pipelined (steady state)");
+    println!("{}", head.join("\n"));
+    println!("      ... (II {} for two interactions)\n", pipe.ii);
+
+    let before = unopt.cycles_per_iteration();
+    let after = opt.cycles_per_iteration();
+    let improvement = (before / after - 1.0) * 100.0;
+    println!("cycles per interaction: before {before:.1}, after {after:.1}");
+    println!("issue-rate improvement: {improvement:.0}% (paper: 28%)");
+    println!(
+        "steady-state: a new VLIW instruction issues on {:.0}% of cycles (paper: ~90%)",
+        pipe.issue_rate() * 100.0
+    );
+    println!(
+        "slot occupancy: {:.0}% of the 4 FPU slots",
+        pipe.occupancy() * 100.0
+    );
+
+    assert!(after < before, "optimization must help");
+    assert!(improvement > 10.0, "improvement {improvement}% too small");
+    assert!(pipe.issue_rate() > 0.85);
+    println!("\n[ok] unroll + software pipelining reproduces the Figure 10 effect");
+}

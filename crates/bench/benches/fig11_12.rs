@@ -1,0 +1,90 @@
+//! Figures 11 and 12 — the blocking-scheme estimate: computation and
+//! memory operations versus cluster size (Fig. 11) and the resulting
+//! wall-clock estimate with its minimum (Fig. 12).
+//!
+//! Two calibrations are shown:
+//!  * "paper-like" — the paper's balance (variable scheme ~3x
+//!    memory-bound), which exhibits the interior minimum of Figure 12;
+//!  * "simulated" — calibrated from our own variable-variant run, which
+//!    is kernel-bound (our modulo scheduler is far more efficient than
+//!    the 2004 compiler), so blocking cannot pay — documented in
+//!    EXPERIMENTS.md.
+
+use blocking_model::model::{default_sizes, sweep, BlockingConfig, Calibration};
+use merrimac_bench::{banner, paper_system, run_variant};
+use streammd::Variant;
+
+fn series(label: &str, cal: &Calibration) -> Vec<blocking_model::BlockingPoint> {
+    let cfg = BlockingConfig::default();
+    let pts = sweep(&cfg, cal, &default_sizes());
+    println!("-- {label} --");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10}",
+        "size", "mols/cl", "kernel", "memory", "time"
+    );
+    for p in pts.iter().step_by(3) {
+        println!(
+            "{:>6.1} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            p.size, p.molecules_per_cluster, p.kernel_rel, p.memory_rel, p.time_rel
+        );
+    }
+    let min = pts
+        .iter()
+        .min_by(|a, b| a.time_rel.total_cmp(&b.time_rel))
+        .copied()
+        .unwrap();
+    println!(
+        "minimum: time {:.2}x at cluster size {:.1} ({:.1} molecules/cluster)\n",
+        min.time_rel, min.size, min.molecules_per_cluster
+    );
+    pts
+}
+
+fn main() {
+    banner(
+        "Figures 11-12",
+        "blocking scheme: computation/memory trade-off vs cluster size",
+    );
+
+    // Paper-like balance: reproduces the Figure 12 dip.
+    let paper = series("paper-like calibration", &Calibration::paper_like());
+
+    // Calibration from our own simulation of the variable scheme.
+    let (system, list) = paper_system();
+    let out = run_variant(&system, &list, Variant::Variable);
+    let interactions = out.perf.solution_flops as f64 / 234.0;
+    let kernel_cycles = out
+        .report
+        .timeline
+        .busy(merrimac_sim::timeline::Unit::Kernel) as f64;
+    let mem_cycles = out
+        .report
+        .timeline
+        .busy(merrimac_sim::timeline::Unit::Memory) as f64;
+    let cal = Calibration {
+        kernel_cycles_per_interaction: kernel_cycles / interactions,
+        memory_cycles_per_word: mem_cycles / out.perf.mem_refs as f64,
+    };
+    println!(
+        "simulated balance: {:.2} kernel cycles/interaction, {:.2} memory cycles/word",
+        cal.kernel_cycles_per_interaction, cal.memory_cycles_per_word
+    );
+    let ours = series("calibrated from our simulated variable run", &cal);
+
+    // Figure 11 trends hold under both calibrations.
+    for pts in [&paper, &ours] {
+        let i1 = pts.iter().position(|p| p.size >= 1.0).unwrap();
+        assert!(pts.last().unwrap().kernel_rel > pts[i1].kernel_rel);
+        assert!(pts.last().unwrap().memory_rel < pts[i1].memory_rel);
+    }
+    // Figure 12's dip exists under the paper's balance.
+    let min = paper
+        .iter()
+        .min_by(|a, b| a.time_rel.total_cmp(&b.time_rel))
+        .unwrap();
+    assert!(min.time_rel < 1.0 && min.size > 0.9 && min.size < 2.5);
+    println!(
+        "[ok] Figure 11 trends hold; Figure 12 minimum at cluster size {:.1}",
+        min.size
+    );
+}

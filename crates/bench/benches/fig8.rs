@@ -1,0 +1,41 @@
+//! Figure 8 — locality: percentage of references made to each level of
+//! the register hierarchy (LRF / SRF / MEM) for each variant.
+
+use merrimac_bench::{banner, paper_system, run_all};
+
+fn bar(frac: f64, width: usize) -> String {
+    let n = (frac * width as f64).round() as usize;
+    "█".repeat(n.min(width))
+}
+
+fn main() {
+    banner("Figure 8", "Locality of the StreamMD implementations");
+    let (system, list) = paper_system();
+    let results = run_all(&system, &list);
+    println!(
+        "{:<12} {:>8} {:>8} {:>8}   (references by hierarchy level)",
+        "variant", "%LRF", "%SRF", "%MEM"
+    );
+    for (v, out) in &results {
+        let (l, s, m) = out.perf.locality;
+        println!(
+            "{:<12} {:>7.1}% {:>7.2}% {:>7.2}%   {}",
+            v.name(),
+            l * 100.0,
+            s * 100.0,
+            m * 100.0,
+            bar(l, 40)
+        );
+    }
+    println!();
+    println!("paper: ~89-96% LRF across variants; SRF and MEM nearly equal,");
+    println!("showing the SRF is a staging area, not a locality store.");
+
+    for (v, out) in &results {
+        let (l, s, m) = out.perf.locality;
+        assert!(l > 0.85, "{v}: LRF {l}");
+        let rel = (s - m).abs() / m.max(1e-12);
+        assert!(rel < 0.6, "{v}: SRF {s} vs MEM {m} diverge");
+    }
+    println!("\n[ok] LRF-dominated locality with SRF ≈ MEM reproduced");
+}

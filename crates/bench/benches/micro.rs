@@ -1,0 +1,113 @@
+//! Criterion micro-benchmarks of the substrate hot paths: the reference
+//! force engine, the GROMACS-like single-precision loop, neighbour-list
+//! construction, the cache model, the VLIW schedulers and the kernel
+//! interpreter.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use md_sim::force::compute_forces;
+use md_sim::neighbor::{NeighborList, NeighborListParams};
+use md_sim::system::WaterBox;
+use merrimac_arch::{MachineConfig, OpCosts};
+use merrimac_kernel::lower::lower_kernel;
+use merrimac_kernel::{list_schedule, modulo_schedule, Interpreter, StreamData};
+use merrimac_sim::cache::StreamCache;
+use streammd::kernels::{expanded_kernel, kernel_params};
+
+fn bench_reference_forces(c: &mut Criterion) {
+    let system = WaterBox::builder().molecules(216).seed(1).build();
+    let params = NeighborListParams {
+        cutoff: 0.8,
+        skin: 0.0,
+        rebuild_interval: 10,
+    };
+    let list = NeighborList::build(&system, params);
+    c.bench_function("reference_forces_216", |b| {
+        b.iter(|| black_box(compute_forces(&system, &list)))
+    });
+}
+
+fn bench_sse_like_forces(c: &mut Criterion) {
+    let system = WaterBox::builder().molecules(216).seed(1).build();
+    let params = NeighborListParams {
+        cutoff: 0.8,
+        skin: 0.0,
+        rebuild_interval: 10,
+    };
+    let list = NeighborList::build(&system, params);
+    c.bench_function("gromacs_like_f32_forces_216", |b| {
+        b.iter(|| black_box(p4_baseline::water_water_forces_sse_like(&system, &list)))
+    });
+}
+
+fn bench_neighbor_build(c: &mut Criterion) {
+    let system = WaterBox::builder().molecules(900).seed(1).build();
+    let params = NeighborListParams {
+        cutoff: 1.0,
+        skin: 0.0,
+        rebuild_interval: 10,
+    };
+    c.bench_function("neighbor_list_900", |b| {
+        b.iter(|| black_box(NeighborList::build(&system, params)))
+    });
+}
+
+fn bench_cache_trace(c: &mut Criterion) {
+    let cfg = MachineConfig::default();
+    c.bench_function("cache_trace_64k", |b| {
+        b.iter_batched(
+            || StreamCache::new(&cfg),
+            |mut cache| black_box(cache.access_trace(0..65536u64, false)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let costs = OpCosts::default();
+    let k = lower_kernel(&expanded_kernel(), &costs);
+    c.bench_function("list_schedule_expanded", |b| {
+        b.iter(|| black_box(list_schedule(&k, &costs, 4)))
+    });
+    c.bench_function("modulo_schedule_expanded", |b| {
+        b.iter(|| black_box(modulo_schedule(&k, &costs, 4)))
+    });
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let k = expanded_kernel();
+    let ff = md_sim::force::ForceField::from_model(&md_sim::water::WaterModel::spc());
+    let params = kernel_params(&ff);
+    let n = 256usize;
+    let mk = |stride: f64| {
+        StreamData::new(
+            9,
+            (0..n * 9)
+                .map(|i| (i as f64 * stride).sin() + 2.0)
+                .collect(),
+        )
+    };
+    let inputs = vec![mk(0.013), StreamData::new(9, vec![0.0; n * 9]), mk(0.017)];
+    c.bench_function("interpret_expanded_256", |b| {
+        b.iter(|| {
+            black_box(
+                Interpreter::new(&k)
+                    .run(&inputs, &params, n)
+                    .expect("interp"),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_reference_forces,
+        bench_sse_like_forces,
+        bench_neighbor_build,
+        bench_cache_trace,
+        bench_schedulers,
+        bench_interpreter
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Extension X1 — multi-node scaling of StreamMD over the folded-Clos
+//! network ("initial results of the scaling of the algorithm to larger
+//! configurations of the system", paper Section 1).
+
+use merrimac_arch::{MachineConfig, NetworkConfig};
+use merrimac_bench::{banner, paper_system, run_variant};
+use merrimac_net::scaling::{scaling_sweep, ScalingWorkload};
+use streammd::Variant;
+
+fn main() {
+    banner(
+        "Extension X1",
+        "multi-node StreamMD scaling on the folded-Clos network",
+    );
+
+    // Calibrate per-molecule cost from the simulated single-node run.
+    let (system, list) = paper_system();
+    let out = run_variant(&system, &list, Variant::Variable);
+    let cycles_per_molecule = out.perf.cycles as f64 / system.num_molecules() as f64;
+    println!(
+        "single-node calibration: {:.0} cycles/molecule/step (variable variant)\n",
+        cycles_per_molecule
+    );
+
+    let machine = MachineConfig::default();
+    let net = NetworkConfig::default();
+    // 57.6M-molecule system: the paper dataset tiled 40x40x40.
+    let w = ScalingWorkload::paper_scaled(40, cycles_per_molecule);
+    println!(
+        "workload: {:.1}M molecules, r_c = {} nm",
+        w.molecules / 1e6,
+        w.cutoff_nm
+    );
+    println!();
+    println!(
+        "{:>7} {:>12} {:>10} {:>12} {:>12} {:>10} {:>12}",
+        "nodes", "mols/node", "halo/node", "compute(c)", "comm(c)", "eff", "TFLOPS"
+    );
+    let pts = scaling_sweep(&machine, &net, &w, 8192);
+    for p in &pts {
+        println!(
+            "{:>7} {:>12.0} {:>10.0} {:>12.0} {:>12.0} {:>9.0}% {:>12.2}",
+            p.nodes,
+            p.molecules_per_node,
+            p.halo_per_node,
+            p.compute_cycles,
+            p.comm_cycles,
+            p.efficiency * 100.0,
+            p.solution_gflops / 1e3
+        );
+    }
+
+    let first = pts.first().unwrap();
+    let last = pts.last().unwrap();
+    assert!(last.step_seconds < first.step_seconds);
+    assert!(last.efficiency < 1.0);
+    println!();
+    println!(
+        "[ok] {}x nodes -> {:.0}x faster steps at {:.0}% efficiency",
+        last.nodes,
+        first.step_seconds / last.step_seconds,
+        last.efficiency * 100.0
+    );
+}

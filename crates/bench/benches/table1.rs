@@ -1,0 +1,64 @@
+//! Table 1 — Merrimac parameters, printed from the live machine
+//! description (so the table can never drift from what the simulator
+//! actually uses).
+
+use merrimac_arch::MachineConfig;
+use merrimac_bench::banner;
+
+fn main() {
+    banner("Table 1", "Merrimac parameters");
+    let m = MachineConfig::default();
+    let rows: Vec<(&str, String)> = vec![
+        ("Number of stream cache banks", m.cache_banks.to_string()),
+        (
+            "Number of scatter-add units per bank",
+            m.scatter_add_units_per_bank.to_string(),
+        ),
+        (
+            "Latency of scatter-add functional unit",
+            m.scatter_add_latency.to_string(),
+        ),
+        (
+            "Number of combining store entries",
+            m.combining_store_entries.to_string(),
+        ),
+        (
+            "Number of DRAM interface channels",
+            m.dram_channels.to_string(),
+        ),
+        (
+            "Number of address generators",
+            m.address_generators.to_string(),
+        ),
+        ("Operating frequency", format!("{} GHz", m.clock_hz / 1e9)),
+        (
+            "Peak DRAM bandwidth",
+            format!("{:.1} GB/s", m.dram_peak_gbps()),
+        ),
+        (
+            "Stream cache bandwidth",
+            format!("{:.0} GB/s", m.cache_gbps()),
+        ),
+        ("Number of clusters", m.clusters.to_string()),
+        (
+            "Peak floating point operations per cycle",
+            m.peak_flops_per_cycle().to_string(),
+        ),
+        ("SRF bandwidth", format!("{:.0} GB/s", m.srf_gbps())),
+        ("SRF size", format!("{} MB", m.srf_bytes() / (1024 * 1024))),
+        (
+            "Stream cache size",
+            format!("{} KB", m.cache_bytes() / 1024),
+        ),
+    ];
+    for (name, value) in rows {
+        println!("{name:<44} {value}");
+    }
+    println!();
+    println!(
+        "(random-access DRAM bandwidth {:.0} GB/s = {} words/cycle; peak {} GFLOPS)",
+        m.dram_random_gbps(),
+        m.dram_random_words_per_cycle,
+        m.peak_gflops()
+    );
+}

@@ -1,0 +1,57 @@
+//! Table 4 — arithmetic intensity of the StreamMD variants: the
+//! closed-form "calculated" column, the dataset-aware refinement (the
+//! paper's parenthesized values), and the value measured by the
+//! simulator.
+
+use merrimac_bench::{banner, paper_system, run_all};
+use streammd::{AnalyticModel, Variant};
+
+fn main() {
+    banner("Table 4", "Arithmetic intensity (flops per memory word)");
+    let (system, list) = paper_system();
+    let results = run_all(&system, &list);
+
+    let n = system.num_molecules() as u64;
+    let pairs = list.num_pairs() as u64;
+    let nbar = pairs as f64 / n as f64;
+    println!(
+        "{:<12} {:>12} {:>18} {:>10}",
+        "variant", "calculated", "calc (dataset)", "measured"
+    );
+    for (v, out) in &results {
+        let ideal = AnalyticModel::ideal(*v, 8, nbar);
+        let d = out.dataset;
+        let ds = AnalyticModel::for_dataset(
+            *v,
+            8,
+            pairs,
+            d.total_neighbors_fixed as u64,
+            d.repeated_molecules_fixed as u64,
+            n,
+        );
+        println!(
+            "{:<12} {:>12.2} {:>18.2} {:>10.2}",
+            v.name(),
+            ideal.intensity,
+            ds.intensity,
+            out.perf.intensity_measured
+        );
+    }
+    println!();
+    println!("paper Table 4 (surviving values): expanded ~4.9 calculated;");
+    println!("fixed measured 8.6; variable measured ~9.9-12; duplicated ~17-18 calculated.");
+    println!("Ordering to reproduce: duplicated > variable ≈ fixed > expanded.");
+
+    // Assert the ordering a reader of the table expects.
+    let get = |v: Variant| {
+        results
+            .iter()
+            .find(|(x, _)| *x == v)
+            .map(|(_, o)| o.perf.intensity_measured)
+            .unwrap()
+    };
+    assert!(get(Variant::Duplicated) > get(Variant::Fixed));
+    assert!(get(Variant::Fixed) > get(Variant::Expanded));
+    assert!(get(Variant::Variable) > get(Variant::Expanded));
+    println!("\n[ok] measured intensity ordering matches the paper");
+}

@@ -1,0 +1,96 @@
+//! Shared helpers for the table/figure regeneration harnesses.
+//!
+//! Every `cargo bench --bench <table|fig>` target prints the rows/series
+//! the corresponding paper artifact reports; this library centralizes
+//! dataset construction and variant execution so harnesses stay small
+//! and consistent.
+
+use md_sim::neighbor::{NeighborList, NeighborListParams};
+use md_sim::system::WaterBox;
+use merrimac_arch::MachineConfig;
+use streammd::{StepOutcome, StreamMdApp, Variant};
+
+/// Default seed for the paper dataset across harnesses (deterministic
+/// output).
+pub const SEED: u64 = 42;
+
+/// The Table 2 neighbour-list policy.
+pub fn paper_params() -> NeighborListParams {
+    NeighborListParams {
+        cutoff: 1.0,
+        skin: 0.0,
+        rebuild_interval: 10,
+    }
+}
+
+/// The paper's 900-molecule dataset plus its neighbour list.
+pub fn paper_system() -> (WaterBox, NeighborList) {
+    let system = WaterBox::paper_dataset(SEED);
+    let list = NeighborList::build(&system, paper_params());
+    (system, list)
+}
+
+/// A smaller dataset for fast sanity harnesses.
+pub fn small_system(molecules: usize) -> (WaterBox, NeighborList) {
+    let system = WaterBox::builder().molecules(molecules).seed(SEED).build();
+    let params = NeighborListParams {
+        cutoff: (0.45 * system.pbc().side()).min(1.0),
+        skin: 0.0,
+        rebuild_interval: 10,
+    };
+    let list = NeighborList::build(&system, params);
+    (system, list)
+}
+
+/// Run one variant on a prepared system.
+pub fn run_variant(system: &WaterBox, list: &NeighborList, variant: Variant) -> StepOutcome {
+    StreamMdApp::new(MachineConfig::default())
+        .with_neighbor(list.params)
+        .run_step_with_list(system, list, variant)
+        .unwrap_or_else(|e| panic!("variant {variant} failed: {e}"))
+}
+
+/// Run all four variants.
+pub fn run_all(system: &WaterBox, list: &NeighborList) -> Vec<(Variant, StepOutcome)> {
+    Variant::ALL
+        .iter()
+        .map(|&v| (v, run_variant(system, list, v)))
+        .collect()
+}
+
+/// Render a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Print a header banner naming the paper artifact.
+pub fn banner(artifact: &str, description: &str) {
+    println!("================================================================");
+    println!("{artifact} — {description}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_system_runs_every_variant() {
+        let (system, list) = small_system(27);
+        for (v, out) in run_all(&system, &list) {
+            assert!(out.perf.cycles > 0, "{v} produced no cycles");
+        }
+    }
+
+    #[test]
+    fn paper_system_statistics() {
+        let (system, list) = paper_system();
+        assert_eq!(system.num_molecules(), 900);
+        assert!(list.num_pairs() > 50_000);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.1234), "12.3%");
+    }
+}

@@ -1,0 +1,595 @@
+//! End-to-end StreamMD: neighbour list → stream layout → stream program
+//! → Merrimac simulation → forces + performance report.
+
+use std::sync::Arc;
+
+use md_sim::force::{ForceField, FLOPS_PER_INTERACTION};
+use md_sim::neighbor::{NeighborList, NeighborListParams};
+use md_sim::system::WaterBox;
+use md_sim::vec3::Vec3;
+use merrimac_arch::{MachineConfig, OpCosts};
+use merrimac_sim::machine::SimError;
+use merrimac_sim::program::Memory;
+use merrimac_sim::{
+    CompiledKernel, KernelOpt, ProgramBuilder, RunReport, SdrPolicy, StreamProcessor,
+};
+
+use crate::kernels;
+use crate::layout::{build_layout, Layout, Strip};
+use crate::variant::{DatasetStats, Variant};
+
+/// Figure 9-style performance summary of one force step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfSummary {
+    pub cycles: u64,
+    pub seconds: f64,
+    /// Useful flops (234 × real interactions).
+    pub solution_flops: u64,
+    pub solution_gflops: f64,
+    /// All executed hardware flops (including dummies/duplicates).
+    pub all_gflops: f64,
+    /// Words moved by stream memory operations.
+    pub mem_refs: u64,
+    /// Measured arithmetic intensity: computed interaction flops per
+    /// memory word (the Table 4 "measured" column).
+    pub intensity_measured: f64,
+    /// Figure 8 locality split (LRF, SRF, MEM fractions).
+    pub locality: (f64, f64, f64),
+    /// Fraction of the cheaper unit's busy time overlapped (Figure 7).
+    pub overlap: f64,
+}
+
+/// Output of one StreamMD force step.
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// Per-site forces (kJ·mol⁻¹·nm⁻¹), `3 × molecules` entries.
+    pub forces: Vec<Vec3>,
+    pub perf: PerfSummary,
+    pub report: RunReport,
+    pub dataset: DatasetStats,
+    /// Kernel iterations executed (incl. padding/sentinels).
+    pub iterations: u64,
+}
+
+/// StreamMD application configuration.
+#[derive(Debug, Clone)]
+pub struct StreamMdApp {
+    pub cfg: MachineConfig,
+    pub costs: OpCosts,
+    pub policy: SdrPolicy,
+    pub kernel_opt: KernelOpt,
+    pub neighbor: NeighborListParams,
+    /// Fixed-list length L (paper: 8).
+    pub block_l: usize,
+    /// Strip size override (kernel iterations per strip).
+    pub strip_iterations: Option<usize>,
+}
+
+impl StreamMdApp {
+    pub fn new(cfg: MachineConfig) -> Self {
+        Self {
+            cfg,
+            costs: OpCosts::default(),
+            policy: SdrPolicy::Eager,
+            kernel_opt: KernelOpt {
+                unroll: 1,
+                software_pipeline: true,
+            },
+            neighbor: NeighborListParams {
+                cutoff: 1.0,
+                skin: 0.0,
+                rebuild_interval: 10,
+            },
+            block_l: 8,
+            strip_iterations: None,
+        }
+    }
+
+    pub fn with_policy(mut self, policy: SdrPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    pub fn with_neighbor(mut self, params: NeighborListParams) -> Self {
+        self.neighbor = params;
+        self
+    }
+
+    pub fn with_block_l(mut self, l: usize) -> Self {
+        assert!(l >= 1);
+        self.block_l = l;
+        self
+    }
+
+    pub fn with_strip_iterations(mut self, iters: usize) -> Self {
+        self.strip_iterations = Some(iters);
+        self
+    }
+
+    pub fn with_kernel_opt(mut self, opt: KernelOpt) -> Self {
+        self.kernel_opt = opt;
+        self
+    }
+
+    /// Default strip size: fill roughly a third of the SRF with live
+    /// strip state so double buffering fits.
+    fn default_strip(&self, variant: Variant) -> usize {
+        let budget = self.cfg.srf_words_per_cluster * self.cfg.clusters / 3;
+        let words_per_iter = match variant {
+            Variant::Expanded => 48,
+            Variant::Fixed => 29 + 19 * self.block_l,
+            Variant::Duplicated => 29 + 10 * self.block_l,
+            Variant::Variable => 20,
+        };
+        (budget / words_per_iter).clamp(16, 4096)
+    }
+
+    fn compile(&self, variant: Variant) -> Arc<CompiledKernel> {
+        let k = match variant {
+            Variant::Expanded => kernels::expanded_kernel(),
+            Variant::Fixed => kernels::block_kernel(self.block_l, true),
+            Variant::Duplicated => kernels::block_kernel(self.block_l, false),
+            Variant::Variable => kernels::variable_kernel(),
+        };
+        Arc::new(CompiledKernel::compile(
+            k,
+            &self.cfg,
+            &self.costs,
+            self.kernel_opt,
+        ))
+    }
+
+    /// Run one force step of `variant` over `system`.
+    pub fn run_step(&self, system: &WaterBox, variant: Variant) -> Result<StepOutcome, SimError> {
+        let list = NeighborList::build(system, self.neighbor);
+        self.run_step_with_list(system, &list, variant)
+    }
+
+    /// Run with a pre-built neighbour list.
+    pub fn run_step_with_list(
+        &self,
+        system: &WaterBox,
+        list: &NeighborList,
+        variant: Variant,
+    ) -> Result<StepOutcome, SimError> {
+        let strip = self
+            .strip_iterations
+            .unwrap_or_else(|| self.default_strip(variant));
+        let layout = build_layout(system, list, variant, self.block_l, strip);
+        let kernel = self.compile(variant);
+        let ff = ForceField::from_model(system.model());
+        let params = kernels::kernel_params(&ff);
+
+        let mut mem = Memory::new();
+        let positions = mem.region("positions", layout.positions.clone());
+        let shifts = mem.region("shift_table", layout.shift_table.clone());
+        let forces = mem.region("forces", vec![0.0; layout.force_records * 9]);
+
+        let mut pb = ProgramBuilder::new();
+        for (sid, s) in layout.strips.iter().enumerate() {
+            pb.strip(sid);
+            match variant {
+                Variant::Expanded => self.emit_expanded(
+                    &mut pb, &mut mem, sid, s, &kernel, &params, positions, shifts, forces,
+                ),
+                Variant::Fixed | Variant::Duplicated => self.emit_blocks(
+                    &mut pb,
+                    &mut mem,
+                    sid,
+                    s,
+                    &kernel,
+                    &params,
+                    positions,
+                    shifts,
+                    forces,
+                    variant == Variant::Fixed,
+                ),
+                Variant::Variable => self.emit_variable(
+                    &mut pb, &mut mem, sid, s, &kernel, &params, positions, forces,
+                ),
+            }
+        }
+        let program = pb.build();
+        let proc = StreamProcessor::new(self.cfg.clone())
+            .with_costs(self.costs.clone())
+            .with_policy(self.policy);
+        let report = proc.run(&mut mem, &program)?;
+
+        // Extract forces for the real molecules.
+        let n = system.num_molecules();
+        let raw = mem.data(forces);
+        let mut out = Vec::with_capacity(n * 3);
+        for site in 0..n * 3 {
+            out.push(Vec3::new(
+                raw[site * 3],
+                raw[site * 3 + 1],
+                raw[site * 3 + 2],
+            ));
+        }
+
+        let real = layout.total_real_interactions();
+        let computed = computed_interactions(&layout);
+        let solution_flops = real * FLOPS_PER_INTERACTION;
+        let seconds = report.seconds(&self.cfg);
+        let perf = PerfSummary {
+            cycles: report.cycles,
+            seconds,
+            solution_flops,
+            solution_gflops: self.cfg.gflops(solution_flops, report.cycles),
+            all_gflops: self
+                .cfg
+                .gflops(report.counters.hardware_flops, report.cycles),
+            mem_refs: report.counters.mem_refs,
+            intensity_measured: report
+                .counters
+                .arithmetic_intensity(computed * FLOPS_PER_INTERACTION),
+            locality: report.counters.locality_split(),
+            overlap: report.timeline.overlap_fraction(),
+        };
+        Ok(StepOutcome {
+            forces: out,
+            perf,
+            report,
+            dataset: layout.stats,
+            iterations: layout.total_iterations(),
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_expanded(
+        &self,
+        pb: &mut ProgramBuilder,
+        mem: &mut Memory,
+        sid: usize,
+        s: &Strip,
+        kernel: &Arc<CompiledKernel>,
+        params: &[f64],
+        positions: merrimac_sim::RegionId,
+        shifts: merrimac_sim::RegionId,
+        forces: merrimac_sim::RegionId,
+    ) {
+        let iters = s.iterations;
+        // Index streams live in memory and are loaded through the SRF
+        // before the address generators can use them.
+        for (name, idx) in [
+            ("i_central", &s.i_central),
+            ("i_neighbor", &s.i_neighbor),
+            ("i_shift", &s.i_shift),
+        ] {
+            let r = mem.region(
+                &format!("{name}[{sid}]"),
+                idx.iter().map(|&i| i as f64).collect(),
+            );
+            let buf = pb.buffer(&format!("{name}.{sid}"), 1);
+            pb.load(format!("load {name} {sid}"), r, 1, 0, idx.len(), buf);
+        }
+        let b_cpos = pb.buffer(&format!("c_pos.{sid}"), 9);
+        let b_shift = pb.buffer(&format!("c_shift.{sid}"), 9);
+        let b_npos = pb.buffer(&format!("n_pos.{sid}"), 9);
+        let b_cf = pb.buffer(&format!("c_partial.{sid}"), 9);
+        let b_nf = pb.buffer(&format!("n_partial.{sid}"), 9);
+        pb.gather(
+            format!("gather c_pos {sid}"),
+            positions,
+            9,
+            Arc::new(s.i_central.clone()),
+            b_cpos,
+        );
+        pb.gather(
+            format!("gather shift {sid}"),
+            shifts,
+            9,
+            Arc::new(s.i_shift.clone()),
+            b_shift,
+        );
+        pb.gather(
+            format!("gather n_pos {sid}"),
+            positions,
+            9,
+            Arc::new(s.i_neighbor.clone()),
+            b_npos,
+        );
+        pb.kernel(
+            format!("interact {sid}"),
+            kernel.clone(),
+            vec![b_cpos, b_shift, b_npos],
+            vec![b_cf, b_nf],
+            params.to_vec(),
+            iters,
+            s.max_cluster_iterations,
+        );
+        pb.scatter_add(
+            format!("scatter+ c {sid}"),
+            b_cf,
+            forces,
+            9,
+            Arc::new(s.c_scatter.clone()),
+        );
+        pb.scatter_add(
+            format!("scatter+ n {sid}"),
+            b_nf,
+            forces,
+            9,
+            Arc::new(s.n_scatter.clone()),
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_blocks(
+        &self,
+        pb: &mut ProgramBuilder,
+        mem: &mut Memory,
+        sid: usize,
+        s: &Strip,
+        kernel: &Arc<CompiledKernel>,
+        params: &[f64],
+        positions: merrimac_sim::RegionId,
+        shifts: merrimac_sim::RegionId,
+        forces: merrimac_sim::RegionId,
+        neighbor_partials: bool,
+    ) {
+        for (name, idx) in [
+            ("i_central", &s.i_central),
+            ("i_neighbor", &s.i_neighbor),
+            ("i_shift", &s.i_shift),
+        ] {
+            let r = mem.region(
+                &format!("{name}[{sid}]"),
+                idx.iter().map(|&i| i as f64).collect(),
+            );
+            let buf = pb.buffer(&format!("{name}.{sid}"), 1);
+            pb.load(format!("load {name} {sid}"), r, 1, 0, idx.len(), buf);
+        }
+        let b_cpos = pb.buffer(&format!("c_pos.{sid}"), 9);
+        let b_shift = pb.buffer(&format!("c_shift.{sid}"), 9);
+        let b_npos = pb.buffer(&format!("n_pos.{sid}"), 9);
+        let b_cf = pb.buffer(&format!("c_force.{sid}"), 9);
+        pb.gather(
+            format!("gather c_pos {sid}"),
+            positions,
+            9,
+            Arc::new(s.i_central.clone()),
+            b_cpos,
+        );
+        pb.gather(
+            format!("gather shift {sid}"),
+            shifts,
+            9,
+            Arc::new(s.i_shift.clone()),
+            b_shift,
+        );
+        pb.gather(
+            format!("gather n_pos {sid}"),
+            positions,
+            9,
+            Arc::new(s.i_neighbor.clone()),
+            b_npos,
+        );
+        let mut outputs = vec![b_cf];
+        let mut b_nf = None;
+        if neighbor_partials {
+            let b = pb.buffer(&format!("n_partial.{sid}"), 9);
+            outputs.push(b);
+            b_nf = Some(b);
+        }
+        pb.kernel(
+            format!("interact {sid}"),
+            kernel.clone(),
+            vec![b_cpos, b_shift, b_npos],
+            outputs,
+            params.to_vec(),
+            s.iterations,
+            s.max_cluster_iterations,
+        );
+        pb.scatter_add(
+            format!("scatter+ c {sid}"),
+            b_cf,
+            forces,
+            9,
+            Arc::new(s.c_scatter.clone()),
+        );
+        if let Some(b) = b_nf {
+            pb.scatter_add(
+                format!("scatter+ n {sid}"),
+                b,
+                forces,
+                9,
+                Arc::new(s.n_scatter.clone()),
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_variable(
+        &self,
+        pb: &mut ProgramBuilder,
+        mem: &mut Memory,
+        sid: usize,
+        s: &Strip,
+        kernel: &Arc<CompiledKernel>,
+        params: &[f64],
+        positions: merrimac_sim::RegionId,
+        forces: merrimac_sim::RegionId,
+    ) {
+        let iters = s.iterations;
+        // Neighbour index stream.
+        let r_idx = mem.region(
+            &format!("i_neighbor[{sid}]"),
+            s.i_neighbor.iter().map(|&i| i as f64).collect(),
+        );
+        let b_idx = pb.buffer(&format!("i_neighbor.{sid}"), 1);
+        pb.load(
+            format!("load i_neighbor {sid}"),
+            r_idx,
+            1,
+            0,
+            s.i_neighbor.len(),
+            b_idx,
+        );
+        // Flag stream.
+        let r_flags = mem.region(&format!("flags[{sid}]"), s.flags.clone());
+        let b_flags = pb.buffer(&format!("flags.{sid}"), 1);
+        pb.load(
+            format!("load flags {sid}"),
+            r_flags,
+            1,
+            0,
+            s.flags.len(),
+            b_flags,
+        );
+        // Centre records (sequential: prepared in list order by the
+        // scalar core).
+        let n_centers = s.center_records.len() / 18;
+        let r_centers = mem.region(&format!("center_recs[{sid}]"), s.center_records.clone());
+        let b_centers = pb.buffer(&format!("centers.{sid}"), 18);
+        pb.load(
+            format!("load centers {sid}"),
+            r_centers,
+            18,
+            0,
+            n_centers,
+            b_centers,
+        );
+        // Neighbour positions.
+        let b_npos = pb.buffer(&format!("n_pos.{sid}"), 9);
+        pb.gather(
+            format!("gather n_pos {sid}"),
+            positions,
+            9,
+            Arc::new(s.i_neighbor.clone()),
+            b_npos,
+        );
+        let b_cf = pb.buffer(&format!("c_force.{sid}"), 9);
+        let b_nf = pb.buffer(&format!("n_partial.{sid}"), 9);
+        pb.kernel(
+            format!("interact {sid}"),
+            kernel.clone(),
+            vec![b_npos, b_flags, b_centers],
+            vec![b_cf, b_nf],
+            params.to_vec(),
+            iters,
+            s.max_cluster_iterations,
+        );
+        pb.scatter_add(
+            format!("scatter+ c {sid}"),
+            b_cf,
+            forces,
+            9,
+            Arc::new(s.c_scatter.clone()),
+        );
+        pb.scatter_add(
+            format!("scatter+ n {sid}"),
+            b_nf,
+            forces,
+            9,
+            Arc::new(s.n_scatter.clone()),
+        );
+    }
+}
+
+/// Interactions evaluated by the hardware (incl. dummies/duplicates).
+fn computed_interactions(layout: &Layout) -> u64 {
+    match layout.variant {
+        Variant::Expanded => layout.total_iterations(),
+        Variant::Fixed | Variant::Duplicated => layout.total_iterations() * layout.block_l as u64,
+        Variant::Variable => layout.total_iterations(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_sim::force::compute_forces;
+
+    fn small_system() -> (WaterBox, NeighborList, StreamMdApp) {
+        let system = WaterBox::builder().molecules(64).seed(99).build();
+        let params = NeighborListParams {
+            cutoff: (0.45 * system.pbc().side()).min(1.0),
+            skin: 0.0,
+            rebuild_interval: 1,
+        };
+        let list = NeighborList::build(&system, params);
+        let app = StreamMdApp::new(MachineConfig::default()).with_neighbor(params);
+        (system, list, app)
+    }
+
+    fn assert_forces_match(system: &WaterBox, list: &NeighborList, outcome: &StepOutcome) {
+        let reference = compute_forces(system, list);
+        let scale = reference
+            .forces
+            .iter()
+            .map(|f| f.norm())
+            .fold(0.0f64, f64::max)
+            .max(1.0);
+        for (i, (got, want)) in outcome.forces.iter().zip(&reference.forces).enumerate() {
+            let err = (*got - *want).max_abs();
+            assert!(
+                err < 1e-8 * scale,
+                "site {i}: got {got:?} want {want:?} (err {err:.3e}, scale {scale:.3e})"
+            );
+        }
+    }
+
+    #[test]
+    fn expanded_matches_reference() {
+        let (system, list, app) = small_system();
+        let out = app
+            .run_step_with_list(&system, &list, Variant::Expanded)
+            .unwrap();
+        assert_forces_match(&system, &list, &out);
+        assert!(out.perf.solution_gflops > 0.0);
+    }
+
+    #[test]
+    fn fixed_matches_reference() {
+        let (system, list, app) = small_system();
+        let out = app
+            .run_step_with_list(&system, &list, Variant::Fixed)
+            .unwrap();
+        assert_forces_match(&system, &list, &out);
+    }
+
+    #[test]
+    fn duplicated_matches_reference() {
+        let (system, list, app) = small_system();
+        let out = app
+            .run_step_with_list(&system, &list, Variant::Duplicated)
+            .unwrap();
+        assert_forces_match(&system, &list, &out);
+    }
+
+    #[test]
+    fn variable_matches_reference() {
+        let (system, list, app) = small_system();
+        let out = app
+            .run_step_with_list(&system, &list, Variant::Variable)
+            .unwrap();
+        assert_forces_match(&system, &list, &out);
+    }
+
+    #[test]
+    fn locality_is_lrf_dominated() {
+        let (system, list, app) = small_system();
+        let out = app
+            .run_step_with_list(&system, &list, Variant::Variable)
+            .unwrap();
+        let (lrf, srf, mem) = out.perf.locality;
+        assert!(lrf > 0.85, "LRF fraction {lrf}");
+        // Paper Figure 8: "the relatively small difference between the
+        // number of references made to the SRF and to memory indicates
+        // the use of the SRF as a staging area for memory".
+        let rel = (srf - mem).abs() / mem.max(1e-12);
+        assert!(rel < 0.25, "SRF {srf} and MEM {mem} should be close");
+    }
+
+    #[test]
+    fn strip_mining_produces_multiple_strips() {
+        let (system, list, app) = small_system();
+        let app = app.with_strip_iterations(200);
+        let out = app
+            .run_step_with_list(&system, &list, Variant::Expanded)
+            .unwrap();
+        assert!(out.report.timeline.intervals.len() > 10);
+        assert_forces_match(&system, &list, &out);
+    }
+}

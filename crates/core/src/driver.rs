@@ -1,0 +1,332 @@
+//! Multi-timestep MD driven by the simulated Merrimac node.
+//!
+//! This is the full integration loop the paper describes: "Most of the
+//! application can initially be run on the scalar processor and only the
+//! time consuming computations are streamed... We are currently
+//! concentrating on the force interaction of water molecules and
+//! interface with the rest of GROMACS directly through Merrimac's shared
+//! memory system." Here the "scalar processor" work — integration,
+//! constraints, neighbour-list construction — runs in plain Rust
+//! (`md-sim`), while every force evaluation goes through the stream
+//! program on the simulated machine.
+//!
+//! The driver also accumulates the machine-level cost of the whole
+//! trajectory, which is what a capability-machine user would care about:
+//! simulated Merrimac cycles per MD step, amortizing the scalar-side
+//! neighbour list rebuilds exactly as GROMACS does ("the overhead of the
+//! neighbor list is kept to a minimum by only generating it once every
+//! several time-steps").
+
+use md_sim::integrate::Integrator;
+use md_sim::neighbor::NeighborList;
+use md_sim::system::WaterBox;
+use md_sim::units::KB;
+use md_sim::vec3::Vec3;
+use merrimac_sim::machine::SimError;
+
+use crate::app::StreamMdApp;
+use crate::variant::Variant;
+
+/// Per-step record of a driven trajectory.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverStep {
+    /// Simulated machine cycles spent on this step's force evaluation.
+    pub force_cycles: u64,
+    /// Whether the neighbour list was rebuilt before this step.
+    pub rebuilt_list: bool,
+    /// Kinetic energy after the step (kJ/mol).
+    pub kinetic: f64,
+    /// Instantaneous temperature (K).
+    pub temperature: f64,
+}
+
+/// Result of a driven trajectory.
+#[derive(Debug, Clone)]
+pub struct DriverReport {
+    pub steps: Vec<DriverStep>,
+    /// Total simulated Merrimac cycles across all force evaluations.
+    pub total_force_cycles: u64,
+    /// Neighbour-list rebuilds performed.
+    pub rebuilds: usize,
+}
+
+impl DriverReport {
+    /// Mean simulated cycles per MD step.
+    pub fn cycles_per_step(&self) -> f64 {
+        if self.steps.is_empty() {
+            0.0
+        } else {
+            self.total_force_cycles as f64 / self.steps.len() as f64
+        }
+    }
+
+    /// Wall-clock seconds per step at the machine clock.
+    pub fn seconds_per_step(&self, clock_hz: f64) -> f64 {
+        self.cycles_per_step() / clock_hz
+    }
+}
+
+/// MD driver: velocity Verlet + SHAKE on the scalar side, forces from
+/// the stream unit.
+#[derive(Debug, Clone)]
+pub struct MerrimacDriver {
+    pub app: StreamMdApp,
+    pub variant: Variant,
+    /// Time step (ps).
+    pub dt: f64,
+    /// SHAKE tolerance.
+    pub shake_tol: f64,
+}
+
+impl MerrimacDriver {
+    pub fn new(app: StreamMdApp, variant: Variant) -> Self {
+        Self {
+            app,
+            variant,
+            dt: 0.002,
+            shake_tol: 1e-10,
+        }
+    }
+
+    /// Evaluate forces on the simulated machine.
+    fn forces(&self, system: &WaterBox, list: &NeighborList) -> Result<(Vec<Vec3>, u64), SimError> {
+        let out = self.app.run_step_with_list(system, list, self.variant)?;
+        Ok((out.forces, out.perf.cycles))
+    }
+
+    /// Run `steps` MD steps, returning the trajectory report. The system
+    /// is advanced in place.
+    pub fn run(&self, system: &mut WaterBox, steps: usize) -> Result<DriverReport, SimError> {
+        // Reuse the scalar-side integrator mechanics for constraints by
+        // delegating the position/velocity updates to a private Verlet
+        // implementation mirroring `md_sim::integrate`.
+        let integ = Integrator {
+            dt: self.dt,
+            neighbor: self.app.neighbor,
+            shake_tol: self.shake_tol,
+            max_iter: 100,
+        };
+        let masses: Vec<f64> = system.model().sites.iter().map(|s| s.mass).collect();
+        let inv_m: Vec<f64> = masses.iter().map(|m| 1.0 / m).collect();
+        let dof = (6 * system.num_molecules()) as f64 - 3.0;
+
+        let mut list = NeighborList::build(system, self.app.neighbor);
+        let mut rebuilds = 1usize;
+        let (mut forces, mut cycles) = self.forces(system, &list)?;
+        let mut drift = 0.0f64;
+        let mut report = DriverReport {
+            steps: Vec::with_capacity(steps),
+            total_force_cycles: 0,
+            rebuilds: 0,
+        };
+        report.total_force_cycles += cycles;
+
+        for step in 0..steps {
+            // Half kick.
+            for (i, v) in system.velocities_mut().iter_mut().enumerate() {
+                *v += forces[i] * (inv_m[i % 3] * self.dt * 0.5);
+            }
+            // Drift + constraints (reuse the integrator's SHAKE by doing
+            // a zero-force half step through its public surface is not
+            // possible; replicate the update here).
+            let old_pos = system.positions().to_vec();
+            let mut new_pos = old_pos.clone();
+            for i in 0..new_pos.len() {
+                new_pos[i] = old_pos[i] + system.velocities()[i] * self.dt;
+            }
+            shake_rigid_water(system, &old_pos, &mut new_pos, self.shake_tol);
+            let mut max_disp = 0.0f64;
+            {
+                let vel = system.velocities_mut();
+                for i in 0..new_pos.len() {
+                    vel[i] = (new_pos[i] - old_pos[i]) / self.dt;
+                }
+            }
+            for i in 0..new_pos.len() {
+                max_disp = max_disp.max((new_pos[i] - old_pos[i]).norm());
+            }
+            system.positions_mut().copy_from_slice(&new_pos);
+            drift += max_disp;
+
+            // Neighbour list policy: scheduled rebuild or exhausted skin.
+            let scheduled = (step + 1) % self.app.neighbor.rebuild_interval == 0;
+            let rebuilt = scheduled || drift * 2.0 > self.app.neighbor.skin;
+            if rebuilt {
+                list = NeighborList::build(system, self.app.neighbor);
+                rebuilds += 1;
+                drift = 0.0;
+            }
+            let (f, c) = self.forces(system, &list)?;
+            forces = f;
+            cycles = c;
+            report.total_force_cycles += cycles;
+
+            // Second half kick + velocity constraint projection.
+            for (i, v) in system.velocities_mut().iter_mut().enumerate() {
+                *v += forces[i] * (inv_m[i % 3] * self.dt * 0.5);
+            }
+            let pos_snapshot = system.positions().to_vec();
+            rattle_rigid_water(system, &pos_snapshot, self.shake_tol, self.dt);
+
+            let ke: f64 = system
+                .velocities()
+                .iter()
+                .enumerate()
+                .map(|(i, v)| 0.5 * masses[i % 3] * v.norm2())
+                .sum();
+            report.steps.push(DriverStep {
+                force_cycles: cycles,
+                rebuilt_list: rebuilt,
+                kinetic: ke,
+                temperature: 2.0 * ke / (dof * KB),
+            });
+        }
+        report.rebuilds = rebuilds;
+        let _ = integ; // parameters documented above; scalar mechanics inlined
+        Ok(report)
+    }
+}
+
+/// SHAKE for rigid 3-site water (shared with the reference integrator's
+/// constraint topology).
+fn shake_rigid_water(system: &WaterBox, old_pos: &[Vec3], new_pos: &mut [Vec3], tol: f64) {
+    let model = system.model();
+    let d01 = (model.sites[1].offset - model.sites[0].offset).norm2();
+    let d02 = (model.sites[2].offset - model.sites[0].offset).norm2();
+    let d12 = (model.sites[2].offset - model.sites[1].offset).norm2();
+    let constraints = [(0usize, 1usize, d01), (0, 2, d02), (1, 2, d12)];
+    let masses = [
+        model.sites[0].mass,
+        model.sites[1].mass,
+        model.sites[2].mass,
+    ];
+    for m in 0..system.num_molecules() {
+        let base = m * 3;
+        for _ in 0..100 {
+            let mut converged = true;
+            for &(a, b, d2) in &constraints {
+                let (ia, ib) = (base + a, base + b);
+                let d = new_pos[ia] - new_pos[ib];
+                let diff = d.norm2() - d2;
+                if diff.abs() > tol * d2 {
+                    converged = false;
+                    let ref_d = old_pos[ia] - old_pos[ib];
+                    let g = diff / (2.0 * ref_d.dot(d) * (1.0 / masses[a] + 1.0 / masses[b]));
+                    new_pos[ia] -= ref_d * (g / masses[a]);
+                    new_pos[ib] += ref_d * (g / masses[b]);
+                }
+            }
+            if converged {
+                break;
+            }
+        }
+    }
+}
+
+/// RATTLE velocity projection for rigid 3-site water.
+fn rattle_rigid_water(system: &mut WaterBox, pos: &[Vec3], tol: f64, dt: f64) {
+    let model = system.model().clone();
+    let d01 = (model.sites[1].offset - model.sites[0].offset).norm2();
+    let d02 = (model.sites[2].offset - model.sites[0].offset).norm2();
+    let d12 = (model.sites[2].offset - model.sites[1].offset).norm2();
+    let constraints = [(0usize, 1usize, d01), (0, 2, d02), (1, 2, d12)];
+    let masses = [
+        model.sites[0].mass,
+        model.sites[1].mass,
+        model.sites[2].mass,
+    ];
+    let n = system.num_molecules();
+    let vel = system.velocities_mut();
+    for m in 0..n {
+        let base = m * 3;
+        for _ in 0..100 {
+            let mut converged = true;
+            for &(a, b, d2) in &constraints {
+                let (ia, ib) = (base + a, base + b);
+                let d = pos[ia] - pos[ib];
+                let vrel = vel[ia] - vel[ib];
+                let dv = d.dot(vrel);
+                if dv.abs() > tol * d2 / dt {
+                    converged = false;
+                    let k = dv / (d.norm2() * (1.0 / masses[a] + 1.0 / masses[b]));
+                    vel[ia] -= d * (k / masses[a]);
+                    vel[ib] += d * (k / masses[b]);
+                }
+            }
+            if converged {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_sim::neighbor::NeighborListParams;
+    use merrimac_arch::MachineConfig;
+
+    fn driver(system: &WaterBox, variant: Variant) -> MerrimacDriver {
+        let params = NeighborListParams {
+            cutoff: (0.40 * system.pbc().side()).min(1.0),
+            skin: 0.08,
+            rebuild_interval: 3,
+        };
+        let app = StreamMdApp::new(MachineConfig::default()).with_neighbor(params);
+        MerrimacDriver::new(app, variant)
+    }
+
+    #[test]
+    fn driven_trajectory_matches_reference_integrator() {
+        // Forces from the simulated machine ≈ reference forces, so short
+        // trajectories must agree closely.
+        let mut a = WaterBox::builder().molecules(27).seed(55).build();
+        let mut b = a.clone();
+        let drv = driver(&a, Variant::Variable);
+        let integ = Integrator {
+            dt: drv.dt,
+            neighbor: drv.app.neighbor,
+            shake_tol: drv.shake_tol,
+            max_iter: 100,
+        };
+        drv.run(&mut a, 5).expect("driven run");
+        integ.run(&mut b, 5);
+        let mut worst = 0.0f64;
+        for (pa, pb) in a.positions().iter().zip(b.positions()) {
+            worst = worst.max((*pa - *pb).max_abs());
+        }
+        assert!(worst < 1e-7, "trajectories diverged by {worst}");
+    }
+
+    #[test]
+    fn constraints_hold_in_driven_run() {
+        let mut s = WaterBox::builder().molecules(27).seed(56).build();
+        let drv = driver(&s, Variant::Fixed);
+        drv.run(&mut s, 6).expect("run");
+        for m in 0..s.num_molecules() {
+            let mol = s.molecule(m);
+            assert!(((mol[1] - mol[0]).norm() - 0.1).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rebuild_policy_amortizes() {
+        let mut s = WaterBox::builder().molecules(27).seed(57).build();
+        let drv = driver(&s, Variant::Variable);
+        let r = drv.run(&mut s, 9).expect("run");
+        assert_eq!(r.steps.len(), 9);
+        assert!(r.rebuilds < 9 + 1, "list must not rebuild every step");
+        assert!(r.total_force_cycles > 0);
+        assert!(r.cycles_per_step() > 0.0);
+    }
+
+    #[test]
+    fn temperatures_stay_physical() {
+        let mut s = WaterBox::builder().molecules(27).seed(58).build();
+        let drv = driver(&s, Variant::Expanded);
+        let r = drv.run(&mut s, 5).expect("run");
+        for st in &r.steps {
+            assert!(st.temperature > 1.0 && st.temperature < 3000.0);
+        }
+    }
+}

@@ -1,0 +1,508 @@
+//! The water-water interaction kernels, one per StreamMD variant.
+//!
+//! All four share the same molecule-pair interaction subgraph, which is
+//! constructed to match the paper's operation budget exactly: **234
+//! programmer-visible flops per interaction, including 9 divides and 9
+//! square roots** (Section 3). The budget decomposes as
+//!
+//! ```text
+//!   9 atom pairs × 23  (displacement, r², √, ÷, Coulomb, force, accum)   207
+//!   Lennard-Jones terms on the O-O pair                                  +12
+//!   periodic shift applied to the centre molecule                         +9
+//!   virial (shift-force) accumulation, 3 fused multiply-adds              +6
+//!                                                                       = 234
+//! ```
+//!
+//! Kernel launch parameters (same order for every variant): the 9
+//! Coulomb charge products `qq[a][b]` pre-scaled by 1/4πɛ₀, then `C6`
+//! and `C12`.
+
+use md_sim::force::ForceField;
+use merrimac_kernel::builder::{KernelBuilder, Val, V3};
+use merrimac_kernel::ir::StreamMode;
+use merrimac_kernel::Kernel;
+
+/// Number of launch parameters: 9 qq products + C6 + C12.
+pub const NUM_PARAMS: usize = 11;
+
+/// Pack force-field parameters in kernel launch order.
+pub fn kernel_params(ff: &ForceField) -> Vec<f64> {
+    let mut p = Vec::with_capacity(NUM_PARAMS);
+    for a in 0..3 {
+        for b in 0..3 {
+            p.push(ff.qq[a][b]);
+        }
+    }
+    p.push(ff.c6);
+    p.push(ff.c12);
+    p
+}
+
+/// Shared per-kernel constants and parameter handles.
+struct Ctx {
+    qq: [[Val; 3]; 3],
+    c6: Val,
+    c12: Val,
+    six: Val,
+    twelve: Val,
+    one: Val,
+}
+
+impl Ctx {
+    fn new(b: &mut KernelBuilder) -> Self {
+        let mut qq = [[Val(0); 3]; 3];
+        for row in qq.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = b.param();
+            }
+        }
+        let c6 = b.param();
+        let c12 = b.param();
+        Self {
+            qq,
+            c6,
+            c12,
+            six: b.constant(6.0),
+            twelve: b.constant(12.0),
+            one: b.constant(1.0),
+        }
+    }
+}
+
+/// Accumulators threaded through interactions.
+#[derive(Clone, Copy)]
+struct Accum {
+    e_coul: Val,
+    e_lj: Val,
+    virial: Val,
+}
+
+/// Per-interaction energy/virial contributions, reduced by the caller.
+///
+/// Keeping the accumulation *outside* the pair loop (a balanced tree per
+/// iteration plus one register add) keeps the loop-carried recurrence a
+/// single add deep, which is what lets the modulo scheduler reach a
+/// resource-bound initiation interval.
+struct Contribution {
+    /// Coulomb energy of each of the 9 atom pairs.
+    vc: Vec<Val>,
+    /// Lennard-Jones energy of the O-O pair.
+    de_lj: Val,
+    /// Virial (shift-force) term of the O-O pair: a 3-deep madd chain
+    /// seeded by a multiply (5 flops).
+    vir: Val,
+}
+
+/// Balanced pairwise summation: `n − 1` adds.
+fn tree_sum(b: &mut KernelBuilder, vals: &[Val]) -> Val {
+    assert!(!vals.is_empty());
+    let mut level: Vec<Val> = vals.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for chunk in level.chunks(2) {
+            next.push(if chunk.len() == 2 {
+                b.add(chunk[0], chunk[1])
+            } else {
+                chunk[0]
+            });
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// Site positions of one molecule as three 3-vectors.
+#[derive(Clone, Copy)]
+struct Mol([V3; 3]);
+
+fn read_molecule(b: &mut KernelBuilder, stream: u32, base_field: u32) -> Mol {
+    Mol([
+        b.read_v3(stream, base_field),
+        b.read_v3(stream, base_field + 3),
+        b.read_v3(stream, base_field + 6),
+    ])
+}
+
+/// Apply the periodic shift to the centre molecule: 9 adds.
+fn apply_shift(b: &mut KernelBuilder, c: Mol, shift: Mol) -> Mol {
+    Mol([
+        b.v3_add(c.0[0], shift.0[0]),
+        b.v3_add(c.0[1], shift.0[1]),
+        b.v3_add(c.0[2], shift.0[2]),
+    ])
+}
+
+/// One molecule-pair interaction: returns (forces on centre sites,
+/// forces on neighbour sites, energy/virial contributions). Together
+/// with the caller-side reduction and the shift this totals exactly 234
+/// solution flops per interaction (tested in this module).
+fn interaction(
+    b: &mut KernelBuilder,
+    ctx: &Ctx,
+    c_shifted: Mol,
+    n: Mol,
+) -> ([V3; 3], [V3; 3], Contribution) {
+    let zero = b.constant(0.0);
+    let zv = V3 {
+        x: zero,
+        y: zero,
+        z: zero,
+    };
+    let mut fc = [zv; 3];
+    let mut fn_ = [zv; 3];
+    let mut vc_all = Vec::with_capacity(9);
+    let mut de_lj = zero;
+    let mut d_oo = zv;
+    let mut f_oo = zv;
+
+    for a in 0..3 {
+        for n_site in 0..3 {
+            // Displacement and squared distance: 3 + 5 flops.
+            let d = b.v3_sub(c_shifted.0[a], n.0[n_site]);
+            let r2 = b.v3_norm2(d);
+            // r = √r², 1/r = 1 ÷ r: the divide and square root of the
+            // paper's accounting (one of each per atom pair).
+            let r = b.sqrt(r2);
+            let rinv = b.div(ctx.one, r);
+            let rinv2 = b.mul(rinv, rinv);
+            // Coulomb: V = qq/r, f/r = V/r².
+            let vc = b.mul(ctx.qq[a][n_site], rinv);
+            vc_all.push(vc);
+            let mut fs = b.mul(vc, rinv2);
+            if a == 0 && n_site == 0 {
+                // Lennard-Jones on the oxygen pair: 11 flops here, the
+                // 12th is the caller's accumulation of `de_lj`.
+                let rinv4 = b.mul(rinv2, rinv2);
+                let rinv6 = b.mul(rinv4, rinv2);
+                let v6 = b.mul(ctx.c6, rinv6);
+                let rinv12 = b.mul(rinv6, rinv6);
+                let v12 = b.mul(ctx.c12, rinv12);
+                de_lj = b.sub(v12, v6);
+                let t12 = b.mul(ctx.twelve, v12);
+                let u = b.nmsub(ctx.six, v6, t12); // 12·v12 − 6·v6
+                let fs_lj = b.mul(u, rinv2);
+                fs = b.add(fs, fs_lj);
+            }
+            let f = b.v3_scale(d, fs);
+            fc[a] = b.v3_add(fc[a], f);
+            fn_[n_site] = b.v3_sub(fn_[n_site], f);
+            if a == 0 && n_site == 0 {
+                d_oo = d;
+                f_oo = f;
+            }
+        }
+    }
+    // Virial contribution of the O-O pair: mul + 2 madds (5 flops).
+    let vx = b.mul(d_oo.x, f_oo.x);
+    let vxy = b.madd(d_oo.y, f_oo.y, vx);
+    let vir = b.madd(d_oo.z, f_oo.z, vxy);
+
+    (
+        fc,
+        fn_,
+        Contribution {
+            vc: vc_all,
+            de_lj,
+            vir,
+        },
+    )
+}
+
+/// Reduce a set of per-interaction contributions into the accumulator
+/// registers: a balanced tree per class plus one register add each.
+fn reduce_contributions(b: &mut KernelBuilder, acc: Accum, contribs: &[Contribution]) -> Accum {
+    let vcs: Vec<Val> = contribs.iter().flat_map(|c| c.vc.iter().copied()).collect();
+    let des: Vec<Val> = contribs.iter().map(|c| c.de_lj).collect();
+    let virs: Vec<Val> = contribs.iter().map(|c| c.vir).collect();
+    let vc_sum = tree_sum(b, &vcs);
+    let de_sum = tree_sum(b, &des);
+    let vir_sum = tree_sum(b, &virs);
+    Accum {
+        e_coul: b.add(acc.e_coul, vc_sum),
+        e_lj: b.add(acc.e_lj, de_sum),
+        virial: b.add(acc.virial, vir_sum),
+    }
+}
+
+/// Declare the three energy/virial accumulator registers and their
+/// update chain for a kernel whose body computes `n_interactions`.
+fn accum_regs(b: &mut KernelBuilder) -> (Accum, [u32; 3]) {
+    let r_ec = b.reg(0.0);
+    let r_el = b.reg(0.0);
+    let r_vir = b.reg(0.0);
+    let acc = Accum {
+        e_coul: b.read_reg(r_ec),
+        e_lj: b.read_reg(r_el),
+        virial: b.read_reg(r_vir),
+    };
+    (acc, [r_ec, r_el, r_vir])
+}
+
+fn finish_accum(b: &mut KernelBuilder, regs: [u32; 3], acc: Accum) {
+    b.set_reg(regs[0], acc.e_coul);
+    b.set_reg(regs[1], acc.e_lj);
+    b.set_reg(regs[2], acc.virial);
+}
+
+fn flatten(m: &[V3; 3]) -> Vec<Val> {
+    m.iter().flat_map(|v| [v.x, v.y, v.z]).collect()
+}
+
+/// `expanded`: inputs c_pos(9) + c_shift(9) + n_pos(9); outputs both
+/// partial-force records every iteration.
+pub fn expanded_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("streammd_expanded");
+    let s_cpos = b.input("c_positions", 9, StreamMode::EveryIteration);
+    let s_shift = b.input("c_shifts", 9, StreamMode::EveryIteration);
+    let s_npos = b.input("n_positions", 9, StreamMode::EveryIteration);
+    let o_cf = b.output("c_partial_forces", 9);
+    let o_nf = b.output("n_partial_forces", 9);
+    let ctx = Ctx::new(&mut b);
+    let (acc0, regs) = accum_regs(&mut b);
+
+    let c = read_molecule(&mut b, s_cpos, 0);
+    let shift = read_molecule(&mut b, s_shift, 0);
+    let n = read_molecule(&mut b, s_npos, 0);
+    let cs = apply_shift(&mut b, c, shift);
+    let (fc, fn_, contrib) = interaction(&mut b, &ctx, cs, n);
+    let acc = reduce_contributions(&mut b, acc0, &[contrib]);
+    let fc_flat = flatten(&fc);
+    let fn_flat = flatten(&fn_);
+    b.write(o_cf, &fc_flat);
+    b.write(o_nf, &fn_flat);
+    finish_accum(&mut b, regs, acc);
+    b.build()
+}
+
+/// `fixed` / `duplicated` block kernel: one iteration processes a centre
+/// with `l` (padded) neighbours. `write_neighbor_partials = false` gives
+/// the `duplicated` kernel.
+pub fn block_kernel(l: usize, write_neighbor_partials: bool) -> Kernel {
+    assert!(l >= 1);
+    let name = if write_neighbor_partials {
+        format!("streammd_fixed_l{l}")
+    } else {
+        format!("streammd_duplicated_l{l}")
+    };
+    let mut b = KernelBuilder::new(name);
+    let s_cpos = b.input("c_positions", 9, StreamMode::EveryIteration);
+    let s_shift = b.input("c_shifts", 9, StreamMode::EveryIteration);
+    let s_npos = b.input("n_positions", (9 * l) as u32, StreamMode::EveryIteration);
+    let o_cf = b.output("c_forces", 9);
+    let o_nf = if write_neighbor_partials {
+        Some(b.output("n_partial_forces", 9))
+    } else {
+        None
+    };
+    let ctx = Ctx::new(&mut b);
+    let (acc0, regs) = accum_regs(&mut b);
+
+    let c = read_molecule(&mut b, s_cpos, 0);
+    let shift = read_molecule(&mut b, s_shift, 0);
+    let cs = apply_shift(&mut b, c, shift);
+
+    // Accumulate the centre force across the block in-LRF (the
+    // "reduced within the cluster to save on output bandwidth" of
+    // Section 3.3).
+    let zero = b.constant(0.0);
+    let zv = V3 {
+        x: zero,
+        y: zero,
+        z: zero,
+    };
+    let mut fc_total = [zv; 3];
+    let mut contribs = Vec::with_capacity(l);
+    for nb in 0..l {
+        let n = read_molecule(&mut b, s_npos, (9 * nb) as u32);
+        let (fc, fn_, contrib) = interaction(&mut b, &ctx, cs, n);
+        contribs.push(contrib);
+        for site in 0..3 {
+            fc_total[site] = b.v3_add(fc_total[site], fc[site]);
+        }
+        if let Some(o) = o_nf {
+            let flat = flatten(&fn_);
+            b.write(o, &flat);
+        }
+    }
+    let acc = reduce_contributions(&mut b, acc0, &contribs);
+    let flat = flatten(&fc_total);
+    b.write(o_cf, &flat);
+    finish_accum(&mut b, regs, acc);
+    b.build()
+}
+
+/// `variable`: conditional-stream kernel. Inputs: `n_positions` (9,
+/// every iteration), `new_center_flags` (1, every iteration), and the
+/// conditional `center_records` stream (18 = 9 pos + 9 shift). Whenever
+/// the flag fires, the previous centre's accumulated force is emitted
+/// (conditional write) and a new centre record is popped.
+pub fn variable_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("streammd_variable");
+    let s_npos = b.input("n_positions", 9, StreamMode::EveryIteration);
+    let s_flag = b.input("new_center_flags", 1, StreamMode::EveryIteration);
+    let s_center = b.input("center_records", 18, StreamMode::Conditional);
+    let o_cf = b.output("c_forces", 9);
+    let o_nf = b.output("n_partial_forces", 9);
+    let ctx = Ctx::new(&mut b);
+    let (acc0, acc_regs) = accum_regs(&mut b);
+
+    // Loop-carried centre state: 18 position/shift words (pre-shifted
+    // below and stored shifted: 9 regs suffice per site set? We store the
+    // *shifted* centre, 9 values, plus 9 accumulated force components).
+    let zero = b.constant(0.0);
+    let flag = b.read(s_flag, 0);
+    let is_new = b.cmp_lt(zero, flag);
+
+    // Previous accumulated centre force (flushed on a new centre).
+    let fc_regs: Vec<u32> = (0..9).map(|_| b.reg(0.0)).collect();
+    let fc_prev: Vec<Val> = fc_regs.iter().map(|&r| b.read_reg(r)).collect();
+    // The conditional write occupies issue slots like any conditional
+    // stream instruction ("issued on every iteration with a condition");
+    // model that with one guard op per written word.
+    let guarded: Vec<Val> = fc_prev.iter().map(|v| b.mov(*v)).collect();
+    b.write_if(o_cf, is_new, &guarded);
+
+    // Shifted-centre registers with conditional refresh.
+    let cs_regs: Vec<u32> = (0..9).map(|_| b.reg(0.0)).collect();
+    let mut cs_vals = Vec::with_capacity(9);
+    for (k, &r) in cs_regs.iter().enumerate() {
+        let prev = b.read_reg(r);
+        let pos = b.cond_read(s_center, k as u32, is_new, zero);
+        let shift = b.cond_read(s_center, (k + 9) as u32, is_new, zero);
+        let fresh = b.add(pos, shift); // shift applied on refresh: 9 adds
+        let v = b.sel(is_new, fresh, prev);
+        b.set_reg(r, v);
+        cs_vals.push(v);
+    }
+    let cs = Mol([
+        V3 {
+            x: cs_vals[0],
+            y: cs_vals[1],
+            z: cs_vals[2],
+        },
+        V3 {
+            x: cs_vals[3],
+            y: cs_vals[4],
+            z: cs_vals[5],
+        },
+        V3 {
+            x: cs_vals[6],
+            y: cs_vals[7],
+            z: cs_vals[8],
+        },
+    ]);
+
+    let n = read_molecule(&mut b, s_npos, 0);
+    let (fc, fn_, contrib) = interaction(&mut b, &ctx, cs, n);
+    let acc = reduce_contributions(&mut b, acc0, &[contrib]);
+    let fn_flat = flatten(&fn_);
+    b.write(o_nf, &fn_flat);
+
+    // Centre force accumulation with conditional reset.
+    let fc_new = flatten(&fc);
+    for (k, &r) in fc_regs.iter().enumerate() {
+        let base = b.sel(is_new, zero, fc_prev[k]);
+        let updated = b.add(fc_new[k], base);
+        b.set_reg(r, updated);
+    }
+    finish_accum(&mut b, acc_regs, acc);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_sim::force::{DIVS_PER_INTERACTION, FLOPS_PER_INTERACTION, SQRTS_PER_INTERACTION};
+    use merrimac_arch::OpCosts;
+    use merrimac_kernel::lower::lower_kernel;
+    use merrimac_kernel::KernelStats;
+
+    fn stats(k: &Kernel) -> KernelStats {
+        let l = lower_kernel(k, &OpCosts::default());
+        KernelStats::analyze(k, &l)
+    }
+
+    #[test]
+    fn expanded_kernel_hits_paper_flop_budget() {
+        let st = stats(&expanded_kernel());
+        assert_eq!(st.solution_flops, FLOPS_PER_INTERACTION, "expanded flops");
+        assert_eq!(st.divides, DIVS_PER_INTERACTION);
+        assert_eq!(st.square_roots, SQRTS_PER_INTERACTION);
+    }
+
+    #[test]
+    fn block_kernel_scales_with_l() {
+        for l in [1usize, 4, 8] {
+            let st = stats(&block_kernel(l, true));
+            // Shift is applied once per block; per-interaction flops are
+            // 234 − 9 + 9/L plus the cross-block centre-total reduction
+            // (9 adds per interaction).
+            let expected = 9 + l as u64 * (FLOPS_PER_INTERACTION - 9 + 9);
+            assert_eq!(st.solution_flops, expected, "L = {l}");
+            assert_eq!(st.divides, 9 * l as u64);
+            assert_eq!(st.square_roots, 9 * l as u64);
+        }
+    }
+
+    #[test]
+    fn duplicated_kernel_drops_neighbor_output() {
+        let with = block_kernel(8, true);
+        let without = block_kernel(8, false);
+        assert_eq!(with.outputs.len(), 2);
+        assert_eq!(without.outputs.len(), 1);
+        // Neighbour forces become dead code in duplicated: fewer live ops.
+        let sw = stats(&with);
+        let so = stats(&without);
+        assert!(so.solution_flops < sw.solution_flops);
+    }
+
+    #[test]
+    fn variable_kernel_word_traffic_matches_paper_minimum() {
+        let k = variable_kernel();
+        let st = stats(&k);
+        // Paper: "as a minimum 10 words of input are consumed and 9 words
+        // are produced for every iteration".
+        assert_eq!(st.words_in_unconditional, 10);
+        assert_eq!(st.words_out_unconditional, 9);
+        assert_eq!(st.words_in_conditional, 18);
+        assert_eq!(st.words_out_conditional, 9);
+    }
+
+    #[test]
+    fn variable_kernel_flops_near_expanded() {
+        // The variable kernel does the same physics plus the conditional
+        // select/guard plumbing (which adds no solution flops beyond the
+        // refresh adds replacing the shift adds).
+        let sv = stats(&variable_kernel());
+        let se = stats(&expanded_kernel());
+        assert_eq!(sv.divides, se.divides);
+        assert_eq!(sv.square_roots, se.square_roots);
+        // Same interaction core (225) + 9 refresh adds + 9 accumulate adds.
+        assert_eq!(sv.solution_flops, se.solution_flops + 9);
+    }
+
+    #[test]
+    fn kernels_validate_and_lower() {
+        for k in [
+            expanded_kernel(),
+            block_kernel(8, true),
+            block_kernel(8, false),
+            variable_kernel(),
+        ] {
+            k.validate_ssa();
+            let l = lower_kernel(&k, &OpCosts::default());
+            assert!(l.is_lowered());
+        }
+    }
+
+    #[test]
+    fn params_order_stable() {
+        let ff = ForceField::from_model(&md_sim::water::WaterModel::spc());
+        let p = kernel_params(&ff);
+        assert_eq!(p.len(), NUM_PARAMS);
+        assert_eq!(p[0], ff.qq[0][0]);
+        assert_eq!(p[8], ff.qq[2][2]);
+        assert_eq!(p[9], ff.c6);
+        assert_eq!(p[10], ff.c12);
+    }
+}

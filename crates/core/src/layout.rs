@@ -1,0 +1,486 @@
+//! Stream layout: turning the GROMACS neighbour list into the index and
+//! data streams each StreamMD variant feeds the hardware.
+//!
+//! This is the "scalar code" half of the paper's Section 3: the neighbour
+//! list is produced on the scalar core every few time-steps and passed to
+//! the stream program through memory. The four variants differ only in
+//! how the list is laid out:
+//!
+//! * `expanded` — one entry per interaction, centres repeated per pair;
+//! * `fixed`/`duplicated` — fixed-L blocks with centre replication and
+//!   dummy-neighbour padding (Figure 6 of the paper);
+//! * `variable` — per-centre runs with a new-centre flag stream and a
+//!   conditional centre-record stream.
+//!
+//! Dummy molecules are placed ~10¹² nm away so their force contribution
+//! underflows to a physically negligible value while exercising exactly
+//! the same arithmetic (the paper's dummies likewise "do not contribute
+//! to the solution but consume resources").
+
+use md_sim::neighbor::NeighborList;
+use md_sim::pbc::Pbc;
+use md_sim::system::WaterBox;
+
+use crate::variant::{DatasetStats, Variant};
+
+/// Distance scale of dummy molecules (nm).
+const DUMMY_FAR: f64 = 2.0e12;
+
+/// One strip of work (the unit of strip-mining, Section 3.2).
+#[derive(Debug, Clone, Default)]
+pub struct Strip {
+    /// Kernel loop iterations in this strip.
+    pub iterations: u64,
+    /// Iterations of the busiest cluster under the round-robin
+    /// distribution.
+    pub max_cluster_iterations: u64,
+    /// Real (non-dummy, non-duplicate-discounted) interactions.
+    pub real_interactions: u64,
+    /// Gather indices into the position region for centre molecules
+    /// (one per iteration for `expanded`, one per block for fixed-L).
+    pub i_central: Vec<u32>,
+    /// Gather indices into the 27-entry shift table, parallel to
+    /// `i_central`.
+    pub i_shift: Vec<u32>,
+    /// Gather indices for neighbour positions (padded for blocks).
+    pub i_neighbor: Vec<u32>,
+    /// Scatter-add record indices for centre forces.
+    pub c_scatter: Vec<u32>,
+    /// Scatter-add record indices for neighbour partial forces (empty
+    /// for `duplicated`).
+    pub n_scatter: Vec<u32>,
+    /// `variable` only: one flag word per iteration (1.0 = new centre).
+    pub flags: Vec<f64>,
+    /// `variable` only: 18-word centre records (9 pos + 9 shift),
+    /// including the trailing sentinel.
+    pub center_records: Vec<f64>,
+}
+
+/// Complete layout for one variant over one system + neighbour list.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    pub variant: Variant,
+    /// Canonical molecule position records: `molecules + 2` records of
+    /// 9 words (two dummies at the end: neighbour dummy, centre dummy).
+    pub positions: Vec<f64>,
+    /// 27 shift records of 9 words (the shift vector replicated per
+    /// atom).
+    pub shift_table: Vec<f64>,
+    /// Force region record count (`molecules + 2`).
+    pub force_records: usize,
+    /// Index of the dummy record used for neighbour padding.
+    pub dummy_neighbor: u32,
+    /// Index of the dummy record absorbing sentinel/flush writes.
+    pub dummy_center: u32,
+    pub strips: Vec<Strip>,
+    pub stats: DatasetStats,
+    /// Fixed-L block length used (for block variants).
+    pub block_l: usize,
+}
+
+/// Canonical position records: each molecule reconstructed rigidly about
+/// its wrapped oxygen, exactly as the reference force engine does.
+pub fn canonical_positions(system: &WaterBox) -> Vec<f64> {
+    let pbc = system.pbc();
+    let n = system.num_molecules();
+    let mut out = Vec::with_capacity((n + 2) * 9);
+    for m in 0..n {
+        let mol = system.molecule(m);
+        let o = pbc.wrap(mol[0]);
+        let sites = [
+            o,
+            o + pbc.min_image(mol[1], mol[0]),
+            o + pbc.min_image(mol[2], mol[0]),
+        ];
+        for s in sites {
+            out.extend_from_slice(&[s.x, s.y, s.z]);
+        }
+    }
+    // Dummy neighbour at −FAR, dummy centre at +FAR: mutual distance and
+    // distance to every real molecule are enormous.
+    for k in 0..9 {
+        out.push(if k % 3 == 0 { -DUMMY_FAR } else { 0.0 });
+    }
+    for k in 0..9 {
+        out.push(if k % 3 == 0 { DUMMY_FAR } else { 0.0 });
+    }
+    out
+}
+
+/// The 27-record shift table (record = shift vector replicated 3×).
+pub fn shift_table(pbc: Pbc) -> Vec<f64> {
+    let mut out = Vec::with_capacity(27 * 9);
+    for idx in 0..Pbc::NUM_SHIFTS {
+        let v = pbc.shift_vector(idx);
+        for _ in 0..3 {
+            out.extend_from_slice(&[v.x, v.y, v.z]);
+        }
+    }
+    out
+}
+
+/// GROMACS shift-index inversion: negating the shift vector mirrors the
+/// index about the centre of the 3×3×3 cube.
+fn invert_shift(idx: u8) -> u8 {
+    (26 - idx as usize) as u8
+}
+
+/// Build the layout for `variant`.
+pub fn build_layout(
+    system: &WaterBox,
+    list: &NeighborList,
+    variant: Variant,
+    block_l: usize,
+    strip_iterations: usize,
+) -> Layout {
+    assert!(block_l >= 1 && strip_iterations >= 1);
+    let n = system.num_molecules();
+    let dummy_neighbor = n as u32;
+    let dummy_center = n as u32 + 1;
+    let positions = canonical_positions(system);
+    let table = shift_table(system.pbc());
+
+    let mut layout = Layout {
+        variant,
+        positions,
+        shift_table: table,
+        force_records: n + 2,
+        dummy_neighbor,
+        dummy_center,
+        strips: Vec::new(),
+        stats: DatasetStats {
+            molecules: n,
+            interactions: list.num_pairs(),
+            repeated_molecules_fixed: 0,
+            total_neighbors_fixed: 0,
+        },
+        block_l,
+    };
+
+    // Fixed-layout statistics are reported for every variant (Table 2).
+    let blocks_half: usize = list
+        .lists
+        .iter()
+        .map(|l| l.neighbors.len().div_ceil(block_l))
+        .sum();
+    layout.stats.repeated_molecules_fixed = blocks_half;
+    layout.stats.total_neighbors_fixed = blocks_half * block_l;
+
+    match variant {
+        Variant::Expanded => build_expanded(&mut layout, list, strip_iterations),
+        Variant::Fixed => build_blocks(&mut layout, half_groups(list), strip_iterations, true),
+        Variant::Duplicated => {
+            build_blocks(&mut layout, full_groups(list, n), strip_iterations, false)
+        }
+        Variant::Variable => build_variable(&mut layout, list, strip_iterations, system),
+    }
+    layout
+}
+
+/// (centre, shift, neighbours) groups of the half list.
+fn half_groups(list: &NeighborList) -> Vec<(u32, u8, Vec<u32>)> {
+    list.lists
+        .iter()
+        .map(|l| (l.center, l.shift_index, l.neighbors.clone()))
+        .collect()
+}
+
+/// Full-list groups: every pair appears under both molecules, with the
+/// shift inverted for the reversed direction.
+fn full_groups(list: &NeighborList, n: usize) -> Vec<(u32, u8, Vec<u32>)> {
+    let mut per_center: Vec<std::collections::BTreeMap<u8, Vec<u32>>> = vec![Default::default(); n];
+    for l in &list.lists {
+        for &j in &l.neighbors {
+            per_center[l.center as usize]
+                .entry(l.shift_index)
+                .or_default()
+                .push(j);
+            per_center[j as usize]
+                .entry(invert_shift(l.shift_index))
+                .or_default()
+                .push(l.center);
+        }
+    }
+    let mut out = Vec::new();
+    for (c, by_shift) in per_center.into_iter().enumerate() {
+        for (shift, neighbors) in by_shift {
+            out.push((c as u32, shift, neighbors));
+        }
+    }
+    out
+}
+
+fn build_expanded(layout: &mut Layout, list: &NeighborList, strip_iterations: usize) {
+    let pairs = list.flat_pairs();
+    for chunk in pairs.chunks(strip_iterations.max(1)) {
+        let mut s = Strip {
+            iterations: chunk.len() as u64,
+            real_interactions: chunk.len() as u64,
+            ..Default::default()
+        };
+        for &(c, j, shift) in chunk {
+            s.i_central.push(c);
+            s.i_shift.push(shift as u32);
+            s.i_neighbor.push(j);
+            s.c_scatter.push(c);
+            s.n_scatter.push(j);
+        }
+        s.max_cluster_iterations = s.iterations.div_ceil(16);
+        layout.strips.push(s);
+    }
+}
+
+fn build_blocks(
+    layout: &mut Layout,
+    groups: Vec<(u32, u8, Vec<u32>)>,
+    strip_iterations: usize,
+    neighbor_partials: bool,
+) {
+    let l = layout.block_l;
+    let dummy = layout.dummy_neighbor;
+    // Emit blocks; strip = `strip_iterations` blocks.
+    let mut blocks: Vec<(u32, u8, Vec<u32>)> = Vec::new();
+    for (c, shift, neighbors) in groups {
+        for chunk in neighbors.chunks(l) {
+            let mut padded = chunk.to_vec();
+            padded.resize(l, dummy);
+            blocks.push((c, shift, padded));
+        }
+    }
+    for chunk in blocks.chunks(strip_iterations.max(1)) {
+        let mut s = Strip {
+            iterations: chunk.len() as u64,
+            ..Default::default()
+        };
+        for (c, shift, padded) in chunk {
+            s.i_central.push(*c);
+            s.i_shift.push(*shift as u32);
+            s.c_scatter.push(*c);
+            for &j in padded {
+                s.i_neighbor.push(j);
+                if neighbor_partials {
+                    s.n_scatter.push(j);
+                }
+                if j != dummy {
+                    s.real_interactions += 1;
+                }
+            }
+        }
+        s.max_cluster_iterations = s.iterations.div_ceil(16);
+        layout.strips.push(s);
+    }
+    // For `duplicated` every real pair appears twice; the halving is done
+    // globally in `Layout::total_real_interactions` so per-strip odd
+    // counts do not lose remainders.
+    let _ = neighbor_partials;
+}
+
+fn build_variable(
+    layout: &mut Layout,
+    list: &NeighborList,
+    strip_iterations: usize,
+    system: &WaterBox,
+) {
+    let pbc = system.pbc();
+    let dummy_n = layout.dummy_neighbor;
+    let dummy_c = layout.dummy_center;
+    // Partition centre lists into strips of roughly `strip_iterations`
+    // interactions.
+    let mut groups = half_groups(list);
+    groups.retain(|(_, _, n)| !n.is_empty());
+    let mut start = 0usize;
+    while start < groups.len() {
+        let mut end = start;
+        let mut iters = 0usize;
+        while end < groups.len() && (iters == 0 || iters + groups[end].2.len() <= strip_iterations)
+        {
+            iters += groups[end].2.len();
+            end += 1;
+        }
+        let slice = &groups[start..end];
+        let mut s = Strip::default();
+        // Leading flush lands in the dummy-centre force slot.
+        s.c_scatter.push(dummy_c);
+        let mut run_lengths: Vec<u64> = Vec::with_capacity(slice.len());
+        for (c, shift, neighbors) in slice.iter() {
+            // Centre record: canonical positions + replicated shift.
+            let base = *c as usize * 9;
+            s.center_records
+                .extend_from_slice(&layout.positions[base..base + 9]);
+            let v = pbc.shift_vector(*shift as usize);
+            for _ in 0..3 {
+                s.center_records.extend_from_slice(&[v.x, v.y, v.z]);
+            }
+            for (k, &j) in neighbors.iter().enumerate() {
+                s.flags.push(if k == 0 { 1.0 } else { 0.0 });
+                s.i_neighbor.push(j);
+                s.n_scatter.push(j);
+            }
+            s.c_scatter.push(*c);
+            run_lengths.push(neighbors.len() as u64);
+            s.real_interactions += neighbors.len() as u64;
+        }
+        // Sentinel: flush the last centre, consume the dummy centre
+        // record, interact with the dummy neighbour.
+        s.flags.push(1.0);
+        s.i_neighbor.push(dummy_n);
+        s.n_scatter.push(dummy_n);
+        let base = dummy_c as usize * 9;
+        s.center_records
+            .extend_from_slice(&layout.positions[base..base + 9]);
+        s.center_records.extend_from_slice(&[0.0; 9]);
+
+        s.iterations = s.i_neighbor.len() as u64;
+        // Conditional streams let every cluster pull whole centre runs at
+        // its own rate; the scalar code orders the runs longest-first, so
+        // the distribution behaves like LPT scheduling onto 16 machines.
+        // Simulate that assignment to bound the busiest cluster (plus the
+        // sentinel-like fill iteration).
+        run_lengths.sort_unstable_by(|a, b| b.cmp(a));
+        let mut load = [0u64; 16];
+        for r in run_lengths {
+            let min = load.iter_mut().min().expect("16 clusters");
+            *min += r;
+        }
+        s.max_cluster_iterations = load.iter().copied().max().unwrap_or(0) + 1;
+        layout.strips.push(s);
+        start = end;
+    }
+}
+
+impl Layout {
+    /// Total kernel iterations across strips.
+    pub fn total_iterations(&self) -> u64 {
+        self.strips.iter().map(|s| s.iterations).sum()
+    }
+
+    /// Total real interactions (each physical pair counted once; the
+    /// `duplicated` variant's two evaluations per pair are discounted).
+    pub fn total_real_interactions(&self) -> u64 {
+        let sum: u64 = self.strips.iter().map(|s| s.real_interactions).sum();
+        if self.variant == Variant::Duplicated {
+            sum / 2
+        } else {
+            sum
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_sim::neighbor::NeighborListParams;
+
+    fn setup(n: usize) -> (WaterBox, NeighborList) {
+        let s = WaterBox::builder().molecules(n).seed(77).build();
+        let params = NeighborListParams {
+            cutoff: (0.45 * s.pbc().side()).min(1.0),
+            skin: 0.0,
+            rebuild_interval: 1,
+        };
+        let nl = NeighborList::build(&s, params);
+        (s, nl)
+    }
+
+    #[test]
+    fn expanded_counts() {
+        let (s, nl) = setup(64);
+        let lay = build_layout(&s, &nl, Variant::Expanded, 8, 500);
+        assert_eq!(lay.total_iterations() as usize, nl.num_pairs());
+        assert_eq!(lay.total_real_interactions() as usize, nl.num_pairs());
+        for strip in &lay.strips {
+            assert_eq!(strip.i_central.len(), strip.iterations as usize);
+            assert_eq!(strip.i_neighbor.len(), strip.iterations as usize);
+        }
+    }
+
+    #[test]
+    fn fixed_blocks_are_padded() {
+        let (s, nl) = setup(64);
+        let lay = build_layout(&s, &nl, Variant::Fixed, 8, 100);
+        let blocks: u64 = lay.strips.iter().map(|s| s.iterations).sum();
+        assert_eq!(blocks as usize, lay.stats.repeated_molecules_fixed);
+        for strip in &lay.strips {
+            assert_eq!(strip.i_neighbor.len(), strip.iterations as usize * 8);
+        }
+        assert_eq!(lay.total_real_interactions() as usize, nl.num_pairs());
+        // Padding exists.
+        let dummies: usize = lay
+            .strips
+            .iter()
+            .flat_map(|s| &s.i_neighbor)
+            .filter(|&&j| j == lay.dummy_neighbor)
+            .count();
+        assert_eq!(dummies, lay.stats.total_neighbors_fixed - nl.num_pairs(),);
+    }
+
+    #[test]
+    fn duplicated_visits_each_pair_twice() {
+        let (s, nl) = setup(64);
+        let lay = build_layout(&s, &nl, Variant::Duplicated, 8, 100);
+        let real_neighbor_slots: usize = lay
+            .strips
+            .iter()
+            .flat_map(|s| &s.i_neighbor)
+            .filter(|&&j| j != lay.dummy_neighbor)
+            .count();
+        assert_eq!(real_neighbor_slots, 2 * nl.num_pairs());
+        assert_eq!(lay.total_real_interactions() as usize, nl.num_pairs());
+        // No neighbour scatter.
+        assert!(lay.strips.iter().all(|s| s.n_scatter.is_empty()));
+    }
+
+    #[test]
+    fn variable_flags_and_sentinels() {
+        let (s, nl) = setup(64);
+        let lay = build_layout(&s, &nl, Variant::Variable, 8, 300);
+        for strip in &lay.strips {
+            assert_eq!(strip.flags.len(), strip.iterations as usize);
+            // Flag count = centre lists + sentinel = c_scatter entries.
+            let flags: usize = strip.flags.iter().filter(|&&f| f != 0.0).count();
+            assert_eq!(flags, strip.c_scatter.len() - 1 + 1);
+            assert_eq!(strip.center_records.len() % 18, 0);
+            assert_eq!(strip.center_records.len() / 18, flags);
+            // First flag always fires.
+            assert_eq!(strip.flags[0], 1.0);
+        }
+        // All real interactions covered (sentinels excluded).
+        assert_eq!(lay.total_real_interactions() as usize, nl.num_pairs());
+    }
+
+    #[test]
+    fn invert_shift_round_trips() {
+        for i in 0..27u8 {
+            assert_eq!(invert_shift(invert_shift(i)), i);
+        }
+        assert_eq!(invert_shift(13), 13); // central shift is its own inverse
+    }
+
+    #[test]
+    fn canonical_positions_have_dummies() {
+        let (s, _) = setup(27);
+        let p = canonical_positions(&s);
+        assert_eq!(p.len(), (27 + 2) * 9);
+        assert_eq!(p[27 * 9], -DUMMY_FAR);
+        assert_eq!(p[28 * 9], DUMMY_FAR);
+    }
+
+    #[test]
+    fn shift_table_matches_pbc() {
+        let pbc = Pbc::cubic(3.0);
+        let t = shift_table(pbc);
+        assert_eq!(t.len(), 27 * 9);
+        // Central shift record is all zeros.
+        assert!(t[13 * 9..14 * 9].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn strips_respect_size_target() {
+        let (s, nl) = setup(125);
+        let lay = build_layout(&s, &nl, Variant::Expanded, 8, 64);
+        for strip in &lay.strips {
+            assert!(strip.iterations <= 64);
+        }
+        assert!(lay.strips.len() > 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Analytic ("calculated") arithmetic-intensity models — the left column
+//! of the paper's Table 4 — plus the per-variant word-traffic formulas of
+//! Section 3.3.
+//!
+//! Conventions match the paper: arithmetic intensity is the ratio of
+//! *computed* interaction flops (234 per evaluated molecule pair,
+//! including dummy and duplicated evaluations — they occupy the machine
+//! just the same) to words moved between the SRF and memory.
+
+use serde::{Deserialize, Serialize};
+
+use md_sim::force::FLOPS_PER_INTERACTION;
+
+use crate::variant::Variant;
+
+/// Closed-form per-iteration word traffic and intensity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnalyticModel {
+    pub variant: Variant,
+    /// Memory words per computed interaction.
+    pub words_per_interaction: f64,
+    /// Flops per computed interaction (always 234 + small per-block
+    /// amortized terms).
+    pub flops_per_interaction: f64,
+    /// Calculated arithmetic intensity.
+    pub intensity: f64,
+}
+
+impl AnalyticModel {
+    /// Idealized model (infinite dataset, mean neighbour count `nbar`
+    /// for the `variable` variant, block length `l` for block variants).
+    pub fn ideal(variant: Variant, l: usize, nbar: f64) -> Self {
+        let l = l as f64;
+        // Word budgets per computed interaction, from the stream layout
+        // this crate actually builds (see `layout`):
+        //   expanded:   c_pos 9 + shift 9 + n_pos 9 + 3 index = 30 in,
+        //               c+n partials 18 out                   = 48 total
+        //   fixed(L):   per block: c_pos 9 + shift 9 + 2 idx + L·(9+1) in,
+        //               9 + 9L out → (29 + 19L)/L per interaction
+        //   variable:   n_pos 9 + flag 1 + idx 1 + partial 9 = 20 per
+        //               iteration, plus (18 + 9 + 1)/n̄ per centre
+        //   duplicated: per block: 29 + 10L → (29 + 10L)/L
+        let words = match variant {
+            Variant::Expanded => 48.0,
+            Variant::Fixed => (29.0 + 19.0 * l) / l,
+            Variant::Variable => 20.0 + 28.0 / nbar.max(1.0),
+            Variant::Duplicated => (29.0 + 10.0 * l) / l,
+        };
+        let flops = match variant {
+            // Shift amortizes over the block; the cross-block centre
+            // accumulation adds 9 adds per interaction.
+            Variant::Fixed | Variant::Duplicated => FLOPS_PER_INTERACTION as f64 + 9.0 / l,
+            Variant::Variable => FLOPS_PER_INTERACTION as f64 + 9.0,
+            Variant::Expanded => FLOPS_PER_INTERACTION as f64,
+        };
+        Self {
+            variant,
+            words_per_interaction: words,
+            flops_per_interaction: flops,
+            intensity: flops / words,
+        }
+    }
+
+    /// Dataset-aware model (the parenthesized Table 4 numbers): accounts
+    /// for dummy padding and centre replication using the actual counts.
+    pub fn for_dataset(
+        variant: Variant,
+        l: usize,
+        real_pairs: u64,
+        padded_slots: u64,
+        blocks: u64,
+        centers: u64,
+    ) -> Self {
+        let ideal = Self::ideal(variant, l, real_pairs as f64 / centers.max(1) as f64);
+        let (computed, words) = match variant {
+            Variant::Expanded => (real_pairs as f64, real_pairs as f64 * 48.0),
+            Variant::Fixed => {
+                let w = blocks as f64 * (29.0 + 19.0 * l as f64);
+                (padded_slots as f64, w)
+            }
+            Variant::Duplicated => {
+                let w = blocks as f64 * (29.0 + 10.0 * l as f64);
+                (padded_slots as f64, w)
+            }
+            Variant::Variable => {
+                let iters = real_pairs as f64 + centers as f64 * 0.0;
+                let w = iters * 20.0 + centers as f64 * 28.0;
+                (iters, w)
+            }
+        };
+        let flops = computed * ideal.flops_per_interaction;
+        Self {
+            variant,
+            words_per_interaction: words / computed.max(1.0),
+            flops_per_interaction: ideal.flops_per_interaction,
+            intensity: flops / words.max(1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expanded_matches_paper_48_words() {
+        let m = AnalyticModel::ideal(Variant::Expanded, 8, 70.0);
+        assert_eq!(m.words_per_interaction, 48.0);
+        assert!((m.intensity - 234.0 / 48.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_l8_words_near_paper() {
+        // Paper Section 3.3 reports ~23.6 words/iteration at L = 8 (our
+        // layout books 22.625 — same accounting structure, one fewer
+        // index stream).
+        let m = AnalyticModel::ideal(Variant::Fixed, 8, 70.0);
+        assert!((m.words_per_interaction - 22.625).abs() < 1e-12);
+        assert!(m.intensity > 10.0 && m.intensity < 11.0);
+    }
+
+    #[test]
+    fn duplicated_has_highest_intensity() {
+        let e = AnalyticModel::ideal(Variant::Expanded, 8, 70.0).intensity;
+        let f = AnalyticModel::ideal(Variant::Fixed, 8, 70.0).intensity;
+        let v = AnalyticModel::ideal(Variant::Variable, 8, 70.0).intensity;
+        let d = AnalyticModel::ideal(Variant::Duplicated, 8, 70.0).intensity;
+        assert!(d > v && d > f && d > e, "d={d} v={v} f={f} e={e}");
+        assert!(v > e && f > e);
+    }
+
+    #[test]
+    fn intensity_ordering_matches_table4() {
+        // Table 4: expanded ~4.9 < fixed ~10-12 ≈ variable ~12 < duplicated ~17-18.
+        let e = AnalyticModel::ideal(Variant::Expanded, 8, 70.0).intensity;
+        let d = AnalyticModel::ideal(Variant::Duplicated, 8, 70.0).intensity;
+        assert!((4.0..6.0).contains(&e));
+        assert!((15.0..20.0).contains(&d));
+    }
+
+    #[test]
+    fn dataset_model_degrades_with_padding() {
+        let ideal = AnalyticModel::ideal(Variant::Fixed, 8, 70.0);
+        // 10% dummy slots: measured intensity in useful-flop terms drops,
+        // but computed-flop intensity stays identical; the dataset model
+        // reports computed-flop intensity, so equal here.
+        let ds = AnalyticModel::for_dataset(Variant::Fixed, 8, 900, 1000, 125, 900);
+        assert!((ds.intensity - ideal.intensity).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variable_dataset_model_counts_centres() {
+        let ds = AnalyticModel::for_dataset(Variant::Variable, 8, 6168, 0, 0, 90);
+        assert!(ds.words_per_interaction > 20.0);
+        assert!(ds.words_per_interaction < 21.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! StreamMD variant inventory (paper Table 3) and dataset statistics
+//! (paper Table 2).
+
+use serde::{Deserialize, Serialize};
+
+/// The four StreamMD implementations evaluated by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// Fully expanded interaction list: one molecule pair per kernel
+    /// iteration, both partial forces written out.
+    Expanded,
+    /// Fixed-length neighbour lists of length L: centres replicated,
+    /// dummy neighbours pad the tail; centre force reduced in-cluster.
+    Fixed,
+    /// Variable-length neighbour lists via Merrimac's conditional
+    /// streams: the fastest variant in the paper.
+    Variable,
+    /// Fixed-length lists with every interaction computed twice (once for
+    /// each molecule acting as centre); no neighbour partial forces are
+    /// written, maximizing arithmetic intensity.
+    Duplicated,
+}
+
+impl Variant {
+    pub const ALL: [Variant; 4] = [
+        Variant::Expanded,
+        Variant::Fixed,
+        Variant::Variable,
+        Variant::Duplicated,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Expanded => "expanded",
+            Variant::Fixed => "fixed",
+            Variant::Variable => "variable",
+            Variant::Duplicated => "duplicated",
+        }
+    }
+
+    /// Table 3 description.
+    pub fn description(self) -> &'static str {
+        match self {
+            Variant::Expanded => "fully expanded interaction list",
+            Variant::Fixed => "fixed length neighbor list of 8 neighbors",
+            Variant::Variable => "reduction with variable length list",
+            Variant::Duplicated => "fixed length lists with duplicated computation",
+        }
+    }
+
+    /// Does the variant use fixed-length neighbour blocks?
+    pub fn uses_blocks(self) -> bool {
+        matches!(self, Variant::Fixed | Variant::Duplicated)
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Dataset statistics in the shape of the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Water molecules in the system.
+    pub molecules: usize,
+    /// Real molecule-pair interactions (half list).
+    pub interactions: usize,
+    /// Centre-occurrence count after replication for fixed-L blocks
+    /// (Table 2's "repeated molecules for fixed").
+    pub repeated_molecules_fixed: usize,
+    /// Padded neighbour slots for fixed-L (Table 2's "total neighbors
+    /// for fixed").
+    pub total_neighbors_fixed: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_variants() {
+        assert_eq!(Variant::ALL.len(), 4);
+        let names: Vec<&str> = Variant::ALL.iter().map(|v| v.name()).collect();
+        assert_eq!(names, vec!["expanded", "fixed", "variable", "duplicated"]);
+    }
+
+    #[test]
+    fn block_classification() {
+        assert!(Variant::Fixed.uses_blocks());
+        assert!(Variant::Duplicated.uses_blocks());
+        assert!(!Variant::Expanded.uses_blocks());
+        assert!(!Variant::Variable.uses_blocks());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Variant::Variable.to_string(), "variable");
+    }
+}

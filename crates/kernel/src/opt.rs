@@ -1,0 +1,420 @@
+//! Dataflow optimization passes: constant folding, common-subexpression
+//! elimination and dead-code elimination.
+//!
+//! The paper's toolchain applies "sophisticated compilation techniques to
+//! achieve near optimal schedules"; these passes are the scalar-level
+//! half of that story. They are *off by default* in the StreamMD
+//! reproduction because Table 4/Figure 9 count the programmer-visible
+//! operation budget (234 flops per interaction) before algebraic
+//! simplification — but they are exercised by the ablation benches and
+//! available to any other kernel author.
+
+use std::collections::HashMap;
+
+use crate::ir::{Kernel, Node, NodeId, OpKind, WriteSpec};
+use crate::schedule::live_set;
+
+/// Fold operations whose inputs are all compile-time constants.
+pub fn constant_fold(kernel: &Kernel) -> Kernel {
+    let mut out = kernel.clone();
+    for i in 0..out.nodes.len() {
+        let folded = match &out.nodes[i] {
+            Node::Op { op, args } => {
+                let consts: Option<Vec<f64>> = args
+                    .iter()
+                    .map(|&a| match &out.nodes[a as usize] {
+                        Node::Const(c) => Some(*c),
+                        _ => None,
+                    })
+                    .collect();
+                consts.and_then(|c| eval_op(*op, &c))
+            }
+            _ => None,
+        };
+        if let Some(v) = folded {
+            out.nodes[i] = Node::Const(v);
+        }
+    }
+    out.validate_ssa();
+    out
+}
+
+fn eval_op(op: OpKind, a: &[f64]) -> Option<f64> {
+    let mask = |b: bool| if b { 1.0 } else { 0.0 };
+    Some(match op {
+        OpKind::Add => a[0] + a[1],
+        OpKind::Sub => a[0] - a[1],
+        OpKind::Mul => a[0] * a[1],
+        OpKind::Madd => a[0] * a[1] + a[2],
+        OpKind::Nmsub => a[2] - a[0] * a[1],
+        OpKind::Div => a[0] / a[1],
+        OpKind::Sqrt => a[0].sqrt(),
+        OpKind::Rsqrt => 1.0 / a[0].sqrt(),
+        OpKind::SeedRecip => (1.0 / a[0]) as f32 as f64,
+        OpKind::SeedRsqrt => (1.0 / a[0].sqrt()) as f32 as f64,
+        OpKind::CmpEq => mask(a[0] == a[1]),
+        OpKind::CmpLt => mask(a[0] < a[1]),
+        OpKind::CmpLe => mask(a[0] <= a[1]),
+        OpKind::Sel => {
+            if a[0] != 0.0 {
+                a[1]
+            } else {
+                a[2]
+            }
+        }
+        OpKind::And => mask(a[0] != 0.0 && a[1] != 0.0),
+        OpKind::Or => mask(a[0] != 0.0 || a[1] != 0.0),
+        OpKind::Not => mask(a[0] == 0.0),
+        OpKind::Min => a[0].min(a[1]),
+        OpKind::Max => a[0].max(a[1]),
+        OpKind::Mov => a[0],
+    })
+}
+
+/// Structural key for value numbering. `CondRead` is excluded: popping a
+/// stream is a side effect and two identical-looking conditional reads
+/// are *not* interchangeable.
+#[derive(Hash, PartialEq, Eq)]
+enum Key {
+    Const(u64),
+    Param(u32),
+    ReadReg(u32),
+    Read(u32, u32),
+    Op(OpKind, Vec<NodeId>),
+}
+
+/// Common-subexpression elimination by value numbering over the SSA
+/// order. Commutative ops are canonicalized by sorting their argument
+/// ids.
+pub fn cse(kernel: &Kernel) -> Kernel {
+    let mut remap: Vec<NodeId> = Vec::with_capacity(kernel.nodes.len());
+    let mut seen: HashMap<Key, NodeId> = HashMap::new();
+    let mut nodes: Vec<Node> = Vec::with_capacity(kernel.nodes.len());
+
+    for node in &kernel.nodes {
+        let mapped = match node {
+            Node::CondRead {
+                stream,
+                field,
+                pred,
+                fallback,
+            } => {
+                // Never merged; still needs arg remapping.
+                nodes.push(Node::CondRead {
+                    stream: *stream,
+                    field: *field,
+                    pred: remap[*pred as usize],
+                    fallback: remap[*fallback as usize],
+                });
+                (nodes.len() - 1) as NodeId
+            }
+            other => {
+                let rewritten = match other {
+                    Node::Op { op, args } => Node::Op {
+                        op: *op,
+                        args: args.iter().map(|a| remap[*a as usize]).collect(),
+                    },
+                    n => n.clone(),
+                };
+                let key = match &rewritten {
+                    Node::Const(c) => Key::Const(c.to_bits()),
+                    Node::Param(p) => Key::Param(*p),
+                    Node::ReadReg(r) => Key::ReadReg(*r),
+                    Node::Read { stream, field } => Key::Read(*stream, *field),
+                    Node::Op { op, args } => {
+                        let mut a = args.clone();
+                        if matches!(
+                            op,
+                            OpKind::Add
+                                | OpKind::Mul
+                                | OpKind::And
+                                | OpKind::Or
+                                | OpKind::Min
+                                | OpKind::Max
+                                | OpKind::CmpEq
+                        ) {
+                            a.sort_unstable();
+                        }
+                        Key::Op(*op, a)
+                    }
+                    Node::CondRead { .. } => unreachable!(),
+                };
+                match seen.get(&key) {
+                    Some(&id) => id,
+                    None => {
+                        nodes.push(rewritten);
+                        let id = (nodes.len() - 1) as NodeId;
+                        seen.insert(key, id);
+                        id
+                    }
+                }
+            }
+        };
+        remap.push(mapped);
+    }
+
+    let out = remap_kernel(kernel, nodes, &remap);
+    out.validate_ssa();
+    out
+}
+
+/// Remove nodes not reachable from the live roots (writes, register
+/// updates, conditional-stream pops).
+pub fn dce(kernel: &Kernel) -> Kernel {
+    let live = live_set(kernel);
+    let mut remap: Vec<NodeId> = vec![u32::MAX; kernel.nodes.len()];
+    let mut nodes = Vec::with_capacity(kernel.nodes.len());
+    for (i, node) in kernel.nodes.iter().enumerate() {
+        if !live[i] {
+            continue;
+        }
+        let rewritten = match node {
+            Node::Op { op, args } => Node::Op {
+                op: *op,
+                args: args.iter().map(|a| remap[*a as usize]).collect(),
+            },
+            Node::CondRead {
+                stream,
+                field,
+                pred,
+                fallback,
+            } => Node::CondRead {
+                stream: *stream,
+                field: *field,
+                pred: remap[*pred as usize],
+                fallback: remap[*fallback as usize],
+            },
+            n => n.clone(),
+        };
+        nodes.push(rewritten);
+        remap[i] = (nodes.len() - 1) as NodeId;
+    }
+    let out = remap_kernel(kernel, nodes, &remap);
+    out.validate_ssa();
+    out
+}
+
+/// Run fold → CSE → DCE to a fixed point (at most a few rounds).
+pub fn optimize(kernel: &Kernel) -> Kernel {
+    let mut k = kernel.clone();
+    for _ in 0..4 {
+        let next = dce(&cse(&constant_fold(&k)));
+        if next.nodes.len() == k.nodes.len() {
+            return next;
+        }
+        k = next;
+    }
+    k
+}
+
+fn remap_kernel(kernel: &Kernel, nodes: Vec<Node>, remap: &[NodeId]) -> Kernel {
+    Kernel {
+        name: kernel.name.clone(),
+        inputs: kernel.inputs.clone(),
+        outputs: kernel.outputs.clone(),
+        reg_init: kernel.reg_init.clone(),
+        num_params: kernel.num_params,
+        nodes,
+        reg_updates: kernel
+            .reg_updates
+            .iter()
+            .map(|(r, v)| (*r, remap[*v as usize]))
+            .collect(),
+        writes: kernel
+            .writes
+            .iter()
+            .map(|w| WriteSpec {
+                stream: w.stream,
+                values: w.values.iter().map(|v| remap[*v as usize]).collect(),
+                cond: w.cond.map(|c| remap[c as usize]),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::interp::{Interpreter, StreamData};
+    use crate::ir::StreamMode;
+
+    fn run(k: &Kernel, data: Vec<f64>, iters: usize) -> Vec<f64> {
+        Interpreter::new(k)
+            .run(&[StreamData::new(1, data)], &[], iters)
+            .unwrap()
+            .outputs[0]
+            .data
+            .clone()
+    }
+
+    #[test]
+    fn folds_constant_expressions() {
+        let mut b = KernelBuilder::new("fold");
+        let s = b.input("x", 1, StreamMode::EveryIteration);
+        let o = b.output("y", 1);
+        let two = b.constant(2.0);
+        let three = b.constant(3.0);
+        let six = b.mul(two, three); // foldable
+        let x = b.read(s, 0);
+        let y = b.mul(x, six);
+        b.write(o, &[y]);
+        let k = b.build();
+        let folded = constant_fold(&k);
+        assert!(matches!(folded.nodes[six.0 as usize], Node::Const(c) if c == 6.0));
+        assert_eq!(run(&folded, vec![1.0, 2.0], 2), vec![6.0, 12.0]);
+    }
+
+    #[test]
+    fn cse_merges_duplicate_work() {
+        let mut b = KernelBuilder::new("cse");
+        let s = b.input("x", 1, StreamMode::EveryIteration);
+        let o = b.output("y", 2);
+        let x = b.read(s, 0);
+        let a1 = b.mul(x, x);
+        let a2 = b.mul(x, x); // duplicate
+        let r1 = b.add(a1, x);
+        let r2 = b.add(a2, x); // becomes duplicate after CSE of a1/a2
+        b.write(o, &[r1, r2]);
+        let k = b.build();
+        let before = k.issuing_nodes().count();
+        let after_k = dce(&cse(&k));
+        let after = after_k.issuing_nodes().count();
+        assert_eq!(before, 4);
+        assert_eq!(after, 2, "x*x and x*x+x each merge");
+        assert_eq!(run(&after_k, vec![3.0], 1), vec![12.0, 12.0]);
+    }
+
+    #[test]
+    fn cse_respects_commutativity() {
+        let mut b = KernelBuilder::new("comm");
+        let s = b.input("xy", 2, StreamMode::EveryIteration);
+        let o = b.output("o", 2);
+        let x = b.read(s, 0);
+        let y = b.read(s, 1);
+        let a = b.add(x, y);
+        let c = b.add(y, x); // commuted duplicate
+        let d = b.sub(x, y);
+        let e = b.sub(y, x); // NOT a duplicate (sub is not commutative)
+        let m = b.mul(a, c);
+        let n = b.mul(d, e);
+        b.write(o, &[m, n]);
+        let k = b.build();
+        let opt = dce(&cse(&k));
+        // add merged; subs kept.
+        let subs = opt
+            .nodes
+            .iter()
+            .filter(|n| {
+                matches!(
+                    n,
+                    Node::Op {
+                        op: OpKind::Sub,
+                        ..
+                    }
+                )
+            })
+            .count();
+        let adds = opt
+            .nodes
+            .iter()
+            .filter(|n| {
+                matches!(
+                    n,
+                    Node::Op {
+                        op: OpKind::Add,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(adds, 1);
+        assert_eq!(subs, 2);
+    }
+
+    #[test]
+    fn cse_never_merges_conditional_reads() {
+        let mut b = KernelBuilder::new("cond");
+        let s = b.input("c", 1, StreamMode::Conditional);
+        let f = b.input("flags", 1, StreamMode::EveryIteration);
+        let o = b.output("o", 2);
+        let flag = b.read(f, 0);
+        let zero = b.constant(0.0);
+        let r1 = b.cond_read(s, 0, flag, zero);
+        let r2 = b.cond_read(s, 0, flag, zero); // looks identical
+        b.write(o, &[r1, r2]);
+        let k = b.build();
+        let opt = cse(&k);
+        let cond_reads = opt
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, Node::CondRead { .. }))
+            .count();
+        assert_eq!(cond_reads, 2, "conditional reads must never merge");
+    }
+
+    #[test]
+    fn dce_removes_dead_work_and_preserves_semantics() {
+        let mut b = KernelBuilder::new("dce");
+        let s = b.input("x", 1, StreamMode::EveryIteration);
+        let o = b.output("y", 1);
+        let x = b.read(s, 0);
+        let _dead = b.rsqrt(x);
+        let _dead2 = b.mul(x, x);
+        let y = b.add(x, x);
+        b.write(o, &[y]);
+        let k = b.build();
+        let opt = dce(&k);
+        assert!(opt.nodes.len() < k.nodes.len());
+        assert_eq!(run(&opt, vec![4.0], 1), vec![8.0]);
+    }
+
+    #[test]
+    fn optimize_reaches_fixed_point_and_preserves_outputs() {
+        // Chain where folding exposes CSE which exposes DCE.
+        let mut b = KernelBuilder::new("all");
+        let s = b.input("x", 1, StreamMode::EveryIteration);
+        let o = b.output("y", 1);
+        let one = b.constant(1.0);
+        let two = b.constant(2.0);
+        let three = b.add(one, two);
+        let x = b.read(s, 0);
+        let a = b.mul(x, three);
+        let c3 = b.constant(3.0);
+        let bb = b.mul(x, c3); // duplicate of `a` after folding
+        let y = b.add(a, bb);
+        b.write(o, &[y]);
+        let k = b.build();
+        let opt = optimize(&k);
+        assert!(opt.issuing_nodes().count() <= 2);
+        assert_eq!(run(&opt, vec![2.0], 1), vec![12.0]);
+    }
+
+    #[test]
+    fn water_kernel_optimization_is_modest() {
+        // Sanity on a real kernel: the water interaction graph has little
+        // redundancy by construction, so optimization shrinks it by a few
+        // percent at most — and must preserve validity.
+        let k = crate::lower::lower_kernel(
+            &{
+                // Use a random-ish arithmetic kernel in lieu of streammd
+                // (which lives upstream of this crate).
+                let mut b = KernelBuilder::new("w");
+                let s = b.input("p", 6, StreamMode::EveryIteration);
+                let o = b.output("f", 3);
+                let a = b.read_v3(s, 0);
+                let c = b.read_v3(s, 3);
+                let d = b.v3_sub(a, c);
+                let r2 = b.v3_norm2(d);
+                let rinv = b.rsqrt(r2);
+                let f = b.v3_scale(d, rinv);
+                b.write(o, &[f.x, f.y, f.z]);
+                b.build()
+            },
+            &merrimac_arch::OpCosts::default(),
+        );
+        let opt = optimize(&k);
+        opt.validate_ssa();
+        assert!(opt.issuing_nodes().count() <= k.issuing_nodes().count());
+    }
+}

@@ -1,0 +1,389 @@
+//! Modulo software pipelining.
+//!
+//! The optimized half of Figure 10: the loop body is scheduled into an
+//! initiation interval (II) so a new iteration starts every II cycles,
+//! overlapping the latency shadows of earlier iterations. We implement a
+//! simplified iterative modulo scheduler:
+//!
+//! 1. MII = max(resource MII, recurrence MII);
+//! 2. schedule nodes in priority (critical-path) order with a modulo
+//!    resource table;
+//! 3. verify loop-carried recurrences fit within II; otherwise retry with
+//!    II + 1.
+
+use merrimac_arch::OpCosts;
+
+use crate::ir::{Kernel, Node, NodeId};
+use crate::schedule::{heights, live_set};
+
+/// A modulo-scheduled loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelinedSchedule {
+    /// Initiation interval in cycles.
+    pub ii: u64,
+    /// Flat issue time of each node within one iteration's schedule
+    /// (the modulo row is `time % ii`).
+    pub issue_time: Vec<Option<u64>>,
+    /// Value-availability time per node.
+    pub value_ready: Vec<Option<u64>>,
+    /// Modulo reservation table: `rows[time % ii][slot]`.
+    pub rows: Vec<Vec<Option<NodeId>>>,
+    pub num_slots: usize,
+    /// Depth of one iteration's schedule (prologue length).
+    pub depth: u64,
+}
+
+impl PipelinedSchedule {
+    /// Number of pipeline stages.
+    pub fn stages(&self) -> u64 {
+        self.depth.div_ceil(self.ii)
+    }
+
+    /// Ops issued per iteration.
+    pub fn issued_ops(&self) -> usize {
+        self.issue_time.iter().flatten().count()
+    }
+
+    /// Steady-state slot occupancy.
+    pub fn occupancy(&self) -> f64 {
+        self.issued_ops() as f64 / (self.ii as usize * self.num_slots) as f64
+    }
+
+    /// Fraction of steady-state cycles issuing at least one op.
+    pub fn issue_rate(&self) -> f64 {
+        let busy = self
+            .rows
+            .iter()
+            .filter(|r| r.iter().any(|s| s.is_some()))
+            .count();
+        busy as f64 / self.ii as f64
+    }
+
+    /// Total cycles for `n` iterations including pipeline fill/drain.
+    pub fn cycles_for(&self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            (n - 1) * self.ii + self.depth
+        }
+    }
+}
+
+fn latency_of(node: &Node, costs: &OpCosts) -> u64 {
+    node.fpu_class().map_or(0, |c| costs.latency(c))
+}
+
+/// Resource-constrained minimum II.
+pub fn res_mii(kernel: &Kernel, num_slots: usize) -> u64 {
+    let live = live_set(kernel);
+    let ops = kernel
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(i, n)| live[*i] && n.issues())
+        .count() as u64;
+    ops.div_ceil(num_slots as u64).max(1)
+}
+
+/// Recurrence-constrained minimum II: for every loop-carried register,
+/// the latency of the path from its `ReadReg` to its update value must
+/// fit in one II (dependence distance 1).
+pub fn rec_mii(kernel: &Kernel, costs: &OpCosts) -> u64 {
+    // Longest path from each ReadReg(r) node to the update node of r.
+    // Computed by DP over SSA order: dist[n] = max latency path from any
+    // ReadReg of interest to n's *value availability*.
+    let n = kernel.nodes.len();
+    let mut best = 1u64;
+    for (reg, update) in &kernel.reg_updates {
+        let mut dist: Vec<Option<u64>> = vec![None; n];
+        for (i, node) in kernel.nodes.iter().enumerate() {
+            if matches!(node, Node::ReadReg(r) if r == reg) {
+                dist[i] = Some(0);
+            } else {
+                let mut d = None;
+                for dep in node.deps() {
+                    if let Some(x) = dist[dep as usize] {
+                        d = Some(d.unwrap_or(0).max(x));
+                    }
+                }
+                if let Some(base) = d {
+                    dist[i] = Some(base + latency_of(node, costs));
+                }
+            }
+        }
+        if let Some(Some(d)) = dist.get(*update as usize) {
+            best = best.max(*d);
+        }
+    }
+    best
+}
+
+/// Modulo-schedule `kernel` onto `num_slots` slots. Panics on unlowered
+/// kernels; always succeeds (II grows until the schedule fits).
+pub fn modulo_schedule(kernel: &Kernel, costs: &OpCosts, num_slots: usize) -> PipelinedSchedule {
+    assert!(
+        kernel.is_lowered(),
+        "kernel {} must be lowered before pipelining",
+        kernel.name
+    );
+    let serial = crate::schedule::list_schedule(kernel, costs, num_slots);
+    let mii = res_mii(kernel, num_slots).max(rec_mii(kernel, costs));
+    let mut ii = mii;
+    // Pipelining can never be useful past the serial schedule length; if
+    // the simple placement heuristic cannot fit a smaller II (pathological
+    // recurrence shapes), degrade gracefully to the serial schedule
+    // expressed as a modulo schedule with II = serial length.
+    while ii < serial.length {
+        if let Some(s) = try_schedule(kernel, costs, num_slots, ii, serial.length) {
+            return s;
+        }
+        ii += 1;
+    }
+    from_serial(kernel, &serial)
+}
+
+/// Express a serial list schedule as a (degenerate) modulo schedule with
+/// II equal to the schedule length.
+fn from_serial(kernel: &Kernel, serial: &crate::schedule::Schedule) -> PipelinedSchedule {
+    let ii = serial.length.max(1);
+    let mut rows: Vec<Vec<Option<NodeId>>> = vec![vec![None; serial.num_slots]; ii as usize];
+    for (t, row) in serial.slots.iter().enumerate() {
+        for (s, op) in row.iter().enumerate() {
+            rows[t][s] = *op;
+        }
+    }
+    let _ = kernel;
+    PipelinedSchedule {
+        ii,
+        issue_time: serial.issue_cycle.clone(),
+        value_ready: serial.value_ready.clone(),
+        rows,
+        num_slots: serial.num_slots,
+        depth: serial.length,
+    }
+}
+
+fn try_schedule(
+    kernel: &Kernel,
+    costs: &OpCosts,
+    num_slots: usize,
+    ii: u64,
+    depth_target: u64,
+) -> Option<PipelinedSchedule> {
+    let n = kernel.nodes.len();
+    let live = live_set(kernel);
+    let height = heights(kernel, costs, &live);
+
+    // Nodes are placed in SSA (topological) order so dependencies are
+    // resolved first. Placement is ALAP-biased: a node starts its slot
+    // search at `depth_target − height`, i.e. as late as its remaining
+    // critical path allows. Critical-path nodes therefore place ASAP,
+    // while shallow side chains — in particular the consumers of
+    // loop-carried registers (conditional-write guards, accumulator
+    // select/add chains) — drift to the end of the schedule, which keeps
+    // the cross-iteration recurrence margin `ready(update) ≤ t_use + II`
+    // satisfiable at the resource-bound II.
+    let mut issue_time: Vec<Option<u64>> = vec![None; n];
+    let mut value_ready: Vec<Option<u64>> = vec![None; n];
+    let mut rows: Vec<Vec<Option<NodeId>>> = vec![vec![None; num_slots]; ii as usize];
+    let mut used: Vec<usize> = vec![0; ii as usize];
+
+    for i in 0..n {
+        if !live[i] {
+            continue;
+        }
+        let node = &kernel.nodes[i];
+        let mut earliest = 0u64;
+        for d in node.deps() {
+            // Deps are earlier in SSA order, already resolved.
+            earliest = earliest.max(value_ready[d as usize].unwrap_or(0));
+        }
+        if !node.issues() {
+            value_ready[i] = Some(earliest);
+            continue;
+        }
+        let alap_start = depth_target.saturating_sub(height[i]);
+        let earliest = earliest.max(alap_start);
+        // Find the first cycle >= earliest with a free modulo slot,
+        // searching at most II consecutive cycles (after that the pattern
+        // repeats and the row set is full).
+        let mut placed = false;
+        for t in earliest..earliest + ii {
+            let row = (t % ii) as usize;
+            if used[row] < num_slots {
+                let slot = rows[row].iter().position(|s| s.is_none()).unwrap();
+                rows[row][slot] = Some(i as NodeId);
+                used[row] += 1;
+                issue_time[i] = Some(t);
+                value_ready[i] = Some(t + latency_of(node, costs));
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            return None;
+        }
+    }
+
+    // Verify recurrences: update value of register r (iteration k) must be
+    // ready by the time iteration k+1 needs it. A ReadReg consumer at
+    // flat time t in iteration k+1 executes at absolute time t + II
+    // relative to iteration k, so we need ready(update) <= t_use + II for
+    // every use.
+    for (reg, update) in &kernel.reg_updates {
+        let ready = match value_ready[*update as usize] {
+            Some(r) => r,
+            None => continue,
+        };
+        for (i, node) in kernel.nodes.iter().enumerate() {
+            if !live[i] || !matches!(node, Node::ReadReg(r) if r == reg) {
+                continue;
+            }
+            // Consumers of this ReadReg node.
+            for (j, user) in kernel.nodes.iter().enumerate() {
+                if !live[j] || !user.deps().contains(&(i as NodeId)) {
+                    continue;
+                }
+                let t_use = issue_time[j].or(value_ready[j]).unwrap_or(0);
+                if ready > t_use + ii {
+                    return None;
+                }
+            }
+        }
+    }
+
+    let depth = (0..n)
+        .filter(|&i| live[i])
+        .filter_map(|i| value_ready[i])
+        .max()
+        .unwrap_or(0)
+        .max(ii);
+
+    Some(PipelinedSchedule {
+        ii,
+        issue_time,
+        value_ready,
+        rows,
+        num_slots,
+        depth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::ir::StreamMode;
+    use crate::lower::lower_kernel;
+    use crate::schedule::list_schedule;
+
+    fn body(ops: usize) -> Kernel {
+        // `ops` independent multiplies per iteration.
+        let mut b = KernelBuilder::new("body");
+        let s = b.input("x", ops as u32, StreamMode::EveryIteration);
+        let o = b.output("y", ops as u32);
+        let vals: Vec<_> = (0..ops)
+            .map(|i| {
+                let x = b.read(s, i as u32);
+                b.mul(x, x)
+            })
+            .collect();
+        b.write(o, &vals);
+        b.build()
+    }
+
+    #[test]
+    fn ii_is_resource_bound_for_parallel_body() {
+        let costs = OpCosts::default();
+        let k = lower_kernel(&body(13), &costs);
+        let p = modulo_schedule(&k, &costs, 4);
+        assert_eq!(p.ii, 4); // ceil(13/4)
+        assert_eq!(p.issued_ops(), 13);
+    }
+
+    #[test]
+    fn pipelining_beats_list_schedule_throughput() {
+        let costs = OpCosts::default();
+        // A body with both width and a latency chain.
+        let mut b = KernelBuilder::new("mix");
+        let s = b.input("x", 4, StreamMode::EveryIteration);
+        let o = b.output("y", 1);
+        let x0 = b.read(s, 0);
+        let x1 = b.read(s, 1);
+        let x2 = b.read(s, 2);
+        let x3 = b.read(s, 3);
+        let m0 = b.mul(x0, x1);
+        let m1 = b.mul(x2, x3);
+        let a = b.add(m0, m1);
+        let c = b.mul(a, a);
+        let d = b.add(c, m0);
+        b.write(o, &[d]);
+        let k = lower_kernel(&b.build(), &costs);
+        let sch = list_schedule(&k, &costs, 4);
+        let pipe = modulo_schedule(&k, &costs, 4);
+        // Per-iteration cost in steady state must be strictly better than
+        // the serial schedule length.
+        assert!(
+            pipe.ii < sch.length,
+            "II {} !< length {}",
+            pipe.ii,
+            sch.length
+        );
+    }
+
+    #[test]
+    fn recurrence_limits_ii() {
+        let costs = OpCosts::default();
+        // acc = acc * x + 1: recurrence through a madd (latency 4).
+        let mut b = KernelBuilder::new("rec");
+        let s = b.input("x", 1, StreamMode::EveryIteration);
+        let o = b.output("y", 1);
+        let r = b.reg(0.0);
+        let acc = b.read_reg(r);
+        let x = b.read(s, 0);
+        let one = b.constant(1.0);
+        let upd = b.madd(acc, x, one);
+        b.set_reg(r, upd);
+        b.write(o, &[upd]);
+        let k = lower_kernel(&b.build(), &costs);
+        assert_eq!(rec_mii(&k, &costs), costs.madd_latency);
+        let p = modulo_schedule(&k, &costs, 4);
+        assert!(p.ii >= costs.madd_latency);
+    }
+
+    #[test]
+    fn cycles_for_accounts_fill_and_drain() {
+        let costs = OpCosts::default();
+        let k = lower_kernel(&body(8), &costs);
+        let p = modulo_schedule(&k, &costs, 4);
+        assert_eq!(p.cycles_for(0), 0);
+        assert_eq!(p.cycles_for(1), p.depth);
+        assert_eq!(p.cycles_for(10), 9 * p.ii + p.depth);
+    }
+
+    #[test]
+    fn modulo_rows_have_no_conflicts() {
+        let costs = OpCosts::default();
+        let k = lower_kernel(&body(10), &costs);
+        let p = modulo_schedule(&k, &costs, 4);
+        // Each row holds at most num_slots ops and every issued op appears
+        // exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for row in &p.rows {
+            assert!(row.len() == 4);
+            for op in row.iter().flatten() {
+                assert!(seen.insert(*op));
+            }
+        }
+        assert_eq!(seen.len(), p.issued_ops());
+    }
+
+    #[test]
+    fn res_mii_matches_op_count() {
+        let k = body(9);
+        let costs = OpCosts::default();
+        let k = lower_kernel(&k, &costs);
+        assert_eq!(res_mii(&k, 4), 3);
+        assert_eq!(res_mii(&k, 1), 9);
+    }
+}

@@ -1,0 +1,131 @@
+//! ASCII rendering of kernel schedules in the style of the paper's
+//! Figure 10: one row per cycle, one column per FPU slot, a mnemonic in
+//! each occupied cell.
+
+use crate::ir::{Kernel, Node, NodeId, OpKind};
+use crate::pipeline::PipelinedSchedule;
+use crate::schedule::Schedule;
+
+fn mnemonic(kernel: &Kernel, id: NodeId) -> &'static str {
+    match &kernel.nodes[id as usize] {
+        Node::CondRead { .. } => "COND",
+        Node::Op { op, .. } => match op {
+            OpKind::Add => "ADD",
+            OpKind::Sub => "SUB",
+            OpKind::Mul => "MUL",
+            OpKind::Madd => "MADD",
+            OpKind::Nmsub => "NMSB",
+            OpKind::Div => "DIV",
+            OpKind::Sqrt => "SQRT",
+            OpKind::Rsqrt => "RSQT",
+            OpKind::SeedRecip | OpKind::SeedRsqrt => "SEED",
+            OpKind::CmpEq | OpKind::CmpLt | OpKind::CmpLe => "CMP",
+            OpKind::Sel => "SEL",
+            OpKind::And | OpKind::Or | OpKind::Not => "LOG",
+            OpKind::Min | OpKind::Max => "MNMX",
+            OpKind::Mov => "MOV",
+        },
+        _ => "?",
+    }
+}
+
+fn render_rows(kernel: &Kernel, rows: &[Vec<Option<NodeId>>], header: &str) -> String {
+    let mut out = String::new();
+    out.push_str(header);
+    out.push('\n');
+    let slots = rows.first().map_or(4, |r| r.len());
+    out.push_str("cycle ");
+    for s in 0..slots {
+        out.push_str(&format!("| FPU{s}  "));
+    }
+    out.push('\n');
+    out.push_str(&format!("------{}\n", "+-------".repeat(slots)));
+    for (t, row) in rows.iter().enumerate() {
+        out.push_str(&format!("{t:>5} "));
+        for cell in row {
+            match cell {
+                Some(id) => out.push_str(&format!("| {:<5} ", mnemonic(kernel, *id))),
+                None => out.push_str("|   .   "),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a non-pipelined schedule (Figure 10a style).
+pub fn render_schedule(kernel: &Kernel, schedule: &Schedule) -> String {
+    let header = format!(
+        "kernel `{}` — list schedule: {} ops, {} cycles, occupancy {:.0}%, issue rate {:.0}%",
+        kernel.name,
+        schedule.issued_ops(),
+        schedule.length,
+        schedule.occupancy() * 100.0,
+        schedule.issue_rate() * 100.0,
+    );
+    render_rows(kernel, &schedule.slots, &header)
+}
+
+/// Render the steady-state modulo reservation table (Figure 10b style).
+pub fn render_pipelined(kernel: &Kernel, p: &PipelinedSchedule) -> String {
+    let header = format!(
+        "kernel `{}` — software pipelined: II {}, {} stages, occupancy {:.0}%, issue rate {:.0}%",
+        kernel.name,
+        p.ii,
+        p.stages(),
+        p.occupancy() * 100.0,
+        p.issue_rate() * 100.0,
+    );
+    render_rows(kernel, &p.rows, &header)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::ir::StreamMode;
+    use crate::lower::lower_kernel;
+    use crate::pipeline::modulo_schedule;
+    use crate::schedule::list_schedule;
+    use merrimac_arch::OpCosts;
+
+    fn kernel() -> Kernel {
+        let mut b = KernelBuilder::new("demo");
+        let s = b.input("x", 2, StreamMode::EveryIteration);
+        let o = b.output("y", 1);
+        let x = b.read(s, 0);
+        let y = b.read(s, 1);
+        let r = b.rsqrt(x);
+        let m = b.madd(r, y, x);
+        b.write(o, &[m]);
+        b.build()
+    }
+
+    #[test]
+    fn renders_both_schedule_kinds() {
+        let costs = OpCosts::default();
+        let k = lower_kernel(&kernel(), &costs);
+        let s = list_schedule(&k, &costs, 4);
+        let text = render_schedule(&k, &s);
+        assert!(text.contains("FPU0"));
+        assert!(text.contains("SEED"));
+        assert!(text.contains("list schedule"));
+
+        let p = modulo_schedule(&k, &costs, 4);
+        let text = render_pipelined(&k, &p);
+        assert!(text.contains("II"));
+        assert!(text.lines().count() >= p.ii as usize + 3);
+    }
+
+    #[test]
+    fn cell_width_is_stable() {
+        let costs = OpCosts::default();
+        let k = lower_kernel(&kernel(), &costs);
+        let s = list_schedule(&k, &costs, 4);
+        let text = render_schedule(&k, &s);
+        let widths: std::collections::HashSet<usize> =
+            text.lines().skip(1).map(|l| l.len()).collect();
+        // Header divider and rows all align.
+        assert!(widths.len() <= 3, "ragged render: {widths:?}\n{text}");
+    }
+}

@@ -1,0 +1,361 @@
+//! Critical-path list scheduling onto the cluster's VLIW slots.
+//!
+//! Each cluster executes one VLIW word per cycle with one slot per FPU
+//! (4 in the Table 1 configuration). The scheduler places every *live*
+//! issuing node (arithmetic and conditional-stream bookkeeping; plain
+//! stream reads are serviced by stream buffers and are free) so that all
+//! data dependencies are satisfied with full pipeline latencies — the
+//! static scheduling discipline the paper's "communication scheduling"
+//! compiler implements.
+
+use std::collections::HashMap;
+
+use merrimac_arch::OpCosts;
+
+use crate::ir::{Kernel, Node, NodeId};
+
+/// A scheduled loop body (non-pipelined: one iteration completes before
+/// the next begins, as in the left half of Figure 10).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// `slots[cycle][slot]` — issued node, if any.
+    pub slots: Vec<Vec<Option<NodeId>>>,
+    /// Issue cycle per node (None for non-issuing or dead nodes).
+    pub issue_cycle: Vec<Option<u64>>,
+    /// Cycle at which each node's *value* is available.
+    pub value_ready: Vec<Option<u64>>,
+    pub num_slots: usize,
+    /// Completion time: all values (including latencies) available.
+    pub length: u64,
+}
+
+impl Schedule {
+    /// Number of ops issued.
+    pub fn issued_ops(&self) -> usize {
+        self.issue_cycle.iter().flatten().count()
+    }
+
+    /// Last cycle in which anything issues, plus one.
+    pub fn issue_span(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    /// Fraction of slot-cycles filled over the issue span.
+    pub fn occupancy(&self) -> f64 {
+        if self.slots.is_empty() {
+            return 0.0;
+        }
+        self.issued_ops() as f64 / (self.slots.len() * self.num_slots) as f64
+    }
+
+    /// Fraction of cycles (over the issue span) in which at least one op
+    /// issues — the paper's "a new instruction is issued on X% of cycles".
+    pub fn issue_rate(&self) -> f64 {
+        if self.slots.is_empty() {
+            return 0.0;
+        }
+        let busy = self
+            .slots
+            .iter()
+            .filter(|row| row.iter().any(|s| s.is_some()))
+            .count();
+        busy as f64 / self.slots.len() as f64
+    }
+}
+
+/// Compute the set of live nodes: transitive dependencies of the kernel's
+/// observable roots.
+pub fn live_set(kernel: &Kernel) -> Vec<bool> {
+    let mut live = vec![false; kernel.nodes.len()];
+    let mut stack = kernel.live_roots();
+    while let Some(n) = stack.pop() {
+        if live[n as usize] {
+            continue;
+        }
+        live[n as usize] = true;
+        stack.extend(kernel.nodes[n as usize].deps());
+    }
+    live
+}
+
+fn latency_of(node: &Node, costs: &OpCosts) -> u64 {
+    node.fpu_class().map_or(0, |c| costs.latency(c))
+}
+
+/// Longest-latency path from each node to any live root (the classic list
+/// scheduling priority).
+pub fn heights(kernel: &Kernel, costs: &OpCosts, live: &[bool]) -> Vec<u64> {
+    let n = kernel.nodes.len();
+    let mut height = vec![0u64; n];
+    // users: reverse edges.
+    let mut users: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (i, node) in kernel.nodes.iter().enumerate() {
+        for d in node.deps() {
+            users[d as usize].push(i as NodeId);
+        }
+    }
+    for i in (0..n).rev() {
+        if !live[i] {
+            continue;
+        }
+        let max_user = users[i]
+            .iter()
+            .map(|&u| height[u as usize])
+            .max()
+            .unwrap_or(0);
+        height[i] = latency_of(&kernel.nodes[i], costs) + max_user;
+    }
+    height
+}
+
+/// List-schedule the kernel onto `num_slots` FPU slots.
+///
+/// Panics if the kernel still contains iterative ops (run
+/// [`crate::lower::lower_kernel`] first).
+pub fn list_schedule(kernel: &Kernel, costs: &OpCosts, num_slots: usize) -> Schedule {
+    assert!(
+        kernel.is_lowered(),
+        "kernel {} must be lowered before scheduling",
+        kernel.name
+    );
+    assert!(num_slots > 0);
+    let n = kernel.nodes.len();
+    let live = live_set(kernel);
+    let height = heights(kernel, costs, &live);
+
+    let mut value_ready: Vec<Option<u64>> = vec![None; n];
+    let mut issue_cycle: Vec<Option<u64>> = vec![None; n];
+    // Seed non-issuing nodes whose deps are all non-issuing (transitively):
+    // resolved lazily below.
+    let mut slots: Vec<Vec<Option<NodeId>>> = Vec::new();
+
+    // Resolve value_ready for non-issuing nodes whose deps are known.
+    fn try_resolve(kernel: &Kernel, i: usize, value_ready: &mut [Option<u64>]) -> Option<u64> {
+        if let Some(v) = value_ready[i] {
+            return Some(v);
+        }
+        let node = &kernel.nodes[i];
+        if node.issues() {
+            return None; // set when scheduled
+        }
+        let mut ready = 0u64;
+        for d in node.deps() {
+            match value_ready[d as usize] {
+                Some(r) => ready = ready.max(r),
+                None => return None,
+            }
+        }
+        value_ready[i] = Some(ready);
+        Some(ready)
+    }
+
+    // Initial pass: resolve pure chains of non-issuing nodes.
+    for i in 0..n {
+        if live[i] {
+            try_resolve(kernel, i, &mut value_ready);
+        }
+    }
+
+    let total_to_schedule = (0..n)
+        .filter(|&i| live[i] && kernel.nodes[i].issues())
+        .count();
+    let mut scheduled = 0usize;
+    let mut t: u64 = 0;
+    // Safety bound: every op takes at most latency+1 cycles serialized.
+    let bound = (total_to_schedule as u64 + 1) * (costs.madd_latency + 2) + 64;
+
+    while scheduled < total_to_schedule {
+        assert!(
+            t < bound,
+            "list scheduler failed to converge for {}",
+            kernel.name
+        );
+        // Gather ready nodes at cycle t.
+        let mut ready: Vec<(u64, NodeId)> = Vec::new();
+        for i in 0..n {
+            if !live[i] || issue_cycle[i].is_some() || !kernel.nodes[i].issues() {
+                continue;
+            }
+            let mut ok = true;
+            let mut earliest = 0u64;
+            for d in kernel.nodes[i].deps() {
+                match try_resolve(kernel, d as usize, &mut value_ready) {
+                    Some(r) => earliest = earliest.max(r),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok && earliest <= t {
+                ready.push((height[i], i as NodeId));
+            }
+        }
+        // Highest priority first; stable tiebreak on node id for
+        // determinism.
+        ready.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        let mut row = vec![None; num_slots];
+        for (slot, &(_, node)) in ready.iter().take(num_slots).enumerate() {
+            row[slot] = Some(node);
+            issue_cycle[node as usize] = Some(t);
+            let lat = latency_of(&kernel.nodes[node as usize], costs);
+            value_ready[node as usize] = Some(t + lat);
+            scheduled += 1;
+        }
+        slots.push(row);
+        t += 1;
+    }
+
+    // Trim trailing empty rows (can appear if the last ready set was
+    // empty while waiting on latencies — they still represent stall
+    // cycles, so only rows after the final issue are trimmed).
+    while slots
+        .last()
+        .is_some_and(|row| row.iter().all(|s| s.is_none()))
+    {
+        slots.pop();
+    }
+
+    // Final resolution of all live non-issuing nodes.
+    for i in 0..n {
+        if live[i] {
+            try_resolve(kernel, i, &mut value_ready);
+        }
+    }
+    let length = (0..n)
+        .filter(|&i| live[i])
+        .filter_map(|i| value_ready[i])
+        .max()
+        .unwrap_or(0)
+        .max(slots.len() as u64);
+
+    Schedule {
+        slots,
+        issue_cycle,
+        value_ready,
+        num_slots,
+        length,
+    }
+}
+
+/// Dependence-edge map (used by the validator and the pipeliner).
+pub fn user_map(kernel: &Kernel) -> HashMap<NodeId, Vec<NodeId>> {
+    let mut users: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    for (i, node) in kernel.nodes.iter().enumerate() {
+        for d in node.deps() {
+            users.entry(d).or_default().push(i as NodeId);
+        }
+    }
+    users
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::ir::StreamMode;
+    use crate::lower::lower_kernel;
+
+    fn chain_kernel(len: usize) -> Kernel {
+        // x -> +1 -> +1 -> ... serial chain (no ILP).
+        let mut b = KernelBuilder::new("chain");
+        let s = b.input("x", 1, StreamMode::EveryIteration);
+        let o = b.output("y", 1);
+        let one = b.constant(1.0);
+        let mut v = b.read(s, 0);
+        for _ in 0..len {
+            v = b.add(v, one);
+        }
+        b.write(o, &[v]);
+        b.build()
+    }
+
+    fn wide_kernel(width: usize) -> Kernel {
+        // independent multiplies, all ILP.
+        let mut b = KernelBuilder::new("wide");
+        let s = b.input("x", width as u32, StreamMode::EveryIteration);
+        let o = b.output("y", width as u32);
+        let vals: Vec<_> = (0..width)
+            .map(|i| {
+                let x = b.read(s, i as u32);
+                b.mul(x, x)
+            })
+            .collect();
+        b.write(o, &vals);
+        b.build()
+    }
+
+    #[test]
+    fn serial_chain_is_latency_bound() {
+        let costs = OpCosts::default();
+        let k = lower_kernel(&chain_kernel(5), &costs);
+        let s = list_schedule(&k, &costs, 4);
+        // 5 serial adds with latency 4: completion at 5*4 = 20.
+        assert_eq!(s.length, 5 * costs.madd_latency);
+        assert_eq!(s.issued_ops(), 5);
+    }
+
+    #[test]
+    fn wide_kernel_is_throughput_bound() {
+        let costs = OpCosts::default();
+        let k = lower_kernel(&wide_kernel(16), &costs);
+        let s = list_schedule(&k, &costs, 4);
+        // 16 independent muls on 4 slots: 4 issue cycles, last result at
+        // 3 + latency.
+        assert_eq!(s.issue_span(), 4);
+        assert_eq!(s.length, 3 + costs.madd_latency);
+        assert!((s.occupancy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependencies_respected() {
+        let costs = OpCosts::default();
+        let k = lower_kernel(&chain_kernel(8), &costs);
+        let s = list_schedule(&k, &costs, 4);
+        for (i, node) in k.nodes.iter().enumerate() {
+            if let Some(t) = s.issue_cycle[i] {
+                for d in node.deps() {
+                    let r = s.value_ready[d as usize].expect("dep resolved");
+                    assert!(r <= t, "node {i} issued at {t} before dep {d} ready at {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_nodes_not_scheduled() {
+        let mut b = KernelBuilder::new("dead");
+        let s = b.input("x", 1, StreamMode::EveryIteration);
+        let o = b.output("y", 1);
+        let x = b.read(s, 0);
+        let _dead = b.mul(x, x); // never written
+        let live = b.add(x, x);
+        b.write(o, &[live]);
+        let k = b.build();
+        let costs = OpCosts::default();
+        let sch = list_schedule(&lower_kernel(&k, &costs), &costs, 4);
+        assert_eq!(sch.issued_ops(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lowered")]
+    fn unlowered_kernel_rejected() {
+        let mut b = KernelBuilder::new("bad");
+        let s = b.input("x", 1, StreamMode::EveryIteration);
+        let o = b.output("y", 1);
+        let x = b.read(s, 0);
+        let r = b.rsqrt(x);
+        b.write(o, &[r]);
+        let k = b.build();
+        list_schedule(&k, &OpCosts::default(), 4);
+    }
+
+    #[test]
+    fn issue_rate_of_dense_schedule_is_one() {
+        let costs = OpCosts::default();
+        let k = lower_kernel(&wide_kernel(8), &costs);
+        let s = list_schedule(&k, &costs, 4);
+        assert!((s.issue_rate() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,277 @@
+//! Schedule validation: proofs that a schedule preserves kernel
+//! semantics.
+//!
+//! Because the scheduler never reorders side effects (writes and register
+//! updates consume the same SSA values), a schedule is semantics-preserving
+//! iff (a) every live issuing node is placed exactly once, (b) no two ops
+//! share a slot-cycle, and (c) every op issues no earlier than all of its
+//! dependencies' values are available. The validator checks all three for
+//! both plain and modulo schedules, and is exercised by property tests
+//! over random kernels.
+
+use merrimac_arch::OpCosts;
+
+use crate::ir::{Kernel, Node};
+use crate::pipeline::PipelinedSchedule;
+use crate::schedule::{live_set, Schedule};
+
+/// A validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError(pub String);
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid schedule: {}", self.0)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+fn latency_of(node: &Node, costs: &OpCosts) -> u64 {
+    node.fpu_class().map_or(0, |c| costs.latency(c))
+}
+
+/// Validate a non-pipelined schedule.
+pub fn validate_schedule(
+    kernel: &Kernel,
+    schedule: &Schedule,
+    costs: &OpCosts,
+) -> Result<(), ValidationError> {
+    let live = live_set(kernel);
+
+    // (a) coverage and uniqueness via the slot table.
+    let mut placements = vec![0usize; kernel.nodes.len()];
+    for (t, row) in schedule.slots.iter().enumerate() {
+        if row.len() != schedule.num_slots {
+            return Err(ValidationError(format!("row {t} has {} slots", row.len())));
+        }
+        for op in row.iter().flatten() {
+            placements[*op as usize] += 1;
+            if schedule.issue_cycle[*op as usize] != Some(t as u64) {
+                return Err(ValidationError(format!(
+                    "node {op} slot table says cycle {t} but issue_cycle disagrees"
+                )));
+            }
+        }
+    }
+    for (i, node) in kernel.nodes.iter().enumerate() {
+        let expected = usize::from(live[i] && node.issues());
+        if placements[i] != expected {
+            return Err(ValidationError(format!(
+                "node {i} placed {} times, expected {expected}",
+                placements[i]
+            )));
+        }
+    }
+
+    // (b) dependency timing.
+    for (i, node) in kernel.nodes.iter().enumerate() {
+        let Some(t) = schedule.issue_cycle[i] else {
+            continue;
+        };
+        for d in node.deps() {
+            let ready = ready_time(kernel, &schedule.issue_cycle, d as usize, costs)
+                .ok_or_else(|| ValidationError(format!("node {i} dep {d} never ready")))?;
+            if ready > t {
+                return Err(ValidationError(format!(
+                    "node {i} issues at {t} before dep {d} ready at {ready}"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// When is node `i`'s value available, given issue cycles? Non-issuing
+/// nodes forward the max of their deps.
+fn ready_time(
+    kernel: &Kernel,
+    issue_cycle: &[Option<u64>],
+    i: usize,
+    costs: &OpCosts,
+) -> Option<u64> {
+    let node = &kernel.nodes[i];
+    if node.issues() {
+        issue_cycle[i].map(|t| t + latency_of(node, costs))
+    } else {
+        let mut r = 0;
+        for d in node.deps() {
+            r = r.max(ready_time(kernel, issue_cycle, d as usize, costs)?);
+        }
+        Some(r)
+    }
+}
+
+/// Validate a modulo schedule: per-iteration dependences, modulo resource
+/// exclusivity, and cross-iteration recurrence margins.
+pub fn validate_pipelined(
+    kernel: &Kernel,
+    p: &PipelinedSchedule,
+    _costs: &OpCosts,
+) -> Result<(), ValidationError> {
+    let live = live_set(kernel);
+    if p.rows.len() as u64 != p.ii {
+        return Err(ValidationError(format!(
+            "{} rows for II {}",
+            p.rows.len(),
+            p.ii
+        )));
+    }
+
+    // Modulo resource table consistency.
+    let mut seen = std::collections::HashSet::new();
+    for (r, row) in p.rows.iter().enumerate() {
+        for op in row.iter().flatten() {
+            if !seen.insert(*op) {
+                return Err(ValidationError(format!("node {op} placed twice")));
+            }
+            match p.issue_time[*op as usize] {
+                Some(t) if t % p.ii == r as u64 => {}
+                other => {
+                    return Err(ValidationError(format!(
+                        "node {op} row {r} inconsistent with issue time {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+    for (i, node) in kernel.nodes.iter().enumerate() {
+        if live[i] && node.issues() && !seen.contains(&(i as u32)) {
+            return Err(ValidationError(format!("live node {i} not placed")));
+        }
+    }
+
+    // Intra-iteration deps.
+    for (i, node) in kernel.nodes.iter().enumerate() {
+        let Some(t) = p.issue_time[i] else { continue };
+        for d in node.deps() {
+            let ready = p.value_ready[d as usize]
+                .ok_or_else(|| ValidationError(format!("node {i} dep {d} unresolved")))?;
+            if ready > t {
+                return Err(ValidationError(format!(
+                    "node {i} at {t} before dep {d} ready {ready}"
+                )));
+            }
+        }
+    }
+
+    // Cross-iteration recurrences: reg update from iteration k must be
+    // ready before the earliest use in iteration k+1 (offset by II).
+    for (reg, update) in &kernel.reg_updates {
+        let Some(ready) = p.value_ready[*update as usize] else {
+            continue;
+        };
+        for (i, node) in kernel.nodes.iter().enumerate() {
+            if !live[i] || !matches!(node, Node::ReadReg(r) if r == reg) {
+                continue;
+            }
+            for (j, user) in kernel.nodes.iter().enumerate() {
+                if !live[j] || !user.deps().contains(&(i as u32)) {
+                    continue;
+                }
+                let t_use = p.issue_time[j].or(p.value_ready[j]).unwrap_or(0);
+                if ready > t_use + p.ii {
+                    return Err(ValidationError(format!(
+                        "recurrence on reg {reg}: update ready {ready} > use {t_use} + II {}",
+                        p.ii
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::ir::StreamMode;
+    use crate::lower::lower_kernel;
+    use crate::pipeline::modulo_schedule;
+    use crate::schedule::list_schedule;
+    use proptest::prelude::*;
+
+    fn random_kernel(seed: u64, n_ops: usize) -> Kernel {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut b = KernelBuilder::new(format!("rand{seed}"));
+        let s = b.input("in", 4, StreamMode::EveryIteration);
+        let o = b.output("out", 1);
+        let mut vals = vec![b.read(s, 0), b.read(s, 1), b.read(s, 2), b.read(s, 3)];
+        let r = b.reg(1.0);
+        vals.push(b.read_reg(r));
+        for _ in 0..n_ops {
+            let a = vals[rng.gen_range(0..vals.len())];
+            let c = vals[rng.gen_range(0..vals.len())];
+            let v = match rng.gen_range(0..6) {
+                0 => b.add(a, c),
+                1 => b.mul(a, c),
+                2 => b.madd(a, c, vals[rng.gen_range(0..vals.len())]),
+                3 => b.sub(a, c),
+                4 => b.rsqrt(a),
+                _ => b.div(a, c),
+            };
+            vals.push(v);
+        }
+        let last = *vals.last().unwrap();
+        b.set_reg(r, last);
+        b.write(o, &[last]);
+        b.build()
+    }
+
+    #[test]
+    fn list_schedules_validate() {
+        let costs = OpCosts::default();
+        for seed in 0..10 {
+            let k = lower_kernel(&random_kernel(seed, 20), &costs);
+            let s = list_schedule(&k, &costs, 4);
+            validate_schedule(&k, &s, &costs).expect("valid");
+        }
+    }
+
+    #[test]
+    fn modulo_schedules_validate() {
+        let costs = OpCosts::default();
+        for seed in 0..10 {
+            let k = lower_kernel(&random_kernel(seed + 100, 25), &costs);
+            let p = modulo_schedule(&k, &costs, 4);
+            validate_pipelined(&k, &p, &costs).expect("valid");
+        }
+    }
+
+    #[test]
+    fn tampered_schedule_rejected() {
+        let costs = OpCosts::default();
+        let k = lower_kernel(&random_kernel(7, 15), &costs);
+        let mut s = list_schedule(&k, &costs, 4);
+        // Move the last op to cycle 0 (certain dep violation or conflict).
+        let moved = s
+            .issue_cycle
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|c| (i, c)))
+            .max_by_key(|&(_, c)| c);
+        if let Some((node, old)) = moved {
+            if old > 0 {
+                s.issue_cycle[node] = Some(0);
+                assert!(validate_schedule(&k, &s, &costs).is_err());
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_schedules_valid_over_random_kernels(seed in 0u64..5000, n in 5usize..40) {
+            let costs = OpCosts::default();
+            let k = lower_kernel(&random_kernel(seed, n), &costs);
+            let s = list_schedule(&k, &costs, 4);
+            prop_assert!(validate_schedule(&k, &s, &costs).is_ok());
+            let p = modulo_schedule(&k, &costs, 4);
+            prop_assert!(validate_pipelined(&k, &p, &costs).is_ok());
+            // Pipelined throughput never loses to the serial schedule.
+            prop_assert!(p.ii <= s.length.max(1));
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Cell (link-cell) spatial decomposition for O(n) neighbour searching.
+//!
+//! GROMACS builds its neighbour lists with a grid search; we do the same.
+//! The box is divided into at least `cutoff`-sized cells; candidate pairs
+//! are drawn only from the 27-cell neighbourhood.
+
+use crate::pbc::Pbc;
+use crate::vec3::Vec3;
+
+/// A cell grid over a cubic periodic box.
+#[derive(Debug, Clone)]
+pub struct CellGrid {
+    pbc: Pbc,
+    /// Cells per axis.
+    n: usize,
+    /// Cell side length.
+    cell_side: f64,
+    /// Molecule indices per cell, CSR-style.
+    cell_start: Vec<usize>,
+    entries: Vec<usize>,
+}
+
+impl CellGrid {
+    /// Bin `points` (one representative point per molecule, assumed
+    /// wrapped) into cells no smaller than `min_cell`.
+    pub fn build(pbc: Pbc, points: &[Vec3], min_cell: f64) -> Self {
+        assert!(min_cell > 0.0);
+        let n = ((pbc.side() / min_cell).floor() as usize).max(1);
+        let cell_side = pbc.side() / n as f64;
+        let num_cells = n * n * n;
+
+        // Counting sort into CSR layout.
+        let mut counts = vec![0usize; num_cells + 1];
+        let cell_of = |p: Vec3| -> usize {
+            let wrapped = pbc.wrap(p);
+            let cx = ((wrapped.x / cell_side) as usize).min(n - 1);
+            let cy = ((wrapped.y / cell_side) as usize).min(n - 1);
+            let cz = ((wrapped.z / cell_side) as usize).min(n - 1);
+            (cz * n + cy) * n + cx
+        };
+        for &p in points {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for i in 0..num_cells {
+            counts[i + 1] += counts[i];
+        }
+        let mut entries = vec![0usize; points.len()];
+        let mut cursor = counts.clone();
+        for (i, &p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            entries[cursor[c]] = i;
+            cursor[c] += 1;
+        }
+        Self {
+            pbc,
+            n,
+            cell_side,
+            cell_start: counts,
+            entries,
+        }
+    }
+
+    /// Cells per axis.
+    pub fn cells_per_axis(&self) -> usize {
+        self.n
+    }
+
+    /// Side length of one cell.
+    pub fn cell_side(&self) -> f64 {
+        self.cell_side
+    }
+
+    /// Molecule indices in cell `(cx, cy, cz)`.
+    pub fn cell(&self, cx: usize, cy: usize, cz: usize) -> &[usize] {
+        let c = (cz * self.n + cy) * self.n + cx;
+        &self.entries[self.cell_start[c]..self.cell_start[c + 1]]
+    }
+
+    /// Visit every molecule index in the 27-cell neighbourhood of the cell
+    /// containing `p` (including its own cell). Cells repeat when the grid
+    /// has fewer than 3 cells per axis; duplicates are suppressed.
+    pub fn for_neighbourhood(&self, p: Vec3, mut f: impl FnMut(usize)) {
+        let wrapped = self.pbc.wrap(p);
+        let cx = ((wrapped.x / self.cell_side) as usize).min(self.n - 1) as isize;
+        let cy = ((wrapped.y / self.cell_side) as usize).min(self.n - 1) as isize;
+        let cz = ((wrapped.z / self.cell_side) as usize).min(self.n - 1) as isize;
+        let n = self.n as isize;
+        let wrap = |c: isize| -> usize { (((c % n) + n) % n) as usize };
+        let mut visited: Vec<(usize, usize, usize)> = Vec::with_capacity(27);
+        for dz in -1..=1 {
+            for dy in -1..=1 {
+                for dx in -1..=1 {
+                    let c = (wrap(cx + dx), wrap(cy + dy), wrap(cz + dz));
+                    if visited.contains(&c) {
+                        continue;
+                    }
+                    visited.push(c);
+                    for &m in self.cell(c.0, c.1, c.2) {
+                        f(m);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total entries binned.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn all_points_binned_once() {
+        let pbc = Pbc::cubic(3.0);
+        let pts: Vec<Vec3> = (0..50)
+            .map(|i| Vec3::new(i as f64 * 0.059, i as f64 * 0.113, i as f64 * 0.211))
+            .map(|p| pbc.wrap(p))
+            .collect();
+        let grid = CellGrid::build(pbc, &pts, 1.0);
+        assert_eq!(grid.len(), 50);
+        let mut total = 0;
+        for cz in 0..grid.cells_per_axis() {
+            for cy in 0..grid.cells_per_axis() {
+                for cx in 0..grid.cells_per_axis() {
+                    total += grid.cell(cx, cy, cz).len();
+                }
+            }
+        }
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn neighbourhood_covers_cutoff() {
+        // Every point within `min_cell` of p must be visited.
+        let pbc = Pbc::cubic(3.0);
+        let pts: Vec<Vec3> = (0..200)
+            .map(|i| {
+                pbc.wrap(Vec3::new(
+                    (i * 7 % 97) as f64 * 0.031,
+                    (i * 13 % 89) as f64 * 0.034,
+                    (i * 29 % 83) as f64 * 0.036,
+                ))
+            })
+            .collect();
+        let cutoff = 0.9;
+        let grid = CellGrid::build(pbc, &pts, cutoff);
+        for (i, &p) in pts.iter().enumerate() {
+            let mut visited = vec![false; pts.len()];
+            grid.for_neighbourhood(p, |m| visited[m] = true);
+            for (j, &q) in pts.iter().enumerate() {
+                if pbc.min_image(p, q).norm() <= cutoff {
+                    assert!(visited[j], "point {j} within cutoff of {i} but not visited");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_box_single_cell() {
+        let pbc = Pbc::cubic(1.0);
+        let pts = vec![Vec3::new(0.1, 0.1, 0.1), Vec3::new(0.9, 0.9, 0.9)];
+        let grid = CellGrid::build(pbc, &pts, 2.0);
+        assert_eq!(grid.cells_per_axis(), 1);
+        let mut seen = 0;
+        grid.for_neighbourhood(pts[0], |_| seen += 1);
+        assert_eq!(seen, 2, "single-cell grid must not duplicate entries");
+    }
+
+    #[test]
+    fn two_cells_per_axis_no_duplicates() {
+        let pbc = Pbc::cubic(2.0);
+        let pts: Vec<Vec3> = (0..20)
+            .map(|i| pbc.wrap(Vec3::splat(i as f64 * 0.1)))
+            .collect();
+        let grid = CellGrid::build(pbc, &pts, 1.0);
+        assert_eq!(grid.cells_per_axis(), 2);
+        let mut count = vec![0usize; pts.len()];
+        grid.for_neighbourhood(pts[0], |m| count[m] += 1);
+        assert!(count.iter().all(|&c| c <= 1), "duplicate visits: {count:?}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_neighbourhood_completeness(seed in 0u64..500) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let pbc = Pbc::cubic(2.5);
+            let pts: Vec<Vec3> = (0..40)
+                .map(|_| Vec3::new(rng.gen::<f64>() * 2.5, rng.gen::<f64>() * 2.5, rng.gen::<f64>() * 2.5))
+                .collect();
+            let cutoff = 0.8;
+            let grid = CellGrid::build(pbc, &pts, cutoff);
+            for (_i, &p) in pts.iter().enumerate() {
+                let mut visited = vec![false; pts.len()];
+                grid.for_neighbourhood(p, |m| visited[m] = true);
+                for (j, &q) in pts.iter().enumerate() {
+                    if pbc.min_image(p, q).norm() <= cutoff {
+                        prop_assert!(visited[j]);
+                    }
+                }
+            }
+        }
+    }
+}

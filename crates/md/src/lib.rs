@@ -1,0 +1,43 @@
+//! Molecular-dynamics substrate for the StreamMD reproduction.
+//!
+//! The paper interfaces StreamMD with GROMACS through three arrays: the
+//! molecule position array (nine coordinates per water molecule), the
+//! neighbour-list index streams, and the force output array. This crate is
+//! the stand-in for GROMACS: it builds realistic water systems, computes
+//! the cut-off neighbour lists in scalar code (as GROMACS does, once every
+//! several steps), evaluates the reference double-precision non-bonded
+//! forces of Equation (1), and integrates the equations of motion so that
+//! multi-step experiments (energy drift, self-diffusion for Table 5) are
+//! possible.
+//!
+//! Layout mirrors GROMACS conventions where it matters to the paper:
+//!
+//! * A *molecule* is the unit of interaction: 3 atoms (O, H, H), 9
+//!   coordinates, one entry in the neighbour lists.
+//! * Neighbour lists are *half* lists (each pair appears once) grouped by
+//!   central molecule, and each per-centre list carries one periodic shift
+//!   vector — the "9 words of periodic boundary conditions" in the stream
+//!   record are the per-atom replication of that shift (see
+//!   [`neighbor::NeighborList`]).
+//! * Forces use the GROMACS flop-accounting convention of 26
+//!   programmer-visible operations per atom pair (234 per molecule pair),
+//!   which the kernel crate reproduces exactly.
+
+pub mod analyze;
+pub mod cell;
+pub mod force;
+pub mod integrate;
+pub mod multisite;
+pub mod neighbor;
+pub mod pbc;
+pub mod system;
+pub mod units;
+pub mod vec3;
+pub mod water;
+
+pub use force::{ForceField, ForceResult};
+pub use neighbor::{NeighborList, NeighborListParams};
+pub use pbc::Pbc;
+pub use system::WaterBox;
+pub use vec3::Vec3;
+pub use water::WaterModel;

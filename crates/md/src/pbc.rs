@@ -1,0 +1,222 @@
+//! Periodic boundary conditions for a cubic box.
+//!
+//! GROMACS neighbour lists are built per *(central molecule, shift)* pair:
+//! all neighbours in one list share a single periodic image shift, so the
+//! shift can be applied once to the central molecule instead of per pair.
+//! StreamMD inherits this: the "9 words of periodic boundary conditions"
+//! in the stream record are the per-atom replication of that one shift
+//! vector. [`Pbc::shift_index`]/[`Pbc::shift_vector`] reproduce the
+//! GROMACS shift-vector enumeration for the 27 nearest images.
+
+use serde::{Deserialize, Serialize};
+
+use crate::vec3::Vec3;
+
+/// A cubic periodic box of side `l` (nm).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pbc {
+    l: f64,
+}
+
+impl Pbc {
+    /// Create a box of side `l` (must be positive and finite).
+    pub fn cubic(l: f64) -> Self {
+        assert!(
+            l.is_finite() && l > 0.0,
+            "box side must be positive, got {l}"
+        );
+        Self { l }
+    }
+
+    /// Box side in nm.
+    #[inline]
+    pub fn side(&self) -> f64 {
+        self.l
+    }
+
+    /// Box volume in nm³.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        self.l * self.l * self.l
+    }
+
+    /// Wrap a position into the primary cell `[0, l)³`.
+    #[inline]
+    pub fn wrap(&self, p: Vec3) -> Vec3 {
+        Vec3::new(self.wrap1(p.x), self.wrap1(p.y), self.wrap1(p.z))
+    }
+
+    #[inline]
+    fn wrap1(&self, x: f64) -> f64 {
+        let w = x - self.l * (x / self.l).floor();
+        // floor() can leave w == l for x just below a multiple of l.
+        if w >= self.l {
+            w - self.l
+        } else {
+            w
+        }
+    }
+
+    /// Minimum-image displacement `a - b`: the shortest vector from `b` to
+    /// `a` over all periodic images. Each component lies in `[-l/2, l/2]`.
+    #[inline]
+    pub fn min_image(&self, a: Vec3, b: Vec3) -> Vec3 {
+        let d = a - b;
+        Vec3::new(self.min1(d.x), self.min1(d.y), self.min1(d.z))
+    }
+
+    #[inline]
+    fn min1(&self, d: f64) -> f64 {
+        d - self.l * (d / self.l).round()
+    }
+
+    /// Integer image shift `(sx, sy, sz) ∈ {-1, 0, 1}³` such that
+    /// `a + shift*l - b` is the minimum image displacement, assuming both
+    /// points are wrapped into the primary cell (so one lattice step
+    /// suffices).
+    #[inline]
+    pub fn image_shift(&self, a: Vec3, b: Vec3) -> [i32; 3] {
+        let d = a - b;
+        [
+            -(d.x / self.l).round() as i32,
+            -(d.y / self.l).round() as i32,
+            -(d.z / self.l).round() as i32,
+        ]
+    }
+
+    /// GROMACS-style shift index for a `{-1,0,1}³` image shift: a number
+    /// in `0..27` with 13 meaning "no shift".
+    #[inline]
+    pub fn shift_index(shift: [i32; 3]) -> usize {
+        debug_assert!(shift.iter().all(|s| (-1..=1).contains(s)));
+        ((shift[2] + 1) * 9 + (shift[1] + 1) * 3 + (shift[0] + 1)) as usize
+    }
+
+    /// Shift vector (in nm) for a shift index produced by
+    /// [`Pbc::shift_index`].
+    #[inline]
+    pub fn shift_vector(&self, index: usize) -> Vec3 {
+        debug_assert!(index < 27);
+        let x = (index % 3) as i32 - 1;
+        let y = ((index / 3) % 3) as i32 - 1;
+        let z = (index / 9) as i32 - 1;
+        Vec3::new(x as f64, y as f64, z as f64) * self.l
+    }
+
+    /// Number of distinct shift indices.
+    pub const NUM_SHIFTS: usize = 27;
+
+    /// The index of the zero shift.
+    pub const CENTRAL_SHIFT: usize = 13;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wrap_into_primary_cell() {
+        let pbc = Pbc::cubic(3.0);
+        let p = pbc.wrap(Vec3::new(-0.1, 3.1, 7.5));
+        assert!((p.x - 2.9).abs() < 1e-12);
+        assert!((p.y - 0.1).abs() < 1e-12);
+        assert!((p.z - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_image_is_short() {
+        let pbc = Pbc::cubic(3.0);
+        let a = Vec3::new(0.1, 0.1, 0.1);
+        let b = Vec3::new(2.9, 2.9, 2.9);
+        let d = pbc.min_image(a, b);
+        assert!((d.x - 0.2).abs() < 1e-12);
+        assert!((d.norm() - 0.2 * 3f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_index_round_trip() {
+        let pbc = Pbc::cubic(2.0);
+        for sz in -1..=1 {
+            for sy in -1..=1 {
+                for sx in -1..=1 {
+                    let idx = Pbc::shift_index([sx, sy, sz]);
+                    assert!(idx < Pbc::NUM_SHIFTS);
+                    let v = pbc.shift_vector(idx);
+                    assert_eq!(v, Vec3::new(sx as f64, sy as f64, sz as f64) * 2.0);
+                }
+            }
+        }
+        assert_eq!(Pbc::shift_index([0, 0, 0]), Pbc::CENTRAL_SHIFT);
+    }
+
+    #[test]
+    fn image_shift_recovers_min_image() {
+        let pbc = Pbc::cubic(3.0);
+        let a = pbc.wrap(Vec3::new(0.1, 1.5, 2.9));
+        let b = pbc.wrap(Vec3::new(2.9, 1.4, 0.1));
+        let s = pbc.image_shift(a, b);
+        let shifted = a + pbc.shift_vector(Pbc::shift_index(s));
+        let direct = shifted - b;
+        let mi = pbc.min_image(a, b);
+        assert!((direct - mi).max_abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_box_rejected() {
+        Pbc::cubic(0.0);
+    }
+
+    fn arb_point(l: f64) -> impl Strategy<Value = Vec3> {
+        (-3.0 * l..3.0 * l, -3.0 * l..3.0 * l, -3.0 * l..3.0 * l)
+            .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_wrap_is_idempotent(p in arb_point(3.0)) {
+            let pbc = Pbc::cubic(3.0);
+            let w = pbc.wrap(p);
+            prop_assert!((pbc.wrap(w) - w).max_abs() < 1e-12);
+            prop_assert!(w.x >= 0.0 && w.x < 3.0);
+            prop_assert!(w.y >= 0.0 && w.y < 3.0);
+            prop_assert!(w.z >= 0.0 && w.z < 3.0);
+        }
+
+        #[test]
+        fn prop_min_image_within_half_box(a in arb_point(3.0), b in arb_point(3.0)) {
+            let pbc = Pbc::cubic(3.0);
+            let d = pbc.min_image(a, b);
+            prop_assert!(d.x.abs() <= 1.5 + 1e-12);
+            prop_assert!(d.y.abs() <= 1.5 + 1e-12);
+            prop_assert!(d.z.abs() <= 1.5 + 1e-12);
+        }
+
+        #[test]
+        fn prop_min_image_antisymmetric(a in arb_point(3.0), b in arb_point(3.0)) {
+            let pbc = Pbc::cubic(3.0);
+            let dab = pbc.min_image(a, b);
+            let dba = pbc.min_image(b, a);
+            prop_assert!((dab + dba).max_abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_wrap_preserves_min_image(a in arb_point(3.0), b in arb_point(3.0)) {
+            let pbc = Pbc::cubic(3.0);
+            let d1 = pbc.min_image(a, b);
+            let d2 = pbc.min_image(pbc.wrap(a), pbc.wrap(b));
+            // Displacements can differ by a lattice vector only when the
+            // pair is exactly at half-box distance; compare norms instead.
+            prop_assert!((d1.norm() - d2.norm()).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_image_shift_components_small(a in arb_point(3.0), b in arb_point(3.0)) {
+            let pbc = Pbc::cubic(3.0);
+            let (a, b) = (pbc.wrap(a), pbc.wrap(b));
+            let s = pbc.image_shift(a, b);
+            prop_assert!(s.iter().all(|c| (-1..=1).contains(c)));
+        }
+    }
+}

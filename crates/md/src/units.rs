@@ -1,0 +1,60 @@
+//! Physical constants in GROMACS units.
+//!
+//! GROMACS (and therefore StreamMD) works in:
+//!
+//! * length — nanometres (nm)
+//! * time — picoseconds (ps)
+//! * mass — atomic mass units (u)
+//! * energy — kJ/mol
+//! * charge — elementary charges (e)
+//!
+//! In this system forces come out in kJ·mol⁻¹·nm⁻¹ and velocities in
+//! nm/ps, and Newton's equations need no unit conversion factors beyond
+//! the electric conversion factor below.
+
+/// Electric conversion factor 1/(4πɛ₀) in kJ·mol⁻¹·nm·e⁻²
+/// (the `4πɛ₀` of Equation (1) in the paper).
+pub const COULOMB: f64 = 138.935_485;
+
+/// Boltzmann constant in kJ·mol⁻¹·K⁻¹.
+pub const KB: f64 = 8.314_462_618e-3;
+
+/// Mass of an oxygen atom in u.
+pub const MASS_O: f64 = 15.999_4;
+
+/// Mass of a hydrogen atom in u.
+pub const MASS_H: f64 = 1.008;
+
+/// Mass of one water molecule in u.
+pub const MASS_WATER: f64 = MASS_O + 2.0 * MASS_H;
+
+/// Number density of liquid water at ambient conditions, molecules per nm³
+/// (0.997 g/cm³). The paper's 900-molecule dataset at this density gives a
+/// 3.0 nm box.
+pub const WATER_NUMBER_DENSITY: f64 = 33.327;
+
+/// Debye in e·nm (for reporting dipole moments in Table 5 units).
+pub const DEBYE: f64 = 0.020_819_434;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn water_mass() {
+        assert!((MASS_WATER - 18.0154).abs() < 1e-3);
+    }
+
+    #[test]
+    fn box_side_for_900_molecules_is_3nm() {
+        let volume = 900.0 / WATER_NUMBER_DENSITY;
+        let side = volume.cbrt();
+        assert!((side - 3.0).abs() < 0.01, "side = {side}");
+    }
+
+    #[test]
+    fn thermal_energy_scale() {
+        // kT at 300 K is about 2.5 kJ/mol.
+        assert!((KB * 300.0 - 2.494).abs() < 0.01);
+    }
+}

@@ -1,0 +1,24 @@
+//! The Merrimac interconnection network (paper Section 2.3 / Figure 4)
+//! and a multi-node StreamMD scaling estimator.
+//!
+//! The network is a five-stage folded Clos ("sometimes called a Fat
+//! Tree"): four on-board router chips give every node two 2.5 GB/s
+//! channels each (20 GB/s of injection bandwidth), eight uplinks per
+//! router reach the backplane stage, and optical links cross to the
+//! system-level switch. The paper quotes the resulting totals — 512 GB/s
+//! per board, 20 GB/s flat per node on board, 2.5 GB/s per node at the
+//! top level — which [`topology::Topology`] reproduces from first
+//! principles.
+//!
+//! The paper's introduction promises "initial results of the scaling of
+//! the algorithm to larger configurations of the system"; the
+//! [`scaling`] module provides that experiment as a documented extension
+//! (X1 in DESIGN.md): StreamMD is spatially decomposed over nodes, halo
+//! positions are exchanged and remote partial forces are scatter-added
+//! across the network.
+
+pub mod scaling;
+pub mod topology;
+
+pub use scaling::{scaling_sweep, ScalingPoint};
+pub use topology::{NetLevel, Topology};

@@ -1,0 +1,231 @@
+//! Multi-node StreamMD scaling estimate (extension experiment X1).
+//!
+//! The box is spatially decomposed into equal sub-volumes, one per node.
+//! Each step a node must:
+//!
+//! 1. import halo positions — molecules within r_c of its boundary on
+//!    neighbouring nodes (9 words each plus index);
+//! 2. compute its share of the interactions (the single-node `variable`
+//!    cost scaled by molecules/node);
+//! 3. export remote partial forces with the network scatter-add (the
+//!    "floating-point streaming add-and-store operations across multiple
+//!    nodes" of Section 2.2).
+//!
+//! Communication lands on the network level that separates spatial
+//! neighbours, so small node counts stay on one board and large systems
+//! pay backplane/system bandwidth for part of the halo.
+
+use merrimac_arch::{MachineConfig, NetworkConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::topology::{NetLevel, Topology};
+
+/// One point of the strong-scaling sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    pub nodes: usize,
+    pub molecules_per_node: f64,
+    /// Halo molecules imported per node.
+    pub halo_per_node: f64,
+    /// Compute cycles per step per node.
+    pub compute_cycles: f64,
+    /// Communication cycles per step per node (bandwidth + latency).
+    pub comm_cycles: f64,
+    /// Step time in seconds (compute and communication overlap like
+    /// kernels and memory do on the node).
+    pub step_seconds: f64,
+    /// Parallel efficiency vs a single node.
+    pub efficiency: f64,
+    /// Aggregate solution GFLOPS.
+    pub solution_gflops: f64,
+}
+
+/// Workload description for the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingWorkload {
+    /// Total molecules in the system.
+    pub molecules: f64,
+    /// Cut-off radius in nm.
+    pub cutoff_nm: f64,
+    /// Number density in molecules/nm³.
+    pub density: f64,
+    /// Single-node cycles per molecule per step, calibrated from the
+    /// simulated `variable` run (cycles / molecules).
+    pub cycles_per_molecule: f64,
+    /// Interactions per molecule (half list).
+    pub interactions_per_molecule: f64,
+}
+
+impl ScalingWorkload {
+    /// The paper's 900-molecule dataset replicated `factor³` times so it
+    /// can spread over many nodes (weak-ish scaling base).
+    pub fn paper_scaled(factor: usize, cycles_per_molecule: f64) -> Self {
+        let molecules = 900.0 * (factor * factor * factor) as f64;
+        Self {
+            molecules,
+            cutoff_nm: 1.0,
+            density: 33.327,
+            cycles_per_molecule,
+            interactions_per_molecule: 70.0,
+        }
+    }
+}
+
+/// Estimate one node count.
+pub fn estimate(
+    machine: &MachineConfig,
+    topo: &Topology,
+    w: &ScalingWorkload,
+    nodes: usize,
+) -> ScalingPoint {
+    assert!(nodes >= 1 && nodes <= topo.nodes());
+    let n_node = w.molecules / nodes as f64;
+    // Sub-volume edge (cubic decomposition).
+    let volume = w.molecules / w.density;
+    let edge = (volume / nodes as f64).cbrt();
+    // Halo shell: molecules within r_c outside the sub-volume.
+    let shell_volume = ((edge + 2.0 * w.cutoff_nm).powi(3) - edge.powi(3)).max(0.0);
+    let halo = if nodes == 1 {
+        0.0
+    } else {
+        shell_volume * w.density
+    };
+
+    // Compute: calibrated single-node cost.
+    let compute_cycles = n_node * w.cycles_per_molecule;
+
+    // Communication: halo positions in (10 words each), remote partial
+    // forces out (9 words each for the halo's interactions — bounded by
+    // halo size). Words cross the level that separates the farthest
+    // spatial neighbour.
+    let words = halo * (10.0 + 9.0);
+    let level = if nodes == 1 {
+        NetLevel::Local
+    } else if nodes <= topo.cfg.nodes_per_board {
+        NetLevel::Board
+    } else if nodes <= topo.cfg.nodes_per_board * topo.cfg.boards_per_backplane {
+        NetLevel::Backplane
+    } else {
+        NetLevel::System
+    };
+    let gbps = topo.node_bandwidth_gbps(level);
+    let bytes = words * 8.0;
+    let comm_seconds = if gbps.is_infinite() {
+        0.0
+    } else {
+        bytes / (gbps * 1e9)
+    };
+    let comm_cycles = comm_seconds * machine.clock_hz + topo.latency_cycles(level) as f64;
+
+    // Overlap: the SRF decoupling hides communication under compute the
+    // same way it hides DRAM; the step takes the max plus a small
+    // non-overlapped synchronization tail.
+    let step_cycles = compute_cycles.max(comm_cycles) + 0.05 * comm_cycles.min(compute_cycles);
+    let step_seconds = step_cycles / machine.clock_hz;
+
+    let single_node_seconds = w.molecules * w.cycles_per_molecule / machine.clock_hz;
+    let efficiency = single_node_seconds / (nodes as f64 * step_seconds);
+    let flops = w.molecules * w.interactions_per_molecule * 234.0;
+    ScalingPoint {
+        nodes,
+        molecules_per_node: n_node,
+        halo_per_node: halo,
+        compute_cycles,
+        comm_cycles,
+        step_seconds,
+        efficiency,
+        solution_gflops: flops / step_seconds / 1e9,
+    }
+}
+
+/// Sweep power-of-two node counts.
+pub fn scaling_sweep(
+    machine: &MachineConfig,
+    net: &NetworkConfig,
+    w: &ScalingWorkload,
+    max_nodes: usize,
+) -> Vec<ScalingPoint> {
+    let topo = Topology::new(net.clone());
+    let mut out = Vec::new();
+    let mut n = 1usize;
+    while n <= max_nodes && n <= topo.nodes() {
+        out.push(estimate(machine, &topo, w, n));
+        n *= 2;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (MachineConfig, NetworkConfig, ScalingWorkload) {
+        (
+            MachineConfig::default(),
+            NetworkConfig::default(),
+            // 57.6M molecules (factor 40), ~7 cycles/interaction/molecule.
+            ScalingWorkload::paper_scaled(40, 500.0),
+        )
+    }
+
+    #[test]
+    fn single_node_has_full_efficiency() {
+        let (m, n, w) = setup();
+        let pts = scaling_sweep(&m, &n, &w, 1);
+        assert_eq!(pts.len(), 1);
+        assert!((pts[0].efficiency - 1.0).abs() < 1e-9);
+        assert_eq!(pts[0].halo_per_node, 0.0);
+    }
+
+    #[test]
+    fn step_time_decreases_with_nodes() {
+        let (m, n, w) = setup();
+        let pts = scaling_sweep(&m, &n, &w, 1024);
+        for pair in pts.windows(2) {
+            assert!(
+                pair[1].step_seconds < pair[0].step_seconds,
+                "{} nodes: {} !< {}",
+                pair[1].nodes,
+                pair[1].step_seconds,
+                pair[0].step_seconds
+            );
+        }
+    }
+
+    #[test]
+    fn efficiency_degrades_as_halo_dominates() {
+        let (m, n, w) = setup();
+        let pts = scaling_sweep(&m, &n, &w, 8192);
+        let first = pts.first().unwrap();
+        let last = pts.last().unwrap();
+        assert!(last.efficiency < first.efficiency);
+        assert!(
+            last.efficiency > 0.01,
+            "efficiency collapsed: {}",
+            last.efficiency
+        );
+    }
+
+    #[test]
+    fn halo_fraction_grows_with_node_count() {
+        let (m, n, w) = setup();
+        let topo = Topology::new(n);
+        let few = estimate(&m, &topo, &w, 8);
+        let many = estimate(&m, &topo, &w, 4096);
+        assert!(
+            many.halo_per_node / many.molecules_per_node
+                > few.halo_per_node / few.molecules_per_node
+        );
+    }
+
+    #[test]
+    fn aggregate_gflops_scales_sublinearly() {
+        let (m, n, w) = setup();
+        let pts = scaling_sweep(&m, &n, &w, 4096);
+        let f0 = pts[0].solution_gflops;
+        let fl = pts.last().unwrap().solution_gflops;
+        let nodes = pts.last().unwrap().nodes as f64;
+        assert!(fl > f0, "more nodes must be faster overall");
+        assert!(fl < f0 * nodes, "no superlinear scaling");
+    }
+}

@@ -1,0 +1,169 @@
+//! Folded-Clos topology model.
+
+use merrimac_arch::NetworkConfig;
+use serde::{Deserialize, Serialize};
+
+/// Communication locality levels between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetLevel {
+    /// Same node (no network traversal).
+    Local,
+    /// Same board: one on-board router hop.
+    Board,
+    /// Same backplane (cabinet): board → backplane → board.
+    Backplane,
+    /// Across the system-level switch (optical).
+    System,
+}
+
+/// A concrete folded-Clos instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    pub cfg: NetworkConfig,
+}
+
+impl Topology {
+    pub fn new(cfg: NetworkConfig) -> Self {
+        assert!(cfg.nodes_per_board > 0 && cfg.boards_per_backplane > 0 && cfg.backplanes > 0);
+        Self { cfg }
+    }
+
+    /// Total nodes in the system.
+    pub fn nodes(&self) -> usize {
+        self.cfg.total_nodes()
+    }
+
+    /// Which level connects nodes `a` and `b`?
+    pub fn level(&self, a: usize, b: usize) -> NetLevel {
+        assert!(a < self.nodes() && b < self.nodes());
+        if a == b {
+            return NetLevel::Local;
+        }
+        let per_board = self.cfg.nodes_per_board;
+        let per_backplane = per_board * self.cfg.boards_per_backplane;
+        if a / per_board == b / per_board {
+            NetLevel::Board
+        } else if a / per_backplane == b / per_backplane {
+            NetLevel::Backplane
+        } else {
+            NetLevel::System
+        }
+    }
+
+    /// Router hops between two nodes (for latency estimates).
+    pub fn hops(&self, level: NetLevel) -> u32 {
+        match level {
+            NetLevel::Local => 0,
+            NetLevel::Board => 1,
+            NetLevel::Backplane => 3,
+            NetLevel::System => 5,
+        }
+    }
+
+    /// One-way latency in core cycles for a short message.
+    pub fn latency_cycles(&self, level: NetLevel) -> u64 {
+        let hops = self.hops(level) as u64 * self.cfg.hop_latency_cycles;
+        match level {
+            NetLevel::Local => 0,
+            NetLevel::Board => hops + self.cfg.board_wire_latency_cycles,
+            NetLevel::Backplane => hops + 2 * self.cfg.board_wire_latency_cycles,
+            NetLevel::System => {
+                hops + 2 * self.cfg.board_wire_latency_cycles + self.cfg.system_wire_latency_cycles
+            }
+        }
+    }
+
+    /// Per-node bandwidth (GB/s) available to traffic that terminates at
+    /// the given level. The paper: 20 GB/s flat on board; the top level
+    /// provides 2.5 GB/s per node.
+    pub fn node_bandwidth_gbps(&self, level: NetLevel) -> f64 {
+        match level {
+            NetLevel::Local => f64::INFINITY,
+            NetLevel::Board => self.cfg.node_injection_gbps(),
+            // Each board's 32 uplinks are shared by its 16 nodes.
+            NetLevel::Backplane => self.cfg.board_uplink_gbps() / self.cfg.nodes_per_board as f64,
+            // One optical channel per board reaches each far cabinet
+            // group; budget one channel per node at the top.
+            NetLevel::System => self.cfg.channel_gbps,
+        }
+    }
+
+    /// Aggregate board numbers the paper quotes (Figure 3/4 captions).
+    pub fn board_aggregate_gbps(&self) -> f64 {
+        self.cfg.nodes_per_board as f64 * self.cfg.node_injection_gbps()
+    }
+
+    /// Bisection bandwidth of the full system in GB/s (each backplane's
+    /// optical uplinks carry half the system's traffic in the worst
+    /// case).
+    pub fn bisection_gbps(&self) -> f64 {
+        let uplinks_per_backplane =
+            self.cfg.boards_per_backplane as f64 * self.cfg.routers_per_board as f64;
+        self.cfg.backplanes as f64 / 2.0 * uplinks_per_backplane * self.cfg.channel_gbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::new(NetworkConfig::default())
+    }
+
+    #[test]
+    fn default_system_size() {
+        let t = topo();
+        assert_eq!(t.nodes(), 8192);
+    }
+
+    #[test]
+    fn levels_classified() {
+        let t = topo();
+        assert_eq!(t.level(0, 0), NetLevel::Local);
+        assert_eq!(t.level(0, 1), NetLevel::Board);
+        assert_eq!(t.level(0, 16), NetLevel::Backplane);
+        assert_eq!(t.level(0, 16 * 32), NetLevel::System);
+    }
+
+    #[test]
+    fn latency_ordering() {
+        let t = topo();
+        let l = |lvl| t.latency_cycles(lvl);
+        assert!(l(NetLevel::Local) < l(NetLevel::Board));
+        assert!(l(NetLevel::Board) < l(NetLevel::Backplane));
+        assert!(l(NetLevel::Backplane) < l(NetLevel::System));
+    }
+
+    #[test]
+    fn bandwidth_matches_paper_figures() {
+        let t = topo();
+        // 20 GB/s per node on board, 320 GB/s per board aggregate.
+        assert!((t.node_bandwidth_gbps(NetLevel::Board) - 20.0).abs() < 1e-9);
+        assert!((t.board_aggregate_gbps() - 320.0).abs() < 1e-9);
+        // Top level: 2.5 GB/s channels.
+        assert!((t.node_bandwidth_gbps(NetLevel::System) - 2.5).abs() < 1e-9);
+        // Bandwidth tapers with distance.
+        assert!(
+            t.node_bandwidth_gbps(NetLevel::Board) > t.node_bandwidth_gbps(NetLevel::Backplane)
+        );
+        assert!(
+            t.node_bandwidth_gbps(NetLevel::Backplane) >= t.node_bandwidth_gbps(NetLevel::System)
+        );
+    }
+
+    #[test]
+    fn bisection_is_terabytes_per_second() {
+        // The paper's Figure 4 table: several TB/s across the system.
+        let t = topo();
+        let b = t.bisection_gbps();
+        assert!(b > 1000.0, "bisection {b} GB/s");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_node_panics() {
+        let t = topo();
+        t.level(0, 1_000_000);
+    }
+}

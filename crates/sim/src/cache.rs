@@ -1,0 +1,223 @@
+//! The node's stream cache: 64 KWords, 8 line-interleaved banks,
+//! set-associative with LRU replacement.
+//!
+//! The cache sits between the address generators and the external DRDRAM
+//! (Section 2.2). Gathers whose indices revisit recently-touched
+//! molecules hit in the cache and avoid DRAM traffic; the simulator runs
+//! every stream memory operation's word addresses through this model to
+//! obtain hit/miss counts and per-bank pressure.
+
+use merrimac_arch::MachineConfig;
+
+/// Statistics of one address-trace pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheAccessStats {
+    pub accesses: u64,
+    pub hits: u64,
+    pub misses: u64,
+    /// Dirty lines written back to DRAM.
+    pub writebacks: u64,
+    /// Largest number of accesses landing on a single bank (for the bank
+    /// conflict bound).
+    pub max_bank_load: u64,
+}
+
+impl CacheAccessStats {
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    pub fn merge(&mut self, o: &CacheAccessStats) {
+        self.accesses += o.accesses;
+        self.hits += o.hits;
+        self.misses += o.misses;
+        self.writebacks += o.writebacks;
+        self.max_bank_load = self.max_bank_load.max(o.max_bank_load);
+    }
+}
+
+/// Line state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU stamp.
+    used: u64,
+}
+
+/// A set-associative, line-interleaved cache model.
+#[derive(Debug, Clone)]
+pub struct StreamCache {
+    line_words: u64,
+    ways: usize,
+    sets: usize,
+    banks: usize,
+    lines: Vec<Line>,
+    clock: u64,
+}
+
+impl StreamCache {
+    pub fn new(cfg: &MachineConfig) -> Self {
+        let sets = cfg.cache_sets();
+        assert!(sets > 0 && sets.is_power_of_two());
+        Self {
+            line_words: cfg.cache_line_words as u64,
+            ways: cfg.cache_ways,
+            sets,
+            banks: cfg.cache_banks,
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    used: 0
+                };
+                sets * cfg.cache_ways
+            ],
+            clock: 0,
+        }
+    }
+
+    /// Total capacity in words.
+    pub fn capacity_words(&self) -> u64 {
+        (self.sets * self.ways) as u64 * self.line_words
+    }
+
+    /// Run a word-address trace through the cache. `write` marks lines
+    /// dirty (stores and scatter-adds).
+    pub fn access_trace(
+        &mut self,
+        addrs: impl Iterator<Item = u64>,
+        write: bool,
+    ) -> CacheAccessStats {
+        let mut st = CacheAccessStats::default();
+        let mut bank_load = vec![0u64; self.banks];
+        for addr in addrs {
+            self.clock += 1;
+            st.accesses += 1;
+            let line_addr = addr / self.line_words;
+            bank_load[(line_addr % self.banks as u64) as usize] += 1;
+            let set = line_addr as usize % self.sets;
+            let tag = line_addr;
+            let base = set * self.ways;
+            let ways = &mut self.lines[base..base + self.ways];
+            if let Some(l) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+                st.hits += 1;
+                l.used = self.clock;
+                l.dirty |= write;
+                continue;
+            }
+            st.misses += 1;
+            // LRU victim.
+            let victim = ways
+                .iter_mut()
+                .min_by_key(|l| if l.valid { l.used } else { 0 })
+                .expect("at least one way");
+            if victim.valid && victim.dirty {
+                st.writebacks += 1;
+            }
+            *victim = Line {
+                tag,
+                valid: true,
+                dirty: write,
+                used: self.clock,
+            };
+        }
+        st.max_bank_load = bank_load.iter().copied().max().unwrap_or(0);
+        st
+    }
+
+    /// Forget all contents (e.g. between independent experiments).
+    pub fn flush(&mut self) {
+        for l in &mut self.lines {
+            l.valid = false;
+            l.dirty = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> StreamCache {
+        StreamCache::new(&MachineConfig::default())
+    }
+
+    #[test]
+    fn capacity_matches_config() {
+        let cfg = MachineConfig::default();
+        assert_eq!(cache().capacity_words(), cfg.cache_words as u64);
+    }
+
+    #[test]
+    fn sequential_trace_hits_within_lines() {
+        let mut c = cache();
+        let st = c.access_trace(0..64, false);
+        // 64 words over 8-word lines: 8 misses, 56 hits.
+        assert_eq!(st.misses, 8);
+        assert_eq!(st.hits, 56);
+        assert_eq!(st.hit_rate(), 56.0 / 64.0);
+    }
+
+    #[test]
+    fn repeat_trace_hits_fully() {
+        let mut c = cache();
+        c.access_trace(0..1024, false);
+        let st = c.access_trace(0..1024, false);
+        assert_eq!(st.misses, 0);
+        assert_eq!(st.hits, 1024);
+    }
+
+    #[test]
+    fn capacity_eviction() {
+        let mut c = cache();
+        let cap = c.capacity_words();
+        // Touch 2x capacity sequentially, then re-touch the first half:
+        // every *line* was evicted, so only intra-line locality hits.
+        c.access_trace(0..(2 * cap), false);
+        let st = c.access_trace(0..cap / 2, false);
+        assert_eq!(st.misses, cap / 2 / 8, "expected every line evicted");
+        assert_eq!(st.hits, cap / 2 - cap / 2 / 8);
+    }
+
+    #[test]
+    fn writebacks_counted() {
+        let mut c = cache();
+        let cap = c.capacity_words();
+        c.access_trace((0..cap).step_by(8), true); // dirty every line
+        let st = c.access_trace((cap..2 * cap).step_by(8), false);
+        assert_eq!(st.writebacks, (cap / 8), "every victim was dirty");
+    }
+
+    #[test]
+    fn flush_clears_contents() {
+        let mut c = cache();
+        c.access_trace(0..256, false);
+        c.flush();
+        let st = c.access_trace(0..256, false);
+        assert_eq!(st.hits, 256 - 32);
+        assert_eq!(st.misses, 32);
+    }
+
+    #[test]
+    fn bank_load_balanced_for_sequential_lines() {
+        let mut c = cache();
+        let st = c.access_trace((0..512).step_by(8), false);
+        // 64 lines over 8 banks: 8 per bank.
+        assert_eq!(st.max_bank_load, 8);
+    }
+
+    #[test]
+    fn single_line_hammer_loads_one_bank() {
+        let mut c = cache();
+        let st = c.access_trace(std::iter::repeat(3).take(100), false);
+        assert_eq!(st.max_bank_load, 100);
+        assert_eq!(st.misses, 1);
+    }
+}

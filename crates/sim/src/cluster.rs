@@ -1,0 +1,118 @@
+//! Cluster-array timing for kernel launches.
+//!
+//! All 16 clusters run the same VLIW program in SIMD; a launch finishes
+//! when the busiest cluster drains its share of the stream. With
+//! conditional streams the per-cluster iteration counts differ (each
+//! cluster consumes its own centre molecules), which is exactly the
+//! load-imbalance knob the `variable` variant trades against bandwidth.
+
+use merrimac_arch::MachineConfig;
+
+use crate::kernelc::CompiledKernel;
+
+/// Timing of one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelCost {
+    /// Total cluster-array occupancy in cycles, including start-up.
+    pub cycles: u64,
+    /// Iterations executed by the busiest cluster.
+    pub max_cluster_iterations: u64,
+    /// Total iterations across clusters.
+    pub iterations: u64,
+}
+
+/// Cost a kernel launch.
+///
+/// `iterations` is the total loop-iteration count across the whole
+/// stream; `max_cluster_iterations` the share of the busiest cluster
+/// (for a perfectly balanced stream this is `ceil(iterations/16)`).
+pub fn kernel_cost(
+    cfg: &MachineConfig,
+    kernel: &CompiledKernel,
+    iterations: u64,
+    max_cluster_iterations: u64,
+) -> KernelCost {
+    assert!(
+        max_cluster_iterations * cfg.clusters as u64 >= iterations,
+        "max cluster share {max_cluster_iterations} cannot cover {iterations} iterations"
+    );
+    let cycles = if iterations == 0 {
+        0
+    } else {
+        cfg.kernel_startup + kernel.cluster_cycles(max_cluster_iterations)
+    };
+    KernelCost {
+        cycles,
+        max_cluster_iterations,
+        iterations,
+    }
+}
+
+/// Balanced per-cluster share.
+pub fn balanced_share(cfg: &MachineConfig, iterations: u64) -> u64 {
+    iterations.div_ceil(cfg.clusters as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernelc::KernelOpt;
+    use merrimac_arch::OpCosts;
+    use merrimac_kernel::ir::StreamMode;
+    use merrimac_kernel::KernelBuilder;
+
+    fn compiled() -> CompiledKernel {
+        let mut b = KernelBuilder::new("k");
+        let s = b.input("x", 1, StreamMode::EveryIteration);
+        let o = b.output("y", 1);
+        let x = b.read(s, 0);
+        let y = b.mul(x, x);
+        b.write(o, &[y]);
+        CompiledKernel::compile(
+            b.build(),
+            &MachineConfig::default(),
+            &OpCosts::default(),
+            KernelOpt::default(),
+        )
+    }
+
+    #[test]
+    fn balanced_share_rounds_up() {
+        let cfg = MachineConfig::default();
+        assert_eq!(balanced_share(&cfg, 16), 1);
+        assert_eq!(balanced_share(&cfg, 17), 2);
+        assert_eq!(balanced_share(&cfg, 0), 0);
+    }
+
+    #[test]
+    fn cost_includes_startup() {
+        let cfg = MachineConfig::default();
+        let k = compiled();
+        let c = kernel_cost(&cfg, &k, 160, 10);
+        assert!(c.cycles >= cfg.kernel_startup);
+    }
+
+    #[test]
+    fn imbalance_costs_more() {
+        let cfg = MachineConfig::default();
+        let k = compiled();
+        let balanced = kernel_cost(&cfg, &k, 160, 10);
+        let skewed = kernel_cost(&cfg, &k, 160, 40);
+        assert!(skewed.cycles > balanced.cycles);
+    }
+
+    #[test]
+    fn zero_iterations_free() {
+        let cfg = MachineConfig::default();
+        let k = compiled();
+        assert_eq!(kernel_cost(&cfg, &k, 0, 0).cycles, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cover")]
+    fn undersized_share_rejected() {
+        let cfg = MachineConfig::default();
+        let k = compiled();
+        kernel_cost(&cfg, &k, 1000, 10);
+    }
+}

@@ -1,0 +1,143 @@
+//! Register-hierarchy reference counters and flop accounting — the
+//! measurement layer behind Figure 8 ("percentage of references made to
+//! each level of the register hierarchy"), Table 4 (measured arithmetic
+//! intensity), and Figure 9 (GFLOPS and memory reference counts).
+//!
+//! Conventions:
+//!
+//! * **LRF references** — operand reads plus the result write of every
+//!   issued cluster op (`arity + 1` per op).
+//! * **SRF references** — words crossing the SRF: kernel stream reads and
+//!   writes, plus the SRF side of every memory transfer (the SRF is the
+//!   staging area for all stream memory operations).
+//! * **MEM references** — words moved by stream memory operations
+//!   (gathers, loads, scatter-adds, stores), counted at the memory-system
+//!   side.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregated counters of one program run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Counters {
+    pub lrf_refs: u64,
+    pub srf_refs: u64,
+    pub mem_refs: u64,
+    /// Hardware flops executed (madd = 2), including dummy/overhead work.
+    pub hardware_flops: u64,
+    /// Issued cluster ops.
+    pub hardware_ops: u64,
+    /// Kernel loop iterations executed.
+    pub kernel_iterations: u64,
+    /// Words moved on the DRAM pins.
+    pub dram_words: u64,
+    /// Cache hits/misses across all memory ops.
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+}
+
+impl Counters {
+    pub fn add(&mut self, o: &Counters) {
+        self.lrf_refs += o.lrf_refs;
+        self.srf_refs += o.srf_refs;
+        self.mem_refs += o.mem_refs;
+        self.hardware_flops += o.hardware_flops;
+        self.hardware_ops += o.hardware_ops;
+        self.kernel_iterations += o.kernel_iterations;
+        self.dram_words += o.dram_words;
+        self.cache_hits += o.cache_hits;
+        self.cache_misses += o.cache_misses;
+    }
+
+    /// Total register-hierarchy references.
+    pub fn total_refs(&self) -> u64 {
+        self.lrf_refs + self.srf_refs + self.mem_refs
+    }
+
+    /// Figure 8 splits (fractions of total references).
+    pub fn locality_split(&self) -> (f64, f64, f64) {
+        let t = self.total_refs() as f64;
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.lrf_refs as f64 / t,
+            self.srf_refs as f64 / t,
+            self.mem_refs as f64 / t,
+        )
+    }
+
+    /// Measured arithmetic intensity: `flops / memory words`. The caller
+    /// chooses solution or hardware flops.
+    pub fn arithmetic_intensity(&self, flops: u64) -> f64 {
+        if self.mem_refs == 0 {
+            0.0
+        } else {
+            flops as f64 / self.mem_refs as f64
+        }
+    }
+
+    pub fn cache_hit_rate(&self) -> f64 {
+        let t = self.cache_hits + self.cache_misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_split_sums_to_one() {
+        let c = Counters {
+            lrf_refs: 900,
+            srf_refs: 60,
+            mem_refs: 40,
+            ..Default::default()
+        };
+        let (l, s, m) = c.locality_split();
+        assert!((l + s + m - 1.0).abs() < 1e-12);
+        assert!((l - 0.9).abs() < 1e-12);
+        assert!((m - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counters_are_safe() {
+        let c = Counters::default();
+        assert_eq!(c.locality_split(), (0.0, 0.0, 0.0));
+        assert_eq!(c.arithmetic_intensity(100), 0.0);
+        assert_eq!(c.cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = Counters {
+            lrf_refs: 1,
+            mem_refs: 2,
+            hardware_flops: 3,
+            ..Default::default()
+        };
+        let b = Counters {
+            lrf_refs: 10,
+            mem_refs: 20,
+            hardware_flops: 30,
+            ..Default::default()
+        };
+        a.add(&b);
+        assert_eq!(a.lrf_refs, 11);
+        assert_eq!(a.mem_refs, 22);
+        assert_eq!(a.hardware_flops, 33);
+    }
+
+    #[test]
+    fn arithmetic_intensity_uses_mem_words() {
+        let c = Counters {
+            mem_refs: 48,
+            ..Default::default()
+        };
+        assert!((c.arithmetic_intensity(234) - 4.875).abs() < 1e-12);
+    }
+}

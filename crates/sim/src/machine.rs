@@ -1,0 +1,804 @@
+//! The stream processor scoreboard: issues stream operations onto the
+//! memory system and the cluster array, enforcing data dependencies,
+//! SRF capacity and stream-descriptor-register availability.
+//!
+//! The model has one memory pipeline and one cluster array (matching the
+//! two-column execution plots of Figure 7); software pipelining across
+//! strips emerges from the dependence structure: while the clusters run
+//! strip *i*'s kernel, the memory unit gathers strip *i+1* and scatters
+//! strip *i−1*, exactly as in Figure 5 — provided enough stream
+//! descriptor registers are free, which is where [`SdrPolicy`] bites.
+
+use merrimac_arch::{MachineConfig, OpCosts};
+use merrimac_kernel::interp::{InterpError, Interpreter, StreamData};
+
+use crate::counters::Counters;
+use crate::memsys::MemSystem;
+use crate::program::{BufferId, Memory, StreamOp, StreamProgram};
+use crate::sdr::{SdrFile, SdrPolicy};
+use crate::srf::SrfAllocator;
+use crate::timeline::{Timeline, Unit};
+
+/// Simulation failure.
+#[derive(Debug)]
+pub enum SimError {
+    Interp(InterpError),
+    /// A single buffer exceeds SRF capacity — no schedule can run it.
+    SrfImpossible(String),
+    /// The scoreboard wedged (a bug or an impossible program).
+    Deadlock(String),
+    /// Program shape error (e.g. iterations not divisible by unroll).
+    Program(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Interp(e) => write!(f, "kernel execution failed: {e}"),
+            SimError::SrfImpossible(s) => write!(f, "SRF cannot hold buffer: {s}"),
+            SimError::Deadlock(s) => write!(f, "scoreboard deadlock: {s}"),
+            SimError::Program(s) => write!(f, "malformed program: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<InterpError> for SimError {
+    fn from(e: InterpError) -> Self {
+        SimError::Interp(e)
+    }
+}
+
+/// Report of one program run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Total run time in cycles.
+    pub cycles: u64,
+    pub timeline: Timeline,
+    pub counters: Counters,
+    /// Peak stream descriptor registers in use.
+    pub sdr_peak: usize,
+    /// Peak SRF words per cluster.
+    pub srf_peak_words_per_cluster: usize,
+    /// Cycles the memory unit sat idle with work ready but no SDR free.
+    pub sdr_stall_cycles: u64,
+}
+
+impl RunReport {
+    /// Seconds at the configured clock.
+    pub fn seconds(&self, cfg: &MachineConfig) -> f64 {
+        cfg.cycles_to_seconds(self.cycles)
+    }
+}
+
+/// A Merrimac node ready to execute stream programs.
+#[derive(Debug, Clone)]
+pub struct StreamProcessor {
+    pub cfg: MachineConfig,
+    pub costs: OpCosts,
+    pub policy: SdrPolicy,
+    /// How many strips ahead of the oldest incomplete strip the memory
+    /// unit may prefetch. One strip of lookahead is the double-buffering
+    /// discipline of the paper's stream scheduler (Figure 5); unbounded
+    /// lookahead can deadlock the SRF allocator, exactly the hazard
+    /// static stream scheduling exists to prevent.
+    pub strip_lookahead: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpState {
+    Waiting,
+    Running { end: u64 },
+    Done { end: u64 },
+}
+
+impl StreamProcessor {
+    pub fn new(cfg: MachineConfig) -> Self {
+        Self {
+            cfg,
+            costs: OpCosts::default(),
+            policy: SdrPolicy::Eager,
+            strip_lookahead: 1,
+        }
+    }
+
+    pub fn with_policy(mut self, policy: SdrPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    pub fn with_costs(mut self, costs: OpCosts) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Execute `program` against `memory`, mutating regions written by
+    /// scatter-add/store ops.
+    pub fn run(&self, memory: &mut Memory, program: &StreamProgram) -> Result<RunReport, SimError> {
+        let n_ops = program.ops.len();
+        let n_bufs = program.buffers.len();
+
+        // ---- static dependence analysis --------------------------------
+        // Producer of each buffer; consumers of each buffer.
+        let mut producer: Vec<Option<usize>> = vec![None; n_bufs];
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n_bufs];
+        for (i, lop) in program.ops.iter().enumerate() {
+            for b in produced_buffers(&lop.op) {
+                if producer[b.0].is_some() {
+                    return Err(SimError::Program(format!(
+                        "buffer {} has two producers",
+                        program.buffers[b.0].name
+                    )));
+                }
+                producer[b.0] = Some(i);
+            }
+            for b in consumed_buffers(&lop.op) {
+                consumers[b.0].push(i);
+            }
+        }
+        // Op-level dependencies: buffer producers, plus region hazards
+        // (any earlier op that writes a region this op touches, and any
+        // earlier op that reads a region this op writes).
+        let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n_ops];
+        for (i, lop) in program.ops.iter().enumerate() {
+            for b in consumed_buffers(&lop.op) {
+                match producer[b.0] {
+                    Some(p) => deps[i].push(p),
+                    None => {
+                        return Err(SimError::Program(format!(
+                            "buffer {} consumed but never produced",
+                            program.buffers[b.0].name
+                        )))
+                    }
+                }
+            }
+            let (reads, writes) = region_access(&lop.op);
+            for (j, other) in program.ops.iter().enumerate().take(i) {
+                let (oreads, owrites) = region_access(&other.op);
+                let raw = reads.iter().any(|r| owrites.contains(r));
+                let war = writes.iter().any(|w| oreads.contains(w));
+                let waw = writes.iter().any(|w| owrites.contains(w));
+                if raw || war || waw {
+                    deps[i].push(j);
+                }
+            }
+        }
+
+        // ---- dynamic state ----------------------------------------------
+        let mut state = vec![OpState::Waiting; n_ops];
+        let mut buffers: Vec<Option<StreamData>> = vec![None; n_bufs];
+        let mut buffer_released = vec![false; n_bufs];
+        let mut consumers_left: Vec<usize> = consumers.iter().map(|c| c.len()).collect();
+        let mut srf = SrfAllocator::new(&self.cfg);
+        let mut sdr = SdrFile::new(self.cfg.stream_descriptor_registers);
+        // SDRs held by memory op i awaiting a late (naive-policy) release:
+        // maps buffer -> count of SDRs released when that buffer dies.
+        let mut sdr_held_on_buffer: Vec<usize> = vec![0; n_bufs];
+        let mut releases_at_completion: Vec<bool> = vec![false; n_ops];
+        let mut memsys = MemSystem::new(&self.cfg);
+        let mut timeline = Timeline::default();
+        let mut counters = Counters::default();
+        let mut mem_free_at: u64 = 0;
+        let mut kernel_free_at: u64 = 0;
+        let mut now: u64 = 0;
+        let mut done_count = 0usize;
+        let mut sdr_stall_cycles = 0u64;
+
+        // Release a buffer's SRF space and any naive-policy SDRs parked
+        // on it.
+        macro_rules! release_buffer {
+            ($b:expr, $sdr:ident) => {{
+                let b: usize = $b;
+                if !buffer_released[b] {
+                    buffer_released[b] = true;
+                    srf.release(b);
+                    for _ in 0..sdr_held_on_buffer[b] {
+                        $sdr.release();
+                    }
+                    sdr_held_on_buffer[b] = 0;
+                }
+            }};
+        }
+
+        // Mark op completion effects.
+        macro_rules! complete_op {
+            ($i:expr, $end:expr) => {{
+                let i: usize = $i;
+                state[i] = OpState::Done { end: $end };
+                done_count += 1;
+                // Consumption bookkeeping: each buffer this op consumed
+                // loses one consumer; at zero the buffer dies.
+                for b in consumed_buffers(&program.ops[i].op) {
+                    consumers_left[b.0] -= 1;
+                    if consumers_left[b.0] == 0 {
+                        release_buffer!(b.0, sdr);
+                    }
+                }
+                // Buffers produced but never consumed die immediately.
+                for b in produced_buffers(&program.ops[i].op) {
+                    if consumers[b.0].is_empty() {
+                        release_buffer!(b.0, sdr);
+                    }
+                }
+            }};
+        }
+
+        while done_count < n_ops {
+            // Finish anything that completed by `now`.
+            // (Completion is processed when time advances; see below.)
+
+            let mut started_something = false;
+            let mut mem_blocked_on_sdr = false;
+
+            // Oldest strip that still has unfinished work bounds the
+            // prefetch window.
+            let min_incomplete_strip = program
+                .ops
+                .iter()
+                .zip(&state)
+                .filter(|(_, st)| !matches!(st, OpState::Done { .. }))
+                .map(|(op, _)| op.strip)
+                .min()
+                .unwrap_or(usize::MAX);
+
+            for i in 0..n_ops {
+                if state[i] != OpState::Waiting {
+                    continue;
+                }
+                let lop = &program.ops[i];
+                if lop.strip > min_incomplete_strip.saturating_add(self.strip_lookahead) {
+                    continue;
+                }
+                let is_mem = lop.op.is_memory();
+                let unit_free = if is_mem {
+                    mem_free_at <= now
+                } else {
+                    kernel_free_at <= now
+                };
+                if !unit_free {
+                    continue;
+                }
+                let ready = deps[i].iter().all(|&d| match state[d] {
+                    OpState::Done { end } => end <= now,
+                    _ => false,
+                });
+                if !ready {
+                    continue;
+                }
+                // Resources: SRF for produced buffers.
+                let mut allocated: Vec<usize> = Vec::new();
+                let mut srf_ok = true;
+                for b in produced_buffers(&lop.op) {
+                    let words = buffer_capacity_words(program, &lop.op, b);
+                    if words > srf.capacity_words_per_cluster() * self.cfg.clusters {
+                        return Err(SimError::SrfImpossible(format!(
+                            "buffer {} needs {} words",
+                            program.buffers[b.0].name, words
+                        )));
+                    }
+                    match srf.alloc(b.0, words) {
+                        Ok(()) => allocated.push(b.0),
+                        Err(_) => {
+                            srf_ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !srf_ok {
+                    for b in allocated {
+                        srf.release(b);
+                    }
+                    continue;
+                }
+                // SDR for memory ops.
+                if is_mem && !sdr.try_alloc() {
+                    for b in &allocated {
+                        srf.release(*b);
+                    }
+                    mem_blocked_on_sdr = true;
+                    continue;
+                }
+
+                // ---- start the op: functional execution + cost ----------
+                let (cost_cycles, unit) = match &lop.op {
+                    StreamOp::Gather {
+                        region,
+                        record_len,
+                        indices,
+                        dst,
+                    } => {
+                        let cost = memsys.gather_cost(memory, *region, *record_len, indices, false);
+                        let mut data = Vec::with_capacity(indices.len() * record_len);
+                        let src = memory.data(*region);
+                        for &idx in indices.iter() {
+                            let s = idx as usize * record_len;
+                            data.extend_from_slice(&src[s..s + record_len]);
+                        }
+                        buffers[dst.0] = Some(StreamData::new(*record_len, data));
+                        counters.mem_refs += cost.words;
+                        counters.dram_words += cost.dram_words;
+                        counters.cache_hits += cost.cache.hits;
+                        counters.cache_misses += cost.cache.misses;
+                        (self.cfg.memory_op_startup + cost.cycles, Unit::Memory)
+                    }
+                    StreamOp::Load {
+                        region,
+                        record_len,
+                        start,
+                        records,
+                        dst,
+                    } => {
+                        let cost = memsys.sequential_cost(
+                            memory,
+                            *region,
+                            *record_len,
+                            *start,
+                            *records,
+                            false,
+                        );
+                        let s = start * record_len;
+                        let data = memory.data(*region)[s..s + records * record_len].to_vec();
+                        buffers[dst.0] = Some(StreamData::new(*record_len, data));
+                        counters.mem_refs += cost.words;
+                        counters.dram_words += cost.dram_words;
+                        counters.cache_hits += cost.cache.hits;
+                        counters.cache_misses += cost.cache.misses;
+                        (self.cfg.memory_op_startup + cost.cycles, Unit::Memory)
+                    }
+                    StreamOp::ScatterAdd {
+                        src,
+                        region,
+                        record_len,
+                        indices,
+                    } => {
+                        let data = buffers[src.0]
+                            .as_ref()
+                            .expect("scatter-add source produced")
+                            .clone();
+                        if data.num_records() != indices.len() {
+                            return Err(SimError::Program(format!(
+                                "scatter-add '{}': {} records vs {} indices",
+                                lop.label,
+                                data.num_records(),
+                                indices.len()
+                            )));
+                        }
+                        let cost = memsys.scatter_add_cost(memory, *region, *record_len, indices);
+                        let dst = memory.data_mut(*region);
+                        for (r, &idx) in indices.iter().enumerate() {
+                            let base = idx as usize * *record_len;
+                            for f in 0..*record_len {
+                                dst[base + f] += data.record(r)[f];
+                            }
+                        }
+                        counters.mem_refs += cost.words;
+                        counters.dram_words += cost.dram_words;
+                        counters.cache_hits += cost.cache.hits;
+                        counters.cache_misses += cost.cache.misses;
+                        (self.cfg.memory_op_startup + cost.cycles, Unit::Memory)
+                    }
+                    StreamOp::Store {
+                        src,
+                        region,
+                        record_len,
+                        start,
+                    } => {
+                        let data = buffers[src.0]
+                            .as_ref()
+                            .expect("store source produced")
+                            .clone();
+                        let records = data.num_records();
+                        let cost = memsys.sequential_cost(
+                            memory,
+                            *region,
+                            *record_len,
+                            *start,
+                            records,
+                            true,
+                        );
+                        let dst = memory.data_mut(*region);
+                        let s = start * record_len;
+                        dst[s..s + records * record_len].copy_from_slice(&data.data);
+                        counters.mem_refs += cost.words;
+                        counters.dram_words += cost.dram_words;
+                        counters.cache_hits += cost.cache.hits;
+                        counters.cache_misses += cost.cache.misses;
+                        (self.cfg.memory_op_startup + cost.cycles, Unit::Memory)
+                    }
+                    StreamOp::Kernel {
+                        kernel,
+                        inputs,
+                        outputs,
+                        params,
+                        iterations,
+                        max_cluster_iterations,
+                    } => {
+                        let unroll = kernel.opt.unroll as u64;
+                        if iterations % unroll != 0 {
+                            return Err(SimError::Program(format!(
+                                "kernel '{}': {} iterations not divisible by unroll {}",
+                                lop.label, iterations, unroll
+                            )));
+                        }
+                        let input_data: Vec<StreamData> = inputs
+                            .iter()
+                            .map(|b| {
+                                buffers[b.0]
+                                    .as_ref()
+                                    .expect("kernel input produced")
+                                    .clone()
+                            })
+                            .collect();
+                        // Reshape every-iteration inputs to the unrolled
+                        // record length.
+                        let mut shaped = Vec::with_capacity(input_data.len());
+                        for (d, sig) in input_data.into_iter().zip(&kernel.ir.inputs) {
+                            if sig.record_len as usize != d.record_len {
+                                if d.data.len() % sig.record_len as usize != 0 {
+                                    return Err(SimError::Program(format!(
+                                        "kernel '{}': input not reshapeable to {} words",
+                                        lop.label, sig.record_len
+                                    )));
+                                }
+                                shaped.push(StreamData::new(sig.record_len as usize, d.data));
+                            } else {
+                                shaped.push(d);
+                            }
+                        }
+                        let unrolled_iters = iterations / unroll;
+                        let out = Interpreter::new(&kernel.ir).run(
+                            &shaped,
+                            params,
+                            unrolled_iters as usize,
+                        )?;
+                        let mut srf_words = 0u64;
+                        for (s, d) in out.records_consumed.iter().zip(&shaped) {
+                            srf_words += (*s * d.record_len) as u64;
+                        }
+                        for (o, b) in out.outputs.into_iter().zip(outputs) {
+                            srf_words += o.data.len() as u64;
+                            buffers[b.0] = Some(o);
+                        }
+                        counters.srf_refs += srf_words;
+                        counters.lrf_refs += kernel.stats.lrf_refs * unrolled_iters;
+                        counters.hardware_flops += kernel.stats.hardware_flops * unrolled_iters;
+                        counters.hardware_ops += kernel.stats.hardware_ops * unrolled_iters;
+                        counters.kernel_iterations += iterations;
+                        let c = crate::cluster::kernel_cost(
+                            &self.cfg,
+                            kernel,
+                            *iterations,
+                            *max_cluster_iterations,
+                        );
+                        (c.cycles, Unit::Kernel)
+                    }
+                };
+
+                let end = now + cost_cycles;
+                state[i] = OpState::Running { end };
+                timeline.record(unit, now, end, &lop.label, lop.strip);
+                match unit {
+                    Unit::Memory => {
+                        mem_free_at = end;
+                        // SDR retirement policy: the naive allocator parks
+                        // the register on the produced SRF stream and only
+                        // frees it when that stream dies; the eager one
+                        // (and ops with no produced stream) free it at
+                        // operation completion.
+                        if self.policy == SdrPolicy::Naive {
+                            if let Some(b) = produced_buffers(&lop.op).first() {
+                                sdr_held_on_buffer[b.0] += 1;
+                            } else {
+                                releases_at_completion[i] = true;
+                            }
+                        } else {
+                            releases_at_completion[i] = true;
+                        }
+                    }
+                    Unit::Kernel => kernel_free_at = end,
+                }
+                started_something = true;
+                break; // rescan from the top (unit states changed)
+            }
+
+            if started_something {
+                continue;
+            }
+
+            // Advance time to the next completion.
+            let next = state
+                .iter()
+                .filter_map(|s| match s {
+                    OpState::Running { end } => Some(*end),
+                    _ => None,
+                })
+                .min();
+            match next {
+                Some(t) => {
+                    if mem_blocked_on_sdr && mem_free_at <= now {
+                        sdr_stall_cycles += t - now;
+                    }
+                    now = t;
+                    // Complete everything ending at or before `now`.
+                    for i in 0..n_ops {
+                        if let OpState::Running { end } = state[i] {
+                            if end <= now {
+                                if releases_at_completion[i] {
+                                    sdr.release();
+                                }
+                                complete_op!(i, end);
+                            }
+                        }
+                    }
+                }
+                None => {
+                    return Err(SimError::Deadlock(format!(
+                        "{} of {} ops done, nothing running",
+                        done_count, n_ops
+                    )));
+                }
+            }
+        }
+
+        Ok(RunReport {
+            cycles: timeline.makespan(),
+            timeline,
+            counters,
+            sdr_peak: sdr.peak(),
+            srf_peak_words_per_cluster: srf.peak_words_per_cluster(),
+            sdr_stall_cycles,
+        })
+    }
+}
+
+/// Buffers an op produces.
+fn produced_buffers(op: &StreamOp) -> Vec<BufferId> {
+    match op {
+        StreamOp::Gather { dst, .. } | StreamOp::Load { dst, .. } => vec![*dst],
+        StreamOp::Kernel { outputs, .. } => outputs.clone(),
+        _ => vec![],
+    }
+}
+
+/// Buffers an op consumes.
+fn consumed_buffers(op: &StreamOp) -> Vec<BufferId> {
+    match op {
+        StreamOp::Kernel { inputs, .. } => inputs.clone(),
+        StreamOp::ScatterAdd { src, .. } | StreamOp::Store { src, .. } => vec![*src],
+        _ => vec![],
+    }
+}
+
+/// (regions read, regions written)
+fn region_access(op: &StreamOp) -> (Vec<usize>, Vec<usize>) {
+    match op {
+        StreamOp::Gather { region, .. } | StreamOp::Load { region, .. } => (vec![region.0], vec![]),
+        StreamOp::ScatterAdd { region, .. } | StreamOp::Store { region, .. } => {
+            (vec![], vec![region.0])
+        }
+        StreamOp::Kernel { .. } => (vec![], vec![]),
+    }
+}
+
+/// Worst-case SRF words a produced buffer can hold.
+fn buffer_capacity_words(program: &StreamProgram, op: &StreamOp, b: BufferId) -> usize {
+    match op {
+        StreamOp::Gather {
+            indices,
+            record_len,
+            ..
+        } => indices.len() * record_len,
+        StreamOp::Load {
+            records,
+            record_len,
+            ..
+        } => records * record_len,
+        StreamOp::Kernel {
+            kernel,
+            iterations,
+            outputs,
+            ..
+        } => {
+            let record_len = program.buffers[b.0].record_len;
+            // Writes per unrolled iteration to this output stream.
+            let out_idx = outputs
+                .iter()
+                .position(|o| *o == b)
+                .expect("output belongs to kernel");
+            let writes = kernel
+                .ir
+                .writes
+                .iter()
+                .filter(|w| w.stream as usize == out_idx)
+                .count()
+                .max(1);
+            let unrolled = (*iterations as usize).div_ceil(kernel.opt.unroll as usize);
+            unrolled * writes * record_len
+        }
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernelc::{CompiledKernel, KernelOpt};
+    use crate::program::ProgramBuilder;
+    use merrimac_kernel::ir::StreamMode;
+    use merrimac_kernel::KernelBuilder;
+    use std::sync::Arc;
+
+    /// y = x*x kernel.
+    fn square_kernel(cfg: &MachineConfig, opt: KernelOpt) -> Arc<CompiledKernel> {
+        let mut b = KernelBuilder::new("square");
+        let s = b.input("x", 1, StreamMode::EveryIteration);
+        let o = b.output("y", 1);
+        let x = b.read(s, 0);
+        let y = b.mul(x, x);
+        b.write(o, &[y]);
+        Arc::new(CompiledKernel::compile(
+            b.build(),
+            cfg,
+            &OpCosts::default(),
+            opt,
+        ))
+    }
+
+    fn run_square(n: usize) -> (Vec<f64>, RunReport) {
+        let cfg = MachineConfig::default();
+        let mut mem = Memory::new();
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let src = mem.region("xs", xs);
+        let out = mem.region("ys", vec![0.0; n]);
+        let k = square_kernel(&cfg, KernelOpt::default());
+        let mut pb = ProgramBuilder::new();
+        let bx = pb.buffer("x", 1);
+        let by = pb.buffer("y", 1);
+        pb.load("load x", src, 1, 0, n, bx);
+        pb.kernel(
+            "square",
+            k,
+            vec![bx],
+            vec![by],
+            vec![],
+            n as u64,
+            (n as u64).div_ceil(16),
+        );
+        pb.store("store y", by, out, 1, 0);
+        let program = pb.build();
+        let proc = StreamProcessor::new(cfg);
+        let report = proc.run(&mut mem, &program).expect("runs");
+        (mem.data(out).to_vec(), report)
+    }
+
+    #[test]
+    fn functional_execution_is_exact() {
+        let (ys, _) = run_square(100);
+        for (i, y) in ys.iter().enumerate() {
+            assert_eq!(*y, (i * i) as f64);
+        }
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let (_, r) = run_square(64);
+        assert_eq!(r.counters.kernel_iterations, 64);
+        // load 64 + store 64 words.
+        assert_eq!(r.counters.mem_refs, 128);
+        // SRF references count the kernel-side stream I/O (64 in + 64
+        // out); the memory-transfer side is the MEM count.
+        assert_eq!(r.counters.srf_refs, 128);
+        assert!(r.counters.lrf_refs > 0);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn scatter_add_accumulates() {
+        let cfg = MachineConfig::default();
+        let mut mem = Memory::new();
+        let vals = mem.region("vals", vec![1.0, 2.0, 3.0, 4.0]);
+        let acc = mem.region("acc", vec![0.0; 2]);
+        let mut pb = ProgramBuilder::new();
+        let bv = pb.buffer("v", 1);
+        pb.load("load", vals, 1, 0, 4, bv);
+        pb.scatter_add("scatter", bv, acc, 1, Arc::new(vec![0, 1, 0, 1]));
+        let program = pb.build();
+        StreamProcessor::new(cfg).run(&mut mem, &program).unwrap();
+        assert_eq!(mem.data(acc), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn strip_pipelining_overlaps_memory_and_compute() {
+        // Two strips: gather(1) should overlap kernel(0).
+        let cfg = MachineConfig::default();
+        let k = square_kernel(&cfg, KernelOpt::default());
+        let n = 4096usize;
+        let mut mem = Memory::new();
+        let xs = mem.region("xs", (0..2 * n).map(|i| i as f64).collect());
+        let out = mem.region("out", vec![0.0; 2 * n]);
+        let mut pb = ProgramBuilder::new();
+        for strip in 0..2 {
+            pb.strip(strip);
+            let bx = pb.buffer(&format!("x{strip}"), 1);
+            let by = pb.buffer(&format!("y{strip}"), 1);
+            let idx: Vec<u32> = (0..n as u32)
+                .map(|i| i + (strip as u32) * n as u32)
+                .collect();
+            pb.gather(format!("gather {strip}"), xs, 1, Arc::new(idx), bx);
+            pb.kernel(
+                format!("kernel {strip}"),
+                k.clone(),
+                vec![bx],
+                vec![by],
+                vec![],
+                n as u64,
+                (n as u64).div_ceil(16),
+            );
+            pb.store(format!("store {strip}"), by, out, 1, strip * n);
+        }
+        let program = pb.build();
+        let r = StreamProcessor::new(cfg).run(&mut mem, &program).unwrap();
+        assert!(
+            r.timeline.overlap() > 0,
+            "expected memory/compute overlap, got none:\n{}",
+            r.timeline.render(24)
+        );
+        // Functional correctness across strips.
+        assert_eq!(mem.data(out)[2 * n - 1], ((2 * n - 1) * (2 * n - 1)) as f64);
+    }
+
+    #[test]
+    fn naive_sdr_policy_hurts_overlap_when_registers_scarce() {
+        let mut cfg = MachineConfig::default();
+        cfg.stream_descriptor_registers = 2;
+        let k = square_kernel(&cfg, KernelOpt::default());
+        let n = 4096usize;
+        let strips = 6;
+        let build = || {
+            let mut mem = Memory::new();
+            let xs = mem.region("xs", (0..strips * n).map(|i| i as f64).collect());
+            let out = mem.region("out", vec![0.0; strips * n]);
+            let mut pb = ProgramBuilder::new();
+            for strip in 0..strips {
+                pb.strip(strip);
+                let bx = pb.buffer(&format!("x{strip}"), 1);
+                let by = pb.buffer(&format!("y{strip}"), 1);
+                let idx: Vec<u32> = (0..n as u32)
+                    .map(|i| i + (strip as u32) * n as u32)
+                    .collect();
+                pb.gather(format!("gather {strip}"), xs, 1, Arc::new(idx), bx);
+                pb.kernel(
+                    format!("kernel {strip}"),
+                    k.clone(),
+                    vec![bx],
+                    vec![by],
+                    vec![],
+                    n as u64,
+                    (n as u64).div_ceil(16),
+                );
+                pb.store(format!("store {strip}"), by, out, 1, strip * n);
+            }
+            (mem, pb.build())
+        };
+        let (mut m1, p1) = build();
+        let naive = StreamProcessor::new(cfg.clone())
+            .with_policy(SdrPolicy::Naive)
+            .run(&mut m1, &p1)
+            .unwrap();
+        let (mut m2, p2) = build();
+        let eager = StreamProcessor::new(cfg)
+            .with_policy(SdrPolicy::Eager)
+            .run(&mut m2, &p2)
+            .unwrap();
+        assert!(
+            eager.cycles <= naive.cycles,
+            "eager {} should not exceed naive {}",
+            eager.cycles,
+            naive.cycles
+        );
+        // Both policies must compute identical results.
+        use crate::program::RegionId;
+        assert_eq!(m1.data(RegionId(1)), m2.data(RegionId(1)));
+    }
+}

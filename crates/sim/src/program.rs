@@ -1,0 +1,349 @@
+//! Stream programs: the instruction sequence the scalar core issues to
+//! the stream unit.
+//!
+//! A stream program is a list of stream-level operations over (a) named
+//! memory *regions* (arrays in node DRAM — StreamMD's position array,
+//! index streams, and force array) and (b) SRF *buffers* (strips staged
+//! on chip). The StreamMD pseudo-code of Section 3.1 maps directly:
+//!
+//! ```text
+//! c_positions = gather(positions, i_central);     // StreamOp::Gather
+//! n_positions = gather(positions, i_neighbor);    // StreamOp::Gather
+//! partial_forces = compute_force(c_… , n_…);      // StreamOp::Kernel
+//! forces = scatter_add(partial_forces, i_forces); // StreamOp::ScatterAdd
+//! ```
+
+use std::sync::Arc;
+
+use crate::kernelc::CompiledKernel;
+
+/// Handle to a memory region (an array in node DRAM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionId(pub usize);
+
+/// Handle to an SRF buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferId(pub usize);
+
+/// Node memory: named f64 regions with word-addressable layout.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    regions: Vec<Vec<f64>>,
+    names: Vec<String>,
+    /// Base word address of each region in the flat node address space
+    /// (used by the cache model).
+    bases: Vec<u64>,
+    next_base: u64,
+}
+
+impl Memory {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a region initialized with `data`.
+    pub fn region(&mut self, name: &str, data: Vec<f64>) -> RegionId {
+        let id = RegionId(self.regions.len());
+        self.bases.push(self.next_base);
+        // Align regions to line boundaries (8 words) and leave a gap so
+        // traces from different regions do not alias.
+        let len = data.len() as u64;
+        self.next_base += len.div_ceil(8) * 8 + 64;
+        self.regions.push(data);
+        self.names.push(name.to_string());
+        id
+    }
+
+    pub fn data(&self, r: RegionId) -> &[f64] {
+        &self.regions[r.0]
+    }
+
+    pub fn data_mut(&mut self, r: RegionId) -> &mut [f64] {
+        &mut self.regions[r.0]
+    }
+
+    pub fn name(&self, r: RegionId) -> &str {
+        &self.names[r.0]
+    }
+
+    /// Flat word address of `region[word]` for the cache model.
+    pub fn word_address(&self, r: RegionId, word: u64) -> u64 {
+        self.bases[r.0] + word
+    }
+
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+}
+
+/// One stream-level operation.
+#[derive(Debug, Clone)]
+pub enum StreamOp {
+    /// Indexed gather: for each record index `i` in `indices`, copy
+    /// `region[i*record_len .. +record_len]` into `dst`.
+    Gather {
+        region: RegionId,
+        record_len: usize,
+        indices: Arc<Vec<u32>>,
+        dst: BufferId,
+    },
+    /// Sequential (unit-stride) load of `records` records starting at
+    /// record `start`.
+    Load {
+        region: RegionId,
+        record_len: usize,
+        start: usize,
+        records: usize,
+        dst: BufferId,
+    },
+    /// Kernel launch over SRF buffers.
+    Kernel {
+        kernel: Arc<CompiledKernel>,
+        inputs: Vec<BufferId>,
+        outputs: Vec<BufferId>,
+        params: Vec<f64>,
+        /// Total loop iterations.
+        iterations: u64,
+        /// Iterations executed by the busiest cluster (SIMD completion is
+        /// governed by the slowest cluster; callers compute this from
+        /// their data distribution).
+        max_cluster_iterations: u64,
+    },
+    /// Atomic scatter-add of `src` records into `region` at the given
+    /// record indices (Merrimac's hardware scatter-add, Section 2.2).
+    ScatterAdd {
+        src: BufferId,
+        region: RegionId,
+        record_len: usize,
+        indices: Arc<Vec<u32>>,
+    },
+    /// Sequential store of a buffer into a region at record `start`.
+    Store {
+        src: BufferId,
+        region: RegionId,
+        record_len: usize,
+        start: usize,
+    },
+}
+
+impl StreamOp {
+    /// Is this a memory-system operation (vs a cluster kernel)?
+    pub fn is_memory(&self) -> bool {
+        !matches!(self, StreamOp::Kernel { .. })
+    }
+
+    /// Short human-readable mnemonic for timelines.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            StreamOp::Gather { .. } => "gather",
+            StreamOp::Load { .. } => "load",
+            StreamOp::Kernel { .. } => "kernel",
+            StreamOp::ScatterAdd { .. } => "scatter+",
+            StreamOp::Store { .. } => "store",
+        }
+    }
+}
+
+/// Declared SRF buffer.
+#[derive(Debug, Clone)]
+pub struct BufferDecl {
+    pub name: String,
+    pub record_len: usize,
+}
+
+/// A labelled operation with its strip id (for timeline grouping).
+#[derive(Debug, Clone)]
+pub struct LabelledOp {
+    pub op: StreamOp,
+    pub label: String,
+    pub strip: usize,
+}
+
+/// A full stream program.
+#[derive(Debug, Clone, Default)]
+pub struct StreamProgram {
+    pub buffers: Vec<BufferDecl>,
+    pub ops: Vec<LabelledOp>,
+}
+
+/// Builder for stream programs.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    program: StreamProgram,
+    strip: usize,
+}
+
+impl ProgramBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare an SRF buffer.
+    pub fn buffer(&mut self, name: &str, record_len: usize) -> BufferId {
+        self.program.buffers.push(BufferDecl {
+            name: name.into(),
+            record_len,
+        });
+        BufferId(self.program.buffers.len() - 1)
+    }
+
+    /// Set the strip id attached to subsequently pushed ops.
+    pub fn strip(&mut self, strip: usize) -> &mut Self {
+        self.strip = strip;
+        self
+    }
+
+    pub fn push(&mut self, label: impl Into<String>, op: StreamOp) -> &mut Self {
+        self.program.ops.push(LabelledOp {
+            op,
+            label: label.into(),
+            strip: self.strip,
+        });
+        self
+    }
+
+    pub fn gather(
+        &mut self,
+        label: impl Into<String>,
+        region: RegionId,
+        record_len: usize,
+        indices: Arc<Vec<u32>>,
+        dst: BufferId,
+    ) -> &mut Self {
+        self.push(
+            label,
+            StreamOp::Gather {
+                region,
+                record_len,
+                indices,
+                dst,
+            },
+        )
+    }
+
+    pub fn load(
+        &mut self,
+        label: impl Into<String>,
+        region: RegionId,
+        record_len: usize,
+        start: usize,
+        records: usize,
+        dst: BufferId,
+    ) -> &mut Self {
+        self.push(
+            label,
+            StreamOp::Load {
+                region,
+                record_len,
+                start,
+                records,
+                dst,
+            },
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn kernel(
+        &mut self,
+        label: impl Into<String>,
+        kernel: Arc<CompiledKernel>,
+        inputs: Vec<BufferId>,
+        outputs: Vec<BufferId>,
+        params: Vec<f64>,
+        iterations: u64,
+        max_cluster_iterations: u64,
+    ) -> &mut Self {
+        self.push(
+            label,
+            StreamOp::Kernel {
+                kernel,
+                inputs,
+                outputs,
+                params,
+                iterations,
+                max_cluster_iterations,
+            },
+        )
+    }
+
+    pub fn scatter_add(
+        &mut self,
+        label: impl Into<String>,
+        src: BufferId,
+        region: RegionId,
+        record_len: usize,
+        indices: Arc<Vec<u32>>,
+    ) -> &mut Self {
+        self.push(
+            label,
+            StreamOp::ScatterAdd {
+                src,
+                region,
+                record_len,
+                indices,
+            },
+        )
+    }
+
+    pub fn store(
+        &mut self,
+        label: impl Into<String>,
+        src: BufferId,
+        region: RegionId,
+        record_len: usize,
+        start: usize,
+    ) -> &mut Self {
+        self.push(
+            label,
+            StreamOp::Store {
+                src,
+                region,
+                record_len,
+                start,
+            },
+        )
+    }
+
+    pub fn build(self) -> StreamProgram {
+        self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_region_addresses_do_not_overlap() {
+        let mut m = Memory::new();
+        let a = m.region("a", vec![0.0; 100]);
+        let b = m.region("b", vec![0.0; 50]);
+        let a_end = m.word_address(a, 99);
+        let b_start = m.word_address(b, 0);
+        assert!(a_end < b_start);
+    }
+
+    #[test]
+    fn region_data_round_trip() {
+        let mut m = Memory::new();
+        let r = m.region("r", vec![1.0, 2.0, 3.0]);
+        m.data_mut(r)[1] = 20.0;
+        assert_eq!(m.data(r), &[1.0, 20.0, 3.0]);
+        assert_eq!(m.name(r), "r");
+    }
+
+    #[test]
+    fn builder_assembles_program() {
+        let mut m = Memory::new();
+        let pos = m.region("positions", vec![0.0; 90]);
+        let mut b = ProgramBuilder::new();
+        let buf = b.buffer("c_positions", 9);
+        b.strip(0).gather("g", pos, 9, Arc::new(vec![0, 1, 2]), buf);
+        let p = b.build();
+        assert_eq!(p.buffers.len(), 1);
+        assert_eq!(p.ops.len(), 1);
+        assert!(p.ops[0].op.is_memory());
+        assert_eq!(p.ops[0].op.mnemonic(), "gather");
+        assert_eq!(p.ops[0].strip, 0);
+    }
+}

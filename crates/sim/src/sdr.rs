@@ -1,0 +1,101 @@
+//! Stream descriptor registers (SDRs/MARs).
+//!
+//! A hardware register holds the mapping between an active stream in the
+//! SRF and its memory address while a stream memory operation runs.
+//! Section 4.2 of the paper reports that the original allocator for this
+//! register file kept registers busy too long, preventing the memory
+//! system from running ahead of the kernels (Figure 7a); releasing the
+//! register as soon as the transfer completes restores perfect overlap
+//! (Figure 7b). Both policies are implemented here and selected per run.
+
+use serde::{Deserialize, Serialize};
+
+/// When is a stream descriptor register returned to the free pool?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SdrPolicy {
+    /// The flawed allocator: the register is held until the SRF stream it
+    /// maps is dead — for an input gather, until the consuming kernel has
+    /// finished with the buffer.
+    Naive,
+    /// The fixed allocator: released as soon as the memory operation
+    /// completes.
+    Eager,
+}
+
+/// A pool of stream descriptor registers.
+#[derive(Debug, Clone)]
+pub struct SdrFile {
+    total: usize,
+    in_use: usize,
+    /// High-water mark for reporting.
+    peak: usize,
+}
+
+impl SdrFile {
+    pub fn new(total: usize) -> Self {
+        assert!(total > 0, "need at least one stream descriptor register");
+        Self {
+            total,
+            in_use: 0,
+            peak: 0,
+        }
+    }
+
+    /// Try to allocate one register.
+    pub fn try_alloc(&mut self) -> bool {
+        if self.in_use < self.total {
+            self.in_use += 1;
+            self.peak = self.peak.max(self.in_use);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Release one register.
+    pub fn release(&mut self) {
+        assert!(self.in_use > 0, "SDR release without allocation");
+        self.in_use -= 1;
+    }
+
+    pub fn available(&self) -> usize {
+        self.total - self.in_use
+    }
+
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_until_exhausted() {
+        let mut f = SdrFile::new(2);
+        assert!(f.try_alloc());
+        assert!(f.try_alloc());
+        assert!(!f.try_alloc());
+        assert_eq!(f.available(), 0);
+        f.release();
+        assert!(f.try_alloc());
+        assert_eq!(f.peak(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "release without allocation")]
+    fn release_underflow_panics() {
+        SdrFile::new(1).release();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_registers_rejected() {
+        SdrFile::new(0);
+    }
+}

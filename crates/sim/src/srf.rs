@@ -1,0 +1,143 @@
+//! Stream register file accounting.
+//!
+//! The SRF is software-managed (Section 2.1): the compiler assigns every
+//! strip buffer a region of each cluster's bank and double-buffers so the
+//! memory system can fill strip *i+1* while the clusters consume strip
+//! *i*. The simulator does not need placement addresses — buffers carry
+//! their own data — but it must enforce the capacity that makes
+//! strip-mining necessary in the first place, and report the high-water
+//! mark so the application layer can size its strips.
+
+use merrimac_arch::MachineConfig;
+
+/// Tracks live SRF bytes per cluster bank.
+#[derive(Debug, Clone)]
+pub struct SrfAllocator {
+    capacity_words_per_cluster: usize,
+    clusters: usize,
+    live_words_per_cluster: usize,
+    peak_words_per_cluster: usize,
+    /// Live allocation sizes by buffer id for release bookkeeping.
+    live: std::collections::HashMap<usize, usize>,
+}
+
+/// Error when a strip does not fit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SrfOverflow {
+    pub requested_words_per_cluster: usize,
+    pub live_words_per_cluster: usize,
+    pub capacity_words_per_cluster: usize,
+}
+
+impl std::fmt::Display for SrfOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SRF overflow: {} + {} words/cluster exceeds capacity {}",
+            self.live_words_per_cluster,
+            self.requested_words_per_cluster,
+            self.capacity_words_per_cluster
+        )
+    }
+}
+
+impl std::error::Error for SrfOverflow {}
+
+impl SrfAllocator {
+    pub fn new(cfg: &MachineConfig) -> Self {
+        Self {
+            capacity_words_per_cluster: cfg.srf_words_per_cluster,
+            clusters: cfg.clusters,
+            live_words_per_cluster: 0,
+            peak_words_per_cluster: 0,
+            live: Default::default(),
+        }
+    }
+
+    /// Allocate a buffer of `total_words` spread across clusters
+    /// (rounded up to equal per-cluster shares).
+    pub fn alloc(&mut self, buffer_id: usize, total_words: usize) -> Result<(), SrfOverflow> {
+        let per_cluster = total_words.div_ceil(self.clusters);
+        if self.live_words_per_cluster + per_cluster > self.capacity_words_per_cluster {
+            return Err(SrfOverflow {
+                requested_words_per_cluster: per_cluster,
+                live_words_per_cluster: self.live_words_per_cluster,
+                capacity_words_per_cluster: self.capacity_words_per_cluster,
+            });
+        }
+        let prev = self.live.insert(buffer_id, per_cluster);
+        assert!(prev.is_none(), "buffer {buffer_id} double-allocated");
+        self.live_words_per_cluster += per_cluster;
+        self.peak_words_per_cluster = self.peak_words_per_cluster.max(self.live_words_per_cluster);
+        Ok(())
+    }
+
+    /// Release a buffer (no-op if it was never allocated — e.g. an empty
+    /// strip).
+    pub fn release(&mut self, buffer_id: usize) {
+        if let Some(w) = self.live.remove(&buffer_id) {
+            self.live_words_per_cluster -= w;
+        }
+    }
+
+    pub fn live_words_per_cluster(&self) -> usize {
+        self.live_words_per_cluster
+    }
+
+    pub fn peak_words_per_cluster(&self) -> usize {
+        self.peak_words_per_cluster
+    }
+
+    pub fn capacity_words_per_cluster(&self) -> usize {
+        self.capacity_words_per_cluster
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc() -> SrfAllocator {
+        SrfAllocator::new(&MachineConfig::default())
+    }
+
+    #[test]
+    fn capacity_from_config() {
+        let a = alloc();
+        assert_eq!(a.capacity_words_per_cluster(), 8192);
+    }
+
+    #[test]
+    fn alloc_release_cycle() {
+        let mut a = alloc();
+        a.alloc(0, 16 * 1024).unwrap(); // 1024 words/cluster
+        assert_eq!(a.live_words_per_cluster(), 1024);
+        a.release(0);
+        assert_eq!(a.live_words_per_cluster(), 0);
+        assert_eq!(a.peak_words_per_cluster(), 1024);
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let mut a = alloc();
+        a.alloc(0, 16 * 8000).unwrap();
+        let err = a.alloc(1, 16 * 300).unwrap_err();
+        assert_eq!(err.live_words_per_cluster, 8000);
+        assert_eq!(err.requested_words_per_cluster, 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "double-allocated")]
+    fn double_alloc_panics() {
+        let mut a = alloc();
+        a.alloc(0, 100).unwrap();
+        a.alloc(0, 100).unwrap();
+    }
+
+    #[test]
+    fn release_unknown_is_noop() {
+        let mut a = alloc();
+        a.release(42);
+        assert_eq!(a.live_words_per_cluster(), 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Execution timelines: the data behind Figure 7's two-column
+//! kernel/memory occupancy plot and Figure 5's software-pipelining
+//! illustration.
+
+use serde::{Deserialize, Serialize};
+
+/// Which unit an interval occupied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Unit {
+    Kernel,
+    Memory,
+}
+
+/// One busy interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    pub unit: Unit,
+    pub start: u64,
+    pub end: u64,
+    pub label: String,
+    pub strip: usize,
+}
+
+/// A whole-run timeline.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    pub intervals: Vec<Interval>,
+}
+
+impl Timeline {
+    pub fn record(&mut self, unit: Unit, start: u64, end: u64, label: &str, strip: usize) {
+        debug_assert!(end >= start);
+        self.intervals.push(Interval {
+            unit,
+            start,
+            end,
+            label: label.into(),
+            strip,
+        });
+    }
+
+    /// Total busy cycles of one unit (intervals on a unit never overlap —
+    /// the machine model serializes each unit).
+    pub fn busy(&self, unit: Unit) -> u64 {
+        self.intervals
+            .iter()
+            .filter(|i| i.unit == unit)
+            .map(|i| i.end - i.start)
+            .sum()
+    }
+
+    /// End of the last interval.
+    pub fn makespan(&self) -> u64 {
+        self.intervals.iter().map(|i| i.end).max().unwrap_or(0)
+    }
+
+    /// Cycles during which *both* units are busy — the overlap the SDR
+    /// fix of Figure 7 restores.
+    pub fn overlap(&self) -> u64 {
+        let mut events: Vec<(u64, i32, i32)> = Vec::new();
+        for i in &self.intervals {
+            let (dk, dm) = match i.unit {
+                Unit::Kernel => (1, 0),
+                Unit::Memory => (0, 1),
+            };
+            events.push((i.start, dk, dm));
+            events.push((i.end, -dk, -dm));
+        }
+        events.sort_unstable();
+        let (mut k, mut m) = (0i32, 0i32);
+        let mut last = 0u64;
+        let mut overlap = 0u64;
+        for (t, dk, dm) in events {
+            if k > 0 && m > 0 {
+                overlap += t - last;
+            }
+            k += dk;
+            m += dm;
+            last = t;
+        }
+        overlap
+    }
+
+    /// Overlap as a fraction of the smaller unit's busy time (1.0 means
+    /// the cheaper side is perfectly hidden).
+    pub fn overlap_fraction(&self) -> f64 {
+        let min_busy = self.busy(Unit::Kernel).min(self.busy(Unit::Memory));
+        if min_busy == 0 {
+            return 0.0;
+        }
+        self.overlap() as f64 / min_busy as f64
+    }
+
+    /// Render an ASCII two-column occupancy chart like Figure 7:
+    /// `rows` lines, left column = kernel, right column = memory.
+    pub fn render(&self, rows: usize) -> String {
+        let span = self.makespan().max(1);
+        let rows = rows.max(1);
+        let mut out = String::new();
+        out.push_str("   cycle | kernel  | memory\n");
+        out.push_str("---------+---------+---------\n");
+        for r in 0..rows {
+            let t0 = span * r as u64 / rows as u64;
+            let t1 = (span * (r as u64 + 1) / rows as u64).max(t0 + 1);
+            let busy_in = |unit: Unit| -> bool {
+                self.intervals
+                    .iter()
+                    .any(|i| i.unit == unit && i.start < t1 && i.end > t0)
+            };
+            let k = if busy_in(Unit::Kernel) {
+                "███████"
+            } else {
+                "       "
+            };
+            let m = if busy_in(Unit::Memory) {
+                "███████"
+            } else {
+                "       "
+            };
+            out.push_str(&format!("{t0:>8} | {k} | {m}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_and_makespan() {
+        let mut t = Timeline::default();
+        t.record(Unit::Kernel, 0, 10, "k0", 0);
+        t.record(Unit::Memory, 5, 20, "m0", 1);
+        assert_eq!(t.busy(Unit::Kernel), 10);
+        assert_eq!(t.busy(Unit::Memory), 15);
+        assert_eq!(t.makespan(), 20);
+    }
+
+    #[test]
+    fn overlap_simple() {
+        let mut t = Timeline::default();
+        t.record(Unit::Kernel, 0, 10, "k", 0);
+        t.record(Unit::Memory, 5, 20, "m", 0);
+        assert_eq!(t.overlap(), 5);
+        assert!((t.overlap_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_overlap_when_serialized() {
+        let mut t = Timeline::default();
+        t.record(Unit::Kernel, 0, 10, "k", 0);
+        t.record(Unit::Memory, 10, 20, "m", 0);
+        assert_eq!(t.overlap(), 0);
+        assert_eq!(t.overlap_fraction(), 0.0);
+    }
+
+    #[test]
+    fn full_overlap() {
+        let mut t = Timeline::default();
+        t.record(Unit::Kernel, 0, 100, "k", 0);
+        t.record(Unit::Memory, 20, 60, "m", 0);
+        assert_eq!(t.overlap(), 40);
+        assert!((t.overlap_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiple_intervals_accumulate_overlap() {
+        let mut t = Timeline::default();
+        t.record(Unit::Kernel, 0, 10, "k0", 0);
+        t.record(Unit::Kernel, 20, 30, "k1", 1);
+        t.record(Unit::Memory, 5, 25, "m", 0);
+        assert_eq!(t.overlap(), 5 + 5);
+    }
+
+    #[test]
+    fn render_shape() {
+        let mut t = Timeline::default();
+        t.record(Unit::Kernel, 0, 50, "k", 0);
+        t.record(Unit::Memory, 25, 75, "m", 0);
+        let s = t.render(10);
+        assert_eq!(s.lines().count(), 12);
+        assert!(s.contains("kernel"));
+        assert!(s.contains("███████"));
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let t = Timeline::default();
+        assert_eq!(t.makespan(), 0);
+        assert_eq!(t.overlap(), 0);
+        assert_eq!(t.overlap_fraction(), 0.0);
+    }
+}

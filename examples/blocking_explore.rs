@@ -1,0 +1,57 @@
+//! Explore the blocking scheme (the paper's Section 5.4 / Figures 11-12)
+//! with adjustable calibration.
+//!
+//! ```sh
+//! cargo run --release --example blocking_explore [kernel_cycles_per_interaction] [memory_cycles_per_word]
+//! ```
+
+use blocking_model::model::{default_sizes, sweep, BlockingConfig, Calibration};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cal = if args.len() >= 3 {
+        Calibration {
+            kernel_cycles_per_interaction: args[1].parse().expect("kernel cycles"),
+            memory_cycles_per_word: args[2].parse().expect("memory cycles"),
+        }
+    } else {
+        Calibration::paper_like()
+    };
+    let cfg = BlockingConfig::default();
+    println!(
+        "calibration: {:.2} kernel cycles/interaction, {:.2} memory cycles/word",
+        cal.kernel_cycles_per_interaction, cal.memory_cycles_per_word
+    );
+    println!("cutoff: {:.2} molecule spacings\n", cfg.cutoff_norm);
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>9}  time",
+        "size", "mols/cl", "kernel", "memory", "time"
+    );
+    let pts = sweep(&cfg, &cal, &default_sizes());
+    let t_max = pts.iter().map(|p| p.time_rel).fold(0.0, f64::max).min(4.0);
+    for p in &pts {
+        let bar_len = ((p.time_rel / t_max) * 30.0).round() as usize;
+        println!(
+            "{:>6.1} {:>9.2} {:>9.2} {:>9.2} {:>9.2}  {}",
+            p.size,
+            p.molecules_per_cluster,
+            p.kernel_rel,
+            p.memory_rel,
+            p.time_rel,
+            "▁".repeat(bar_len.min(60))
+        );
+    }
+    let min = pts
+        .iter()
+        .min_by(|a, b| a.time_rel.total_cmp(&b.time_rel))
+        .unwrap();
+    println!(
+        "\nminimum: {:.2}x at cluster size {:.1} (~{:.0} molecules/cluster)",
+        min.time_rel, min.size, min.molecules_per_cluster
+    );
+    if min.time_rel < 1.0 {
+        println!("blocking helps under this balance (the paper's Figure 12 dip).");
+    } else {
+        println!("blocking does not pay under this balance (kernel-bound machine).");
+    }
+}

@@ -1,0 +1,71 @@
+//! Inspect the VLIW schedules of the StreamMD interaction kernels
+//! (the Figure 10 experiment, interactively).
+//!
+//! ```sh
+//! cargo run --release --example kernel_schedule [expanded|fixed|variable|duplicated]
+//! ```
+
+use merrimac_arch::{MachineConfig, OpCosts};
+use merrimac_kernel::render::{render_pipelined, render_schedule};
+use merrimac_sim::{CompiledKernel, KernelOpt};
+use streammd::kernels;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "variable".into());
+    let kernel = match which.as_str() {
+        "expanded" => kernels::expanded_kernel(),
+        "fixed" => kernels::block_kernel(8, true),
+        "duplicated" => kernels::block_kernel(8, false),
+        "variable" => kernels::variable_kernel(),
+        other => {
+            eprintln!("unknown kernel '{other}', expected expanded|fixed|variable|duplicated");
+            std::process::exit(1);
+        }
+    };
+
+    let cfg = MachineConfig::default();
+    let costs = OpCosts::default();
+    let unopt = CompiledKernel::compile(kernel.clone(), &cfg, &costs, KernelOpt::unoptimized());
+    let opt = CompiledKernel::compile(kernel, &cfg, &costs, KernelOpt::optimized());
+
+    println!("kernel `{which}`");
+    println!(
+        "  solution flops/iteration: {} ({} divides, {} square roots)",
+        unopt.source_stats.solution_flops,
+        unopt.source_stats.divides,
+        unopt.source_stats.square_roots
+    );
+    println!(
+        "  issued hardware ops/iteration: {}",
+        unopt.source_stats.hardware_ops
+    );
+    println!();
+
+    println!("--- before optimization (list schedule, first 32 cycles) ---");
+    let text = render_schedule(&unopt.lowered, &unopt.schedule);
+    for l in text.lines().take(36) {
+        println!("{l}");
+    }
+    println!(
+        "  ... total {} cycles per iteration\n",
+        unopt.schedule.length
+    );
+
+    let pipe = opt
+        .pipelined
+        .as_ref()
+        .expect("optimized schedule pipelines");
+    println!("--- after optimization (unroll 2x + software pipelining, steady state) ---");
+    let text = render_pipelined(&opt.lowered, pipe);
+    for l in text.lines().take(36) {
+        println!("{l}");
+    }
+    println!("  ... II {} per {} interactions\n", pipe.ii, opt.opt.unroll);
+
+    println!(
+        "cycles/interaction: {:.1} -> {:.1} ({:+.0}% issue rate)",
+        unopt.cycles_per_iteration(),
+        opt.cycles_per_iteration(),
+        (unopt.cycles_per_iteration() / opt.cycles_per_iteration() - 1.0) * 100.0
+    );
+}

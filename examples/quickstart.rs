@@ -1,0 +1,51 @@
+//! Quickstart: one StreamMD force step on the simulated Merrimac node.
+//!
+//! Builds the paper's 900-molecule SPC water dataset, runs the fastest
+//! variant (`variable`) through the cycle-level simulator, and prints the
+//! headline performance numbers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use merrimac_repro::prelude::*;
+
+fn main() {
+    let system = WaterBox::paper_dataset(42);
+    println!(
+        "system: {} SPC water molecules, box {:.2} nm",
+        system.num_molecules(),
+        system.pbc().side()
+    );
+
+    let app = StreamMdApp::new(MachineConfig::default());
+    let outcome = app
+        .run_step(&system, Variant::Variable)
+        .expect("simulation runs");
+
+    println!("variant: variable (conditional streams)");
+    println!("interactions: {}", outcome.perf.solution_flops / 234);
+    println!("cycles: {}", outcome.perf.cycles);
+    println!("time/step: {:.3} ms", outcome.perf.seconds * 1e3);
+    println!("solution GFLOPS: {:.2}", outcome.perf.solution_gflops);
+    println!("all GFLOPS: {:.2}", outcome.perf.all_gflops);
+    println!("memory references: {} Kwords", outcome.perf.mem_refs / 1000);
+    let (lrf, srf, mem) = outcome.perf.locality;
+    println!(
+        "locality: {:.1}% LRF / {:.2}% SRF / {:.2}% MEM",
+        lrf * 100.0,
+        srf * 100.0,
+        mem * 100.0
+    );
+    println!(
+        "memory/compute overlap: {:.0}%",
+        outcome.perf.overlap * 100.0
+    );
+
+    // The force on the first molecule, as a taste of the physics.
+    let f0 = outcome.forces[0];
+    println!(
+        "force on molecule 0 oxygen: ({:.1}, {:.1}, {:.1}) kJ/mol/nm",
+        f0.x, f0.y, f0.z
+    );
+}

@@ -1,0 +1,59 @@
+//! Multi-node StreamMD scaling over the Merrimac folded-Clos network
+//! (extension experiment X1; see `cargo bench -p merrimac-bench --bench
+//! scaling` for the calibrated version).
+//!
+//! ```sh
+//! cargo run --release --example scaling [tile_factor] [max_nodes]
+//! ```
+
+use merrimac_arch::{MachineConfig, NetworkConfig};
+use merrimac_net::scaling::{scaling_sweep, ScalingWorkload};
+use merrimac_net::topology::{NetLevel, Topology};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let factor: usize = args.get(1).map_or(20, |s| s.parse().expect("tile factor"));
+    let max_nodes: usize = args.get(2).map_or(4096, |s| s.parse().expect("max nodes"));
+
+    let machine = MachineConfig::default();
+    let net = NetworkConfig::default();
+    let topo = Topology::new(net.clone());
+
+    println!("Merrimac network:");
+    for level in [NetLevel::Board, NetLevel::Backplane, NetLevel::System] {
+        println!(
+            "  {:?}: {:.1} GB/s per node, {} cycles latency",
+            level,
+            topo.node_bandwidth_gbps(level),
+            topo.latency_cycles(level)
+        );
+    }
+    println!("  bisection: {:.1} TB/s\n", topo.bisection_gbps() / 1000.0);
+
+    // ~535 cycles/molecule is the simulated single-node variable cost;
+    // use it as the default calibration without rerunning the simulator.
+    let w = ScalingWorkload::paper_scaled(factor, 535.0);
+    println!(
+        "workload: {:.2}M molecules ({}x{}x{} tiles of the paper dataset)\n",
+        w.molecules / 1e6,
+        factor,
+        factor,
+        factor
+    );
+    println!(
+        "{:>7} {:>12} {:>11} {:>10} {:>10}",
+        "nodes", "step (us)", "speedup", "eff", "TFLOPS"
+    );
+    let pts = scaling_sweep(&machine, &net, &w, max_nodes);
+    let t1 = pts[0].step_seconds;
+    for p in &pts {
+        println!(
+            "{:>7} {:>12.1} {:>10.0}x {:>9.0}% {:>10.2}",
+            p.nodes,
+            p.step_seconds * 1e6,
+            t1 / p.step_seconds,
+            p.efficiency * 100.0,
+            p.solution_gflops / 1e3
+        );
+    }
+}

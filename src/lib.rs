@@ -1,0 +1,63 @@
+//! # merrimac-repro
+//!
+//! A full-system reproduction of *"Analysis and Performance Results of a
+//! Molecular Modeling Application on Merrimac"* (Erez, Ahn, Garg, Dally,
+//! Darve — SC 2004).
+//!
+//! The paper ports the GROMACS water-water force calculation (StreamMD) to
+//! the Merrimac streaming supercomputer and analyses four implementation
+//! variants on a cycle-accurate simulator. This workspace rebuilds every
+//! layer of that study in Rust:
+//!
+//! * [`md`] — the molecular-dynamics substrate (water models, periodic
+//!   boundary conditions, neighbour lists, reference forces, integrator).
+//! * [`arch`] — the Merrimac machine description (Table 1) and the
+//!   Pentium 4 baseline model.
+//! * [`kernel`] — kernel IR, VLIW scheduling, unrolling and software
+//!   pipelining (Figure 10).
+//! * [`sim`] — the stream-level simulator: SRF, stream descriptor
+//!   registers, memory system, scatter-add, timeline and locality counters
+//!   (Figures 7–9, Table 4).
+//! * [`streammd`] — the paper's contribution: the four StreamMD variants
+//!   (`expanded`, `fixed`, `variable`, `duplicated`) end to end.
+//! * [`baseline`] — the GROMACS-on-Pentium-4 comparison point.
+//! * [`blocking`] — the analytical blocking-scheme model (Figures 11–12).
+//! * [`net`] — the folded-Clos network and multi-node scaling estimates.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
+//! paper-vs-measured results for every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use md_sim::neighbor::NeighborListParams;
+//! use merrimac_repro::prelude::*;
+//!
+//! // A small water box and one force step on the simulated Merrimac node.
+//! // (The paper's r_c = 1.0 nm needs the full 3 nm box; scale the cutoff
+//! // down with the box for this doc-sized system.)
+//! let system = WaterBox::builder().molecules(64).seed(7).build();
+//! let params = NeighborListParams { cutoff: 0.55, skin: 0.0, rebuild_interval: 10 };
+//! let outcome = StreamMdApp::new(MachineConfig::default())
+//!     .with_neighbor(params)
+//!     .run_step(&system, Variant::Variable)
+//!     .expect("simulation runs");
+//! assert!(outcome.perf.solution_gflops > 0.0);
+//! ```
+
+pub use blocking_model as blocking;
+pub use md_sim as md;
+pub use merrimac_arch as arch;
+pub use merrimac_kernel as kernel;
+pub use merrimac_net as net;
+pub use merrimac_sim as sim;
+pub use p4_baseline as baseline;
+pub use streammd;
+
+/// Convenience re-exports covering the common end-to-end workflow.
+pub mod prelude {
+    pub use md_sim::neighbor::NeighborList;
+    pub use md_sim::system::WaterBox;
+    pub use merrimac_arch::{MachineConfig, P4Config};
+    pub use streammd::{StreamMdApp, Variant};
+}

@@ -1,0 +1,102 @@
+//! Cross-crate kernel-compilation invariants: the real StreamMD kernels
+//! flow through lowering, scheduling and software pipelining with
+//! validated schedules and the Figure 10 improvement.
+
+use merrimac_arch::{MachineConfig, OpCosts};
+use merrimac_kernel::lower::lower_kernel;
+use merrimac_kernel::validate::{validate_pipelined, validate_schedule};
+use merrimac_kernel::{list_schedule, modulo_schedule};
+use merrimac_sim::{CompiledKernel, KernelOpt};
+use streammd::kernels;
+
+fn all_kernels() -> Vec<merrimac_kernel::Kernel> {
+    vec![
+        kernels::expanded_kernel(),
+        kernels::block_kernel(8, true),
+        kernels::block_kernel(8, false),
+        kernels::variable_kernel(),
+    ]
+}
+
+#[test]
+fn every_streammd_kernel_schedules_and_validates() {
+    let costs = OpCosts::default();
+    for k in all_kernels() {
+        let lowered = lower_kernel(&k, &costs);
+        let s = list_schedule(&lowered, &costs, 4);
+        validate_schedule(&lowered, &s, &costs).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        let p = modulo_schedule(&lowered, &costs, 4);
+        validate_pipelined(&lowered, &p, &costs).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        assert!(p.ii <= s.length, "{}: pipelining must not lose", k.name);
+    }
+}
+
+#[test]
+fn figure10_improvement_holds_for_every_kernel() {
+    let cfg = MachineConfig::default();
+    let costs = OpCosts::default();
+    for k in all_kernels() {
+        let name = k.name.clone();
+        let unopt = CompiledKernel::compile(k.clone(), &cfg, &costs, KernelOpt::unoptimized());
+        let opt = CompiledKernel::compile(k, &cfg, &costs, KernelOpt::optimized());
+        assert!(
+            opt.cycles_per_iteration() < unopt.cycles_per_iteration(),
+            "{name}: {} !< {}",
+            opt.cycles_per_iteration(),
+            unopt.cycles_per_iteration()
+        );
+        let pipe = opt.pipelined.as_ref().unwrap();
+        assert!(
+            pipe.issue_rate() > 0.8,
+            "{name}: issue rate {}",
+            pipe.issue_rate()
+        );
+    }
+}
+
+#[test]
+fn unrolled_kernels_preserve_flop_budget_per_source_iteration() {
+    let cfg = MachineConfig::default();
+    let costs = OpCosts::default();
+    for unroll in [1u32, 2, 4] {
+        let k = CompiledKernel::compile(
+            kernels::expanded_kernel(),
+            &cfg,
+            &costs,
+            KernelOpt {
+                unroll,
+                software_pipeline: true,
+            },
+        );
+        assert_eq!(
+            k.stats.solution_flops,
+            k.source_stats.solution_flops * unroll as u64,
+            "unroll {unroll}"
+        );
+    }
+}
+
+#[test]
+fn schedule_cost_monotone_in_slot_count() {
+    let costs = OpCosts::default();
+    let k = lower_kernel(&kernels::expanded_kernel(), &costs);
+    let s2 = list_schedule(&k, &costs, 2);
+    let s4 = list_schedule(&k, &costs, 4);
+    let s8 = list_schedule(&k, &costs, 8);
+    assert!(s2.length >= s4.length);
+    assert!(s4.length >= s8.length);
+}
+
+#[test]
+fn flop_budget_is_the_paper_234() {
+    let costs = OpCosts::default();
+    let k = kernels::expanded_kernel();
+    let lowered = lower_kernel(&k, &costs);
+    let stats = merrimac_kernel::KernelStats::analyze(&k, &lowered);
+    assert_eq!(stats.solution_flops, 234);
+    assert_eq!(stats.divides, 9);
+    assert_eq!(stats.square_roots, 9);
+    // Hardware expansion: iterative divides/square roots inflate the
+    // issued-op count well past the solution count (Section 5.1).
+    assert!(stats.hardware_ops > 350, "ops = {}", stats.hardware_ops);
+}

@@ -1,0 +1,183 @@
+//! The paper's headline quantitative relationships, asserted on a
+//! medium-size dataset (the full Table 2 dataset runs in the bench
+//! harnesses; these tests stay debug-build friendly).
+
+use md_sim::neighbor::{NeighborList, NeighborListParams};
+use md_sim::system::WaterBox;
+use merrimac_arch::{MachineConfig, P4Config};
+use merrimac_sim::SdrPolicy;
+use streammd::{AnalyticModel, StreamMdApp, Variant};
+
+fn setup() -> (WaterBox, NeighborList, StreamMdApp) {
+    let system = WaterBox::builder().molecules(216).seed(7).build();
+    let params = NeighborListParams {
+        cutoff: (0.45 * system.pbc().side()).min(1.0),
+        skin: 0.0,
+        rebuild_interval: 1,
+    };
+    let list = NeighborList::build(&system, params);
+    let app = StreamMdApp::new(MachineConfig::default()).with_neighbor(params);
+    (system, list, app)
+}
+
+#[test]
+fn variable_is_the_fastest_variant() {
+    let (system, list, app) = setup();
+    let mut perf = Vec::new();
+    for v in Variant::ALL {
+        let out = app.run_step_with_list(&system, &list, v).unwrap();
+        perf.push((v, out.perf.solution_gflops));
+    }
+    let variable = perf
+        .iter()
+        .find(|(v, _)| *v == Variant::Variable)
+        .unwrap()
+        .1;
+    for (v, g) in &perf {
+        if *v != Variant::Variable {
+            assert!(
+                variable >= *g,
+                "variable ({variable:.2}) must beat {v} ({g:.2})"
+            );
+        }
+    }
+}
+
+#[test]
+fn expanded_is_the_slowest_variant() {
+    let (system, list, app) = setup();
+    let mut perf = Vec::new();
+    for v in Variant::ALL {
+        let out = app.run_step_with_list(&system, &list, v).unwrap();
+        perf.push((v, out.perf.solution_gflops));
+    }
+    let expanded = perf
+        .iter()
+        .find(|(v, _)| *v == Variant::Expanded)
+        .unwrap()
+        .1;
+    for (v, g) in &perf {
+        if *v != Variant::Expanded {
+            assert!(
+                *g > expanded,
+                "{v} ({g:.2}) must beat expanded ({expanded:.2})"
+            );
+        }
+    }
+}
+
+#[test]
+fn variable_outperforms_expanded_by_a_large_factor() {
+    // Paper: +84%. Our memory model separates them harder; demand at
+    // least +50% and at most +400% so regressions in either direction
+    // are caught.
+    let (system, list, app) = setup();
+    let variable = app
+        .run_step_with_list(&system, &list, Variant::Variable)
+        .unwrap()
+        .perf
+        .solution_gflops;
+    let expanded = app
+        .run_step_with_list(&system, &list, Variant::Expanded)
+        .unwrap()
+        .perf
+        .solution_gflops;
+    let gain = variable / expanded - 1.0;
+    assert!(
+        (0.5..4.0).contains(&gain),
+        "variable vs expanded gain {:.0}%",
+        gain * 100.0
+    );
+}
+
+#[test]
+fn merrimac_beats_the_pentium4_baseline() {
+    let (system, list, app) = setup();
+    let variable = app
+        .run_step_with_list(&system, &list, Variant::Variable)
+        .unwrap()
+        .perf
+        .solution_gflops;
+    let p4 = P4Config::default().solution_gflops(
+        list.num_pairs() as u64,
+        md_sim::force::FLOPS_PER_INTERACTION,
+    );
+    assert!(
+        variable / p4 > 2.0,
+        "Merrimac {variable:.2} GF must beat P4 {p4:.2} GF by >2x"
+    );
+}
+
+#[test]
+fn arithmetic_intensity_ordering_matches_table4() {
+    let (system, list, app) = setup();
+    let mut ai = std::collections::HashMap::new();
+    for v in Variant::ALL {
+        let out = app.run_step_with_list(&system, &list, v).unwrap();
+        ai.insert(v, out.perf.intensity_measured);
+    }
+    assert!(ai[&Variant::Duplicated] > ai[&Variant::Variable]);
+    assert!(ai[&Variant::Variable] > ai[&Variant::Expanded]);
+    assert!(ai[&Variant::Fixed] > ai[&Variant::Expanded]);
+    // Expanded's calculated value is the paper's exact 48-word budget.
+    let calc = AnalyticModel::ideal(Variant::Expanded, 8, 70.0);
+    assert!((ai[&Variant::Expanded] - calc.intensity).abs() < 0.5);
+}
+
+#[test]
+fn measured_intensity_close_to_calculated() {
+    // Table 4's message: measured ≈ calculated, certifying the compiler
+    // uses the register hierarchy as designed.
+    let (system, list, app) = setup();
+    let nbar = list.num_pairs() as f64 / system.num_molecules() as f64;
+    for v in Variant::ALL {
+        let out = app.run_step_with_list(&system, &list, v).unwrap();
+        let calc = AnalyticModel::ideal(v, 8, nbar).intensity;
+        let measured = out.perf.intensity_measured;
+        let rel = (measured - calc).abs() / calc;
+        assert!(rel < 0.25, "{v}: calc {calc:.2} vs measured {measured:.2}");
+    }
+}
+
+#[test]
+fn sdr_fix_never_hurts_and_helps_when_scarce() {
+    let (system, list, _) = setup();
+    let mut cfg = MachineConfig::default();
+    cfg.stream_descriptor_registers = 4;
+    cfg.cache_allocates_gathers = true;
+    let naive = StreamMdApp::new(cfg.clone())
+        .with_neighbor(list.params)
+        .with_policy(SdrPolicy::Naive)
+        .run_step_with_list(&system, &list, Variant::Duplicated)
+        .unwrap();
+    let eager = StreamMdApp::new(cfg)
+        .with_neighbor(list.params)
+        .with_policy(SdrPolicy::Eager)
+        .run_step_with_list(&system, &list, Variant::Duplicated)
+        .unwrap();
+    assert!(
+        eager.perf.cycles < naive.perf.cycles,
+        "fix must speed up the scarce case"
+    );
+    assert!(
+        eager.perf.overlap > naive.perf.overlap,
+        "fix must restore overlap"
+    );
+    // Identical physics under both policies.
+    for (a, b) in naive.forces.iter().zip(&eager.forces) {
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn locality_matches_figure8() {
+    let (system, list, app) = setup();
+    for v in Variant::ALL {
+        let out = app.run_step_with_list(&system, &list, v).unwrap();
+        let (lrf, srf, mem) = out.perf.locality;
+        assert!(lrf > 0.85, "{v}: LRF {lrf:.3}");
+        assert!(srf < 0.1 && mem < 0.1, "{v}: SRF {srf:.3} MEM {mem:.3}");
+        let rel = (srf - mem).abs() / mem.max(1e-12);
+        assert!(rel < 0.6, "{v}: SRF/MEM diverge ({srf:.4} vs {mem:.4})");
+    }
+}

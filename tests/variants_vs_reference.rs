@@ -1,0 +1,133 @@
+//! End-to-end validation: every StreamMD variant, run through the full
+//! simulator (gathers → VLIW-interpreted kernels → scatter-add), must
+//! reproduce the reference double-precision force engine.
+
+use md_sim::force::compute_forces;
+use md_sim::neighbor::{NeighborList, NeighborListParams};
+use md_sim::system::WaterBox;
+use md_sim::vec3::Vec3;
+use merrimac_arch::MachineConfig;
+use streammd::{StreamMdApp, Variant};
+
+fn setup(molecules: usize, seed: u64) -> (WaterBox, NeighborList) {
+    let system = WaterBox::builder().molecules(molecules).seed(seed).build();
+    let params = NeighborListParams {
+        cutoff: (0.45 * system.pbc().side()).min(1.0),
+        skin: 0.0,
+        rebuild_interval: 1,
+    };
+    let list = NeighborList::build(&system, params);
+    (system, list)
+}
+
+fn check(system: &WaterBox, list: &NeighborList, variant: Variant) {
+    let app = StreamMdApp::new(MachineConfig::default()).with_neighbor(list.params);
+    let out = app
+        .run_step_with_list(system, list, variant)
+        .unwrap_or_else(|e| panic!("{variant}: {e}"));
+    let reference = compute_forces(system, list);
+    let scale = reference
+        .forces
+        .iter()
+        .map(|f| f.norm())
+        .fold(1.0f64, f64::max);
+    for (i, (got, want)) in out.forces.iter().zip(&reference.forces).enumerate() {
+        let err = (*got - *want).max_abs();
+        assert!(
+            err < 1e-8 * scale,
+            "{variant} site {i}: err {err:.3e} (scale {scale:.3e})"
+        );
+    }
+    assert_eq!(
+        out.perf.solution_flops,
+        reference.interactions * 234,
+        "{variant}: interaction count drifted"
+    );
+}
+
+#[test]
+fn expanded_matches_reference_end_to_end() {
+    let (system, list) = setup(125, 1001);
+    check(&system, &list, Variant::Expanded);
+}
+
+#[test]
+fn fixed_matches_reference_end_to_end() {
+    let (system, list) = setup(125, 1002);
+    check(&system, &list, Variant::Fixed);
+}
+
+#[test]
+fn variable_matches_reference_end_to_end() {
+    let (system, list) = setup(125, 1003);
+    check(&system, &list, Variant::Variable);
+}
+
+#[test]
+fn duplicated_matches_reference_end_to_end() {
+    let (system, list) = setup(125, 1004);
+    check(&system, &list, Variant::Duplicated);
+}
+
+#[test]
+fn all_variants_agree_with_each_other() {
+    let (system, list) = setup(64, 1005);
+    let app = StreamMdApp::new(MachineConfig::default()).with_neighbor(list.params);
+    let outs: Vec<Vec<Vec3>> = Variant::ALL
+        .iter()
+        .map(|&v| app.run_step_with_list(&system, &list, v).unwrap().forces)
+        .collect();
+    let scale = outs[0].iter().map(|f| f.norm()).fold(1.0f64, f64::max);
+    for other in &outs[1..] {
+        for (a, b) in outs[0].iter().zip(other) {
+            assert!((*a - *b).max_abs() < 1e-7 * scale);
+        }
+    }
+}
+
+#[test]
+fn variants_tolerate_odd_strip_sizes() {
+    let (system, list) = setup(64, 1006);
+    for strip in [17usize, 63, 333] {
+        let app = StreamMdApp::new(MachineConfig::default())
+            .with_neighbor(list.params)
+            .with_strip_iterations(strip);
+        for v in Variant::ALL {
+            let out = app.run_step_with_list(&system, &list, v).unwrap();
+            assert!(out.perf.cycles > 0, "{v} strip {strip}");
+        }
+    }
+}
+
+#[test]
+fn net_force_is_conserved_through_the_machine() {
+    let (system, list) = setup(125, 1007);
+    let app = StreamMdApp::new(MachineConfig::default()).with_neighbor(list.params);
+    for v in Variant::ALL {
+        let out = app.run_step_with_list(&system, &list, v).unwrap();
+        let net: Vec3 = out.forces.iter().copied().sum();
+        assert!(net.max_abs() < 1e-5, "{v}: net force {net:?}");
+    }
+}
+
+#[test]
+fn fixed_l_variants_all_match() {
+    let (system, list) = setup(64, 1008);
+    let reference = compute_forces(&system, &list);
+    let scale = reference
+        .forces
+        .iter()
+        .map(|f| f.norm())
+        .fold(1.0f64, f64::max);
+    for l in [2usize, 3, 8, 16] {
+        let app = StreamMdApp::new(MachineConfig::default())
+            .with_neighbor(list.params)
+            .with_block_l(l);
+        let out = app
+            .run_step_with_list(&system, &list, Variant::Fixed)
+            .unwrap();
+        for (got, want) in out.forces.iter().zip(&reference.forces) {
+            assert!((*got - *want).max_abs() < 1e-8 * scale, "L = {l}");
+        }
+    }
+}
