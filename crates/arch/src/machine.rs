@@ -87,6 +87,11 @@ pub struct MachineConfig {
     /// matching the paper's near-equal SRF/MEM reference counts
     /// (Figure 8). Enabling it is the cache ablation of the benches.
     pub cache_allocates_gathers: bool,
+    /// Host worker threads the execution engine uses for the functional
+    /// phase of a simulated step (not a property of the modeled
+    /// machine). Results and cycle counts are bitwise-identical at any
+    /// value; 1 runs serially.
+    pub host_threads: usize,
 }
 
 impl Default for MachineConfig {
@@ -117,6 +122,7 @@ impl Default for MachineConfig {
             kernel_startup: 150,
             dram_capacity_bytes: 2 * 1024 * 1024 * 1024,
             cache_allocates_gathers: false,
+            host_threads: 1,
         }
     }
 }

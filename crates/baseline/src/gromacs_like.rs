@@ -46,9 +46,9 @@ pub fn water_water_forces_sse_like(system: &WaterBox, list: &NeighborList) -> Si
     let ff = ForceField::from_model(system.model());
     let qq: [[f32; 3]; 3] = {
         let mut q = [[0.0f32; 3]; 3];
-        for a in 0..3 {
-            for b in 0..3 {
-                q[a][b] = ff.qq[a][b] as f32;
+        for (qa, fa) in q.iter_mut().zip(&ff.qq) {
+            for (qb, &fb) in qa.iter_mut().zip(fa) {
+                *qb = fb as f32;
             }
         }
         q

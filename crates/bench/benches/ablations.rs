@@ -68,8 +68,10 @@ fn main() {
     println!("{:>8} {:>12}", "entries", "cycles");
     let mut combine = Vec::new();
     for entries in [0usize, 1, 8, 64] {
-        let mut cfg = MachineConfig::default();
-        cfg.combining_store_entries = entries;
+        let cfg = MachineConfig {
+            combining_store_entries: entries,
+            ..MachineConfig::default()
+        };
         let c = run_with(cfg, Variant::Expanded, SdrPolicy::Eager, None, 8);
         combine.push((entries, c));
         println!("{entries:>8} {c:>12}");
@@ -78,8 +80,10 @@ fn main() {
 
     println!("\n-- (3) stream-cache allocation for gathers --");
     for (name, alloc) in [("bypass (default)", false), ("allocate", true)] {
-        let mut cfg = MachineConfig::default();
-        cfg.cache_allocates_gathers = alloc;
+        let cfg = MachineConfig {
+            cache_allocates_gathers: alloc,
+            ..MachineConfig::default()
+        };
         let c = run_with(cfg, Variant::Variable, SdrPolicy::Eager, None, 8);
         println!("{name:<20} {c:>12} cycles");
     }
@@ -88,8 +92,10 @@ fn main() {
     println!("{:>6} {:>12}", "SDRs", "cycles");
     let mut sdr_cycles = Vec::new();
     for sdrs in [4usize, 6, 8, 16, 32] {
-        let mut cfg = MachineConfig::default();
-        cfg.stream_descriptor_registers = sdrs;
+        let cfg = MachineConfig {
+            stream_descriptor_registers: sdrs,
+            ..MachineConfig::default()
+        };
         let c = run_with(cfg, Variant::Duplicated, SdrPolicy::Naive, None, 8);
         sdr_cycles.push((sdrs, c));
         println!("{sdrs:>6} {c:>12}");

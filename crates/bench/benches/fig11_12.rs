@@ -51,7 +51,13 @@ fn main() {
 
     // Calibration from our own simulation of the variable scheme.
     let (system, list) = paper_system();
-    let out = run_variant(&system, &list, Variant::Variable);
+    let out = match run_variant(&system, &list, Variant::Variable) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
     let interactions = out.perf.solution_flops as f64 / 234.0;
     let kernel_cycles = out
         .report

@@ -17,14 +17,16 @@ use merrimac_sim::SdrPolicy;
 use streammd::{StreamMdApp, Variant};
 
 fn run(policy: SdrPolicy) -> (u64, f64, String) {
-    let mut cfg = MachineConfig::default();
     // The flaw only matters when (a) descriptors are scarce relative to
     // the live streams of the software pipeline and (b) the kernels are
     // the bottleneck, so the memory system has slack it could use to run
     // ahead. Give the machine a fast memory path (cached gathers) and a
     // small descriptor file, as in the paper's original configuration.
-    cfg.stream_descriptor_registers = 4;
-    cfg.cache_allocates_gathers = true;
+    let cfg = MachineConfig {
+        stream_descriptor_registers: 4,
+        cache_allocates_gathers: true,
+        ..MachineConfig::default()
+    };
     let system = WaterBox::paper_dataset(SEED);
     let list = NeighborList::build(&system, paper_params());
     let out = StreamMdApp::new(cfg)

@@ -4,13 +4,13 @@
 
 use md_sim::force::FLOPS_PER_INTERACTION;
 use merrimac_arch::{MachineConfig, P4Config};
-use merrimac_bench::{banner, paper_system, run_all};
+use merrimac_bench::{banner, paper_system, run_all_ok};
 use streammd::Variant;
 
 fn main() {
     banner("Figure 9", "Performance of the StreamMD implementations");
     let (system, list) = paper_system();
-    let results = run_all(&system, &list);
+    let results = run_all_ok(&system, &list);
     let p4 = p4_baseline::model::estimate(&P4Config::default(), &system, &list);
 
     println!(
@@ -41,7 +41,7 @@ fn main() {
             .iter()
             .find(|(x, _)| *x == v)
             .map(|(_, o)| o.perf.solution_gflops)
-            .unwrap()
+            .unwrap_or_else(|| panic!("variant {v} missing (failed above)"))
     };
     let variable = get(Variant::Variable);
     let expanded = get(Variant::Expanded);

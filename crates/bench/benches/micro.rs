@@ -1,10 +1,13 @@
-//! Criterion micro-benchmarks of the substrate hot paths: the reference
-//! force engine, the GROMACS-like single-precision loop, neighbour-list
+//! Micro-benchmarks of the substrate hot paths: the reference force
+//! engine, the GROMACS-like single-precision loop, neighbour-list
 //! construction, the cache model, the VLIW schedulers and the kernel
 //! interpreter.
+//!
+//! Criterion is unavailable offline, so this harness times each closure
+//! directly: a warm-up pass, then the median of `SAMPLES` timed runs.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use md_sim::force::compute_forces;
 use md_sim::neighbor::{NeighborList, NeighborListParams};
@@ -15,7 +18,28 @@ use merrimac_kernel::{list_schedule, modulo_schedule, Interpreter, StreamData};
 use merrimac_sim::cache::StreamCache;
 use streammd::kernels::{expanded_kernel, kernel_params};
 
-fn bench_reference_forces(c: &mut Criterion) {
+const SAMPLES: usize = 20;
+
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    black_box(f());
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    let median = times[times.len() / 2];
+    println!(
+        "{name:<32} {:>12.3} µs/iter (median of {SAMPLES})",
+        median * 1e6
+    );
+}
+
+fn main() {
+    merrimac_bench::banner("micro", "substrate hot-path micro-benchmarks");
+
     let system = WaterBox::builder().molecules(216).seed(1).build();
     let params = NeighborListParams {
         cutoff: 0.8,
@@ -23,62 +47,37 @@ fn bench_reference_forces(c: &mut Criterion) {
         rebuild_interval: 10,
     };
     let list = NeighborList::build(&system, params);
-    c.bench_function("reference_forces_216", |b| {
-        b.iter(|| black_box(compute_forces(&system, &list)))
+    bench("reference_forces_216", || compute_forces(&system, &list));
+    bench("gromacs_like_f32_forces_216", || {
+        p4_baseline::water_water_forces_sse_like(&system, &list)
     });
-}
 
-fn bench_sse_like_forces(c: &mut Criterion) {
-    let system = WaterBox::builder().molecules(216).seed(1).build();
-    let params = NeighborListParams {
-        cutoff: 0.8,
-        skin: 0.0,
-        rebuild_interval: 10,
-    };
-    let list = NeighborList::build(&system, params);
-    c.bench_function("gromacs_like_f32_forces_216", |b| {
-        b.iter(|| black_box(p4_baseline::water_water_forces_sse_like(&system, &list)))
-    });
-}
-
-fn bench_neighbor_build(c: &mut Criterion) {
-    let system = WaterBox::builder().molecules(900).seed(1).build();
-    let params = NeighborListParams {
+    let big = WaterBox::builder().molecules(900).seed(1).build();
+    let big_params = NeighborListParams {
         cutoff: 1.0,
         skin: 0.0,
         rebuild_interval: 10,
     };
-    c.bench_function("neighbor_list_900", |b| {
-        b.iter(|| black_box(NeighborList::build(&system, params)))
+    bench("neighbor_list_900", || {
+        NeighborList::build(&big, big_params)
     });
-}
 
-fn bench_cache_trace(c: &mut Criterion) {
     let cfg = MachineConfig::default();
-    c.bench_function("cache_trace_64k", |b| {
-        b.iter_batched(
-            || StreamCache::new(&cfg),
-            |mut cache| black_box(cache.access_trace(0..65536u64, false)),
-            BatchSize::SmallInput,
-        )
+    bench("cache_trace_64k", || {
+        let mut cache = StreamCache::new(&cfg);
+        cache.access_trace(0..65536u64, false)
     });
-}
 
-fn bench_schedulers(c: &mut Criterion) {
     let costs = OpCosts::default();
     let k = lower_kernel(&expanded_kernel(), &costs);
-    c.bench_function("list_schedule_expanded", |b| {
-        b.iter(|| black_box(list_schedule(&k, &costs, 4)))
+    bench("list_schedule_expanded", || list_schedule(&k, &costs, 4));
+    bench("modulo_schedule_expanded", || {
+        modulo_schedule(&k, &costs, 4)
     });
-    c.bench_function("modulo_schedule_expanded", |b| {
-        b.iter(|| black_box(modulo_schedule(&k, &costs, 4)))
-    });
-}
 
-fn bench_interpreter(c: &mut Criterion) {
-    let k = expanded_kernel();
+    let kern = expanded_kernel();
     let ff = md_sim::force::ForceField::from_model(&md_sim::water::WaterModel::spc());
-    let params = kernel_params(&ff);
+    let kparams = kernel_params(&ff);
     let n = 256usize;
     let mk = |stride: f64| {
         StreamData::new(
@@ -89,25 +88,9 @@ fn bench_interpreter(c: &mut Criterion) {
         )
     };
     let inputs = vec![mk(0.013), StreamData::new(9, vec![0.0; n * 9]), mk(0.017)];
-    c.bench_function("interpret_expanded_256", |b| {
-        b.iter(|| {
-            black_box(
-                Interpreter::new(&k)
-                    .run(&inputs, &params, n)
-                    .expect("interp"),
-            )
-        })
+    bench("interpret_expanded_256", || {
+        Interpreter::new(&kern)
+            .run(&inputs, &kparams, n)
+            .expect("interp")
     });
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_reference_forces,
-        bench_sse_like_forces,
-        bench_neighbor_build,
-        bench_cache_trace,
-        bench_schedulers,
-        bench_interpreter
-);
-criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Machine-readable performance report: runs every StreamMD variant on
+//! a 216-molecule box at engine thread counts {1, 4}, verifies the
+//! parallel engine's bitwise-determinism contract, and writes
+//! `BENCH_streammd_216.json` (override the directory with
+//! `BENCH_REPORT_DIR`).
+
+use std::time::Instant;
+
+use merrimac_bench::{banner, run_variant_threads, small_system, PerfReport, VariantRecord};
+use streammd::Variant;
+
+const MOLECULES: usize = 216;
+const THREADS: usize = 4;
+
+fn main() {
+    banner(
+        "perf report",
+        "per-variant GFLOPS/intensity/locality as BENCH_*.json",
+    );
+    let (system, list) = small_system(MOLECULES);
+    let mut report = PerfReport::new(format!("streammd_{MOLECULES}"), MOLECULES, THREADS);
+
+    println!(
+        "{:<12} {:>12} {:>10} {:>12} {:>12} {:>10}",
+        "variant", "sol GFLOPS", "intensity", "serial (s)", "parallel(s)", "speedup"
+    );
+    for variant in Variant::ALL {
+        let t0 = Instant::now();
+        let serial = run_variant_threads(&system, &list, variant, 1);
+        let serial_wall = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let parallel = run_variant_threads(&system, &list, variant, THREADS);
+        let parallel_wall = t1.elapsed().as_secs_f64();
+        match (serial, parallel) {
+            (Ok(s), Ok(p)) => {
+                assert_eq!(
+                    s.forces, p.forces,
+                    "{variant}: parallel forces must be bitwise-identical to serial"
+                );
+                assert_eq!(s.perf.cycles, p.perf.cycles);
+                assert_eq!(s.report.counters, p.report.counters);
+                println!(
+                    "{:<12} {:>12.2} {:>10.2} {:>12.3} {:>12.3} {:>9.2}x",
+                    variant.name(),
+                    p.perf.solution_gflops,
+                    p.perf.intensity_measured,
+                    serial_wall,
+                    parallel_wall,
+                    serial_wall / parallel_wall.max(1e-12)
+                );
+                report.variants.push(VariantRecord::from_outcome(
+                    variant.name(),
+                    &p,
+                    parallel_wall,
+                ));
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("{e}");
+                report
+                    .variants
+                    .push(VariantRecord::from_error(variant.name(), &e.to_string()));
+            }
+        }
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("\nhost cores available: {cores} (speedup requires > 1)");
+    match report.write_default() {
+        Ok(path) => println!("[ok] wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("could not write report: {e}");
+            std::process::exit(1);
+        }
+    }
+}

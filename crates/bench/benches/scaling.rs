@@ -15,7 +15,13 @@ fn main() {
 
     // Calibrate per-molecule cost from the simulated single-node run.
     let (system, list) = paper_system();
-    let out = run_variant(&system, &list, Variant::Variable);
+    let out = match run_variant(&system, &list, Variant::Variable) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
     let cycles_per_molecule = out.perf.cycles as f64 / system.num_molecules() as f64;
     println!(
         "single-node calibration: {:.0} cycles/molecule/step (variable variant)\n",

@@ -10,7 +10,13 @@ fn main() {
         "Dataset properties (900-molecule SPC water, r_c = 1.0 nm)",
     );
     let (system, list) = paper_system();
-    let out = run_variant(&system, &list, Variant::Fixed);
+    let out = match run_variant(&system, &list, Variant::Fixed) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
     let d = out.dataset;
     println!("{:<38} {:>10}", "molecules", d.molecules);
     println!("{:<38} {:>10}", "interactions", d.interactions);

@@ -3,13 +3,13 @@
 //! paper's parenthesized values), and the value measured by the
 //! simulator.
 
-use merrimac_bench::{banner, paper_system, run_all};
+use merrimac_bench::{banner, paper_system, run_all_ok};
 use streammd::{AnalyticModel, Variant};
 
 fn main() {
     banner("Table 4", "Arithmetic intensity (flops per memory word)");
     let (system, list) = paper_system();
-    let results = run_all(&system, &list);
+    let results = run_all_ok(&system, &list);
 
     let n = system.num_molecules() as u64;
     let pairs = list.num_pairs() as u64;
@@ -48,7 +48,7 @@ fn main() {
             .iter()
             .find(|(x, _)| *x == v)
             .map(|(_, o)| o.perf.intensity_measured)
-            .unwrap()
+            .unwrap_or_else(|| panic!("variant {v} missing (failed above)"))
     };
     assert!(get(Variant::Duplicated) > get(Variant::Fixed));
     assert!(get(Variant::Fixed) > get(Variant::Expanded));

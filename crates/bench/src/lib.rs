@@ -8,7 +8,11 @@
 use md_sim::neighbor::{NeighborList, NeighborListParams};
 use md_sim::system::WaterBox;
 use merrimac_arch::MachineConfig;
+use merrimac_sim::machine::SimError;
 use streammd::{StepOutcome, StreamMdApp, Variant};
+
+pub mod report;
+pub use report::{PerfReport, VariantRecord};
 
 /// Default seed for the paper dataset across harnesses (deterministic
 /// output).
@@ -42,19 +46,72 @@ pub fn small_system(molecules: usize) -> (WaterBox, NeighborList) {
     (system, list)
 }
 
-/// Run one variant on a prepared system.
-pub fn run_variant(system: &WaterBox, list: &NeighborList, variant: Variant) -> StepOutcome {
-    StreamMdApp::new(MachineConfig::default())
-        .with_neighbor(list.params)
-        .run_step_with_list(system, list, variant)
-        .unwrap_or_else(|e| panic!("variant {variant} failed: {e}"))
+/// A variant that failed to simulate, with the simulator's context.
+#[derive(Debug)]
+pub struct VariantError {
+    pub variant: Variant,
+    pub source: SimError,
 }
 
-/// Run all four variants.
-pub fn run_all(system: &WaterBox, list: &NeighborList) -> Vec<(Variant, StepOutcome)> {
+impl std::fmt::Display for VariantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "variant {} failed: {}", self.variant, self.source)
+    }
+}
+
+impl std::error::Error for VariantError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Run one variant on a prepared system.
+pub fn run_variant(
+    system: &WaterBox,
+    list: &NeighborList,
+    variant: Variant,
+) -> Result<StepOutcome, VariantError> {
+    run_variant_threads(system, list, variant, 1)
+}
+
+/// Run one variant with an explicit engine thread count.
+pub fn run_variant_threads(
+    system: &WaterBox,
+    list: &NeighborList,
+    variant: Variant,
+    threads: usize,
+) -> Result<StepOutcome, VariantError> {
+    StreamMdApp::new(MachineConfig::default())
+        .with_neighbor(list.params)
+        .with_threads(threads)
+        .run_step_with_list(system, list, variant)
+        .map_err(|source| VariantError { variant, source })
+}
+
+/// Run all four variants. A failing variant yields its error in place
+/// so one bad variant cannot abort a whole bench suite.
+pub fn run_all(
+    system: &WaterBox,
+    list: &NeighborList,
+) -> Vec<(Variant, Result<StepOutcome, VariantError>)> {
     Variant::ALL
         .iter()
         .map(|&v| (v, run_variant(system, list, v)))
+        .collect()
+}
+
+/// The `run_all` results that succeeded, with failures reported to
+/// stderr — the common harness pattern.
+pub fn run_all_ok(system: &WaterBox, list: &NeighborList) -> Vec<(Variant, StepOutcome)> {
+    run_all(system, list)
+        .into_iter()
+        .filter_map(|(v, r)| match r {
+            Ok(out) => Some((v, out)),
+            Err(e) => {
+                eprintln!("skipping {v}: {e}");
+                None
+            }
+        })
         .collect()
 }
 
@@ -78,6 +135,7 @@ mod tests {
     fn small_system_runs_every_variant() {
         let (system, list) = small_system(27);
         for (v, out) in run_all(&system, &list) {
+            let out = out.unwrap_or_else(|e| panic!("{e}"));
             assert!(out.perf.cycles > 0, "{v} produced no cycles");
         }
     }

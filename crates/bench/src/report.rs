@@ -1,0 +1,199 @@
+//! Machine-readable run reports: each harness can emit a
+//! `BENCH_<label>.json` file alongside its human-readable tables so
+//! downstream tooling (plots, regression tracking) never scrapes
+//! stdout.
+//!
+//! The JSON is rendered by hand — the workspace builds offline and the
+//! vendored `serde` is a no-op stand-in — so the schema lives entirely
+//! in this file: a report object with per-variant records of GFLOPS,
+//! arithmetic intensity, locality split, simulated seconds, host
+//! wall-clock and the engine thread count.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use streammd::StepOutcome;
+
+/// One variant's measurements (or its failure).
+#[derive(Debug, Clone)]
+pub struct VariantRecord {
+    pub variant: String,
+    pub cycles: u64,
+    /// Simulated seconds at the machine clock.
+    pub seconds: f64,
+    pub solution_gflops: f64,
+    pub all_gflops: f64,
+    pub intensity_measured: f64,
+    /// (LRF, SRF, MEM) reference fractions.
+    pub locality: (f64, f64, f64),
+    pub mem_refs: u64,
+    pub iterations: u64,
+    /// Host wall-clock seconds spent simulating this variant.
+    pub wall_seconds: f64,
+    /// Set when the variant failed; measurement fields are zero.
+    pub error: Option<String>,
+}
+
+impl VariantRecord {
+    pub fn from_outcome(variant: &str, out: &StepOutcome, wall_seconds: f64) -> Self {
+        Self {
+            variant: variant.to_string(),
+            cycles: out.perf.cycles,
+            seconds: out.perf.seconds,
+            solution_gflops: out.perf.solution_gflops,
+            all_gflops: out.perf.all_gflops,
+            intensity_measured: out.perf.intensity_measured,
+            locality: out.perf.locality,
+            mem_refs: out.perf.mem_refs,
+            iterations: out.iterations,
+            wall_seconds,
+            error: None,
+        }
+    }
+
+    pub fn from_error(variant: &str, error: &str) -> Self {
+        Self {
+            variant: variant.to_string(),
+            cycles: 0,
+            seconds: 0.0,
+            solution_gflops: 0.0,
+            all_gflops: 0.0,
+            intensity_measured: 0.0,
+            locality: (0.0, 0.0, 0.0),
+            mem_refs: 0,
+            iterations: 0,
+            wall_seconds: 0.0,
+            error: Some(error.to_string()),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mut fields = vec![
+            format!("\"variant\": {}", json_str(&self.variant)),
+            format!("\"cycles\": {}", self.cycles),
+            format!("\"seconds\": {}", json_f64(self.seconds)),
+            format!("\"solution_gflops\": {}", json_f64(self.solution_gflops)),
+            format!("\"all_gflops\": {}", json_f64(self.all_gflops)),
+            format!(
+                "\"intensity_measured\": {}",
+                json_f64(self.intensity_measured)
+            ),
+            format!(
+                "\"locality\": {{\"lrf\": {}, \"srf\": {}, \"mem\": {}}}",
+                json_f64(self.locality.0),
+                json_f64(self.locality.1),
+                json_f64(self.locality.2)
+            ),
+            format!("\"mem_refs\": {}", self.mem_refs),
+            format!("\"iterations\": {}", self.iterations),
+            format!("\"wall_seconds\": {}", json_f64(self.wall_seconds)),
+        ];
+        match &self.error {
+            Some(e) => fields.push(format!("\"error\": {}", json_str(e))),
+            None => fields.push("\"error\": null".to_string()),
+        }
+        format!("    {{\n      {}\n    }}", fields.join(",\n      "))
+    }
+}
+
+/// A full run report, serialized as `BENCH_<label>.json`.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Short slug naming the experiment (also names the output file).
+    pub label: String,
+    pub molecules: usize,
+    /// Engine worker threads used for the functional phase.
+    pub threads: usize,
+    pub variants: Vec<VariantRecord>,
+}
+
+impl PerfReport {
+    pub fn new(label: impl Into<String>, molecules: usize, threads: usize) -> Self {
+        Self {
+            label: label.into(),
+            molecules,
+            threads,
+            variants: Vec::new(),
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        let variants: Vec<String> = self.variants.iter().map(|v| v.to_json()).collect();
+        format!(
+            "{{\n  \"label\": {},\n  \"molecules\": {},\n  \"threads\": {},\n  \"variants\": [\n{}\n  ]\n}}\n",
+            json_str(&self.label),
+            self.molecules,
+            self.threads,
+            variants.join(",\n")
+        )
+    }
+
+    /// Write `BENCH_<label>.json` under `dir`, returning the path.
+    pub fn write(&self, dir: &Path) -> io::Result<PathBuf> {
+        let path = dir.join(format!("BENCH_{}.json", self.label));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Write under `$BENCH_REPORT_DIR` (default: current directory).
+    pub fn write_default(&self) -> io::Result<PathBuf> {
+        let dir = std::env::var("BENCH_REPORT_DIR").unwrap_or_else(|_| ".".to_string());
+        self.write(Path::new(&dir))
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_and_writes() {
+        let mut report = PerfReport::new("unit_test", 64, 4);
+        report
+            .variants
+            .push(VariantRecord::from_error("variable", "boom \"quoted\""));
+        let json = report.to_json();
+        assert!(json.contains("\"label\": \"unit_test\""));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\\\"quoted\\\""));
+        let dir = std::env::temp_dir();
+        let path = report.write(&dir).expect("writes");
+        assert!(path.ends_with("BENCH_unit_test.json"));
+        let back = std::fs::read_to_string(&path).expect("reads");
+        assert_eq!(back, json);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn non_finite_values_become_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+}

@@ -63,11 +63,16 @@ pub struct StreamMdApp {
     pub block_l: usize,
     /// Strip size override (kernel iterations per strip).
     pub strip_iterations: Option<usize>,
+    /// Host worker threads for the functional phase of the execution
+    /// engine. Forces, cycles and counters are bitwise-identical at any
+    /// thread count (see `merrimac_sim::parallel`).
+    pub threads: usize,
 }
 
 impl StreamMdApp {
     pub fn new(cfg: MachineConfig) -> Self {
         Self {
+            threads: cfg.host_threads.max(1),
             cfg,
             costs: OpCosts::default(),
             policy: SdrPolicy::Eager,
@@ -108,6 +113,12 @@ impl StreamMdApp {
 
     pub fn with_kernel_opt(mut self, opt: KernelOpt) -> Self {
         self.kernel_opt = opt;
+        self
+    }
+
+    /// Set the host worker-thread count for the execution engine.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -193,7 +204,7 @@ impl StreamMdApp {
         let proc = StreamProcessor::new(self.cfg.clone())
             .with_costs(self.costs.clone())
             .with_policy(self.policy);
-        let report = proc.run(&mut mem, &program)?;
+        let report = proc.run_parallel(&mut mem, &program, self.threads)?;
 
         // Extract forces for the real molecules.
         let n = system.num_molecules();
@@ -580,6 +591,31 @@ mod tests {
         // the use of the SRF as a staging area for memory".
         let rel = (srf - mem).abs() / mem.max(1e-12);
         assert!(rel < 0.25, "SRF {srf} and MEM {mem} should be close");
+    }
+
+    #[test]
+    fn thread_count_is_invisible_in_results() {
+        let (system, list, app) = small_system();
+        let app = app.with_strip_iterations(200);
+        for variant in Variant::ALL {
+            let serial = app
+                .clone()
+                .with_threads(1)
+                .run_step_with_list(&system, &list, variant)
+                .unwrap();
+            let parallel = app
+                .clone()
+                .with_threads(4)
+                .run_step_with_list(&system, &list, variant)
+                .unwrap();
+            assert_eq!(
+                serial.forces, parallel.forces,
+                "{variant}: forces must be bitwise-identical"
+            );
+            assert_eq!(serial.perf.cycles, parallel.perf.cycles);
+            assert_eq!(serial.report.counters, parallel.report.counters);
+            assert_eq!(serial.perf.locality, parallel.perf.locality);
+        }
     }
 
     #[test]

@@ -23,9 +23,36 @@ use md_sim::system::WaterBox;
 use md_sim::units::KB;
 use md_sim::vec3::Vec3;
 use merrimac_sim::machine::SimError;
+use merrimac_sim::Counters;
+use rayon::prelude::*;
 
 use crate::app::StreamMdApp;
 use crate::variant::Variant;
+
+/// The three rigid-water distance constraints (site pair, squared rest
+/// length) plus the site masses — shared by SHAKE and RATTLE.
+#[derive(Debug, Clone, Copy)]
+struct RigidWater {
+    constraints: [(usize, usize, f64); 3],
+    masses: [f64; 3],
+}
+
+impl RigidWater {
+    fn of(system: &WaterBox) -> Self {
+        let model = system.model();
+        let d01 = (model.sites[1].offset - model.sites[0].offset).norm2();
+        let d02 = (model.sites[2].offset - model.sites[0].offset).norm2();
+        let d12 = (model.sites[2].offset - model.sites[1].offset).norm2();
+        Self {
+            constraints: [(0, 1, d01), (0, 2, d02), (1, 2, d12)],
+            masses: [
+                model.sites[0].mass,
+                model.sites[1].mass,
+                model.sites[2].mass,
+            ],
+        }
+    }
+}
 
 /// Per-step record of a driven trajectory.
 #[derive(Debug, Clone, Copy)]
@@ -48,6 +75,10 @@ pub struct DriverReport {
     pub total_force_cycles: u64,
     /// Neighbour-list rebuilds performed.
     pub rebuilds: usize,
+    /// Machine counters summed over every force evaluation. All fields
+    /// are `u64` event counts, so the aggregation is lossless and
+    /// independent of execution order or thread count.
+    pub total_counters: Counters,
 }
 
 impl DriverReport {
@@ -89,9 +120,13 @@ impl MerrimacDriver {
     }
 
     /// Evaluate forces on the simulated machine.
-    fn forces(&self, system: &WaterBox, list: &NeighborList) -> Result<(Vec<Vec3>, u64), SimError> {
+    fn forces(
+        &self,
+        system: &WaterBox,
+        list: &NeighborList,
+    ) -> Result<(Vec<Vec3>, u64, Counters), SimError> {
         let out = self.app.run_step_with_list(system, list, self.variant)?;
-        Ok((out.forces, out.perf.cycles))
+        Ok((out.forces, out.perf.cycles, out.report.counters))
     }
 
     /// Run `steps` MD steps, returning the trajectory report. The system
@@ -112,14 +147,16 @@ impl MerrimacDriver {
 
         let mut list = NeighborList::build(system, self.app.neighbor);
         let mut rebuilds = 1usize;
-        let (mut forces, mut cycles) = self.forces(system, &list)?;
+        let (mut forces, mut cycles, counters) = self.forces(system, &list)?;
         let mut drift = 0.0f64;
         let mut report = DriverReport {
             steps: Vec::with_capacity(steps),
             total_force_cycles: 0,
             rebuilds: 0,
+            total_counters: Counters::default(),
         };
         report.total_force_cycles += cycles;
+        report.total_counters.add(&counters);
 
         for step in 0..steps {
             // Half kick.
@@ -134,7 +171,13 @@ impl MerrimacDriver {
             for i in 0..new_pos.len() {
                 new_pos[i] = old_pos[i] + system.velocities()[i] * self.dt;
             }
-            shake_rigid_water(system, &old_pos, &mut new_pos, self.shake_tol);
+            shake_rigid_water(
+                system,
+                &old_pos,
+                &mut new_pos,
+                self.shake_tol,
+                self.app.threads,
+            );
             let mut max_disp = 0.0f64;
             {
                 let vel = system.velocities_mut();
@@ -156,17 +199,24 @@ impl MerrimacDriver {
                 rebuilds += 1;
                 drift = 0.0;
             }
-            let (f, c) = self.forces(system, &list)?;
+            let (f, c, counters) = self.forces(system, &list)?;
             forces = f;
             cycles = c;
             report.total_force_cycles += cycles;
+            report.total_counters.add(&counters);
 
             // Second half kick + velocity constraint projection.
             for (i, v) in system.velocities_mut().iter_mut().enumerate() {
                 *v += forces[i] * (inv_m[i % 3] * self.dt * 0.5);
             }
             let pos_snapshot = system.positions().to_vec();
-            rattle_rigid_water(system, &pos_snapshot, self.shake_tol, self.dt);
+            rattle_rigid_water(
+                system,
+                &pos_snapshot,
+                self.shake_tol,
+                self.dt,
+                self.app.threads,
+            );
 
             let ke: f64 = system
                 .velocities()
@@ -187,76 +237,84 @@ impl MerrimacDriver {
     }
 }
 
+/// Fan a pure per-molecule constraint solve across `threads` workers.
+/// Molecules are independent and the map is order-preserving, so the
+/// result is bitwise-identical at every thread count.
+fn per_molecule(n: usize, threads: usize, f: impl Fn(usize) -> [Vec3; 3] + Sync) -> Vec<[Vec3; 3]> {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("thread pool");
+    pool.install(|| (0..n).into_par_iter().map(f).collect())
+}
+
 /// SHAKE for rigid 3-site water (shared with the reference integrator's
-/// constraint topology).
-fn shake_rigid_water(system: &WaterBox, old_pos: &[Vec3], new_pos: &mut [Vec3], tol: f64) {
-    let model = system.model();
-    let d01 = (model.sites[1].offset - model.sites[0].offset).norm2();
-    let d02 = (model.sites[2].offset - model.sites[0].offset).norm2();
-    let d12 = (model.sites[2].offset - model.sites[1].offset).norm2();
-    let constraints = [(0usize, 1usize, d01), (0, 2, d02), (1, 2, d12)];
-    let masses = [
-        model.sites[0].mass,
-        model.sites[1].mass,
-        model.sites[2].mass,
-    ];
-    for m in 0..system.num_molecules() {
+/// constraint topology), parallel over molecules.
+fn shake_rigid_water(
+    system: &WaterBox,
+    old_pos: &[Vec3],
+    new_pos: &mut [Vec3],
+    tol: f64,
+    threads: usize,
+) {
+    let w = RigidWater::of(system);
+    let solved = per_molecule(system.num_molecules(), threads, |m| {
         let base = m * 3;
+        let mut cur = [new_pos[base], new_pos[base + 1], new_pos[base + 2]];
         for _ in 0..100 {
             let mut converged = true;
-            for &(a, b, d2) in &constraints {
-                let (ia, ib) = (base + a, base + b);
-                let d = new_pos[ia] - new_pos[ib];
+            for &(a, b, d2) in &w.constraints {
+                let d = cur[a] - cur[b];
                 let diff = d.norm2() - d2;
                 if diff.abs() > tol * d2 {
                     converged = false;
-                    let ref_d = old_pos[ia] - old_pos[ib];
-                    let g = diff / (2.0 * ref_d.dot(d) * (1.0 / masses[a] + 1.0 / masses[b]));
-                    new_pos[ia] -= ref_d * (g / masses[a]);
-                    new_pos[ib] += ref_d * (g / masses[b]);
+                    let ref_d = old_pos[base + a] - old_pos[base + b];
+                    let g = diff / (2.0 * ref_d.dot(d) * (1.0 / w.masses[a] + 1.0 / w.masses[b]));
+                    cur[a] -= ref_d * (g / w.masses[a]);
+                    cur[b] += ref_d * (g / w.masses[b]);
                 }
             }
             if converged {
                 break;
             }
         }
+        cur
+    });
+    for (m, mol) in solved.iter().enumerate() {
+        new_pos[m * 3..m * 3 + 3].copy_from_slice(mol);
     }
 }
 
-/// RATTLE velocity projection for rigid 3-site water.
-fn rattle_rigid_water(system: &mut WaterBox, pos: &[Vec3], tol: f64, dt: f64) {
-    let model = system.model().clone();
-    let d01 = (model.sites[1].offset - model.sites[0].offset).norm2();
-    let d02 = (model.sites[2].offset - model.sites[0].offset).norm2();
-    let d12 = (model.sites[2].offset - model.sites[1].offset).norm2();
-    let constraints = [(0usize, 1usize, d01), (0, 2, d02), (1, 2, d12)];
-    let masses = [
-        model.sites[0].mass,
-        model.sites[1].mass,
-        model.sites[2].mass,
-    ];
+/// RATTLE velocity projection for rigid 3-site water, parallel over
+/// molecules.
+fn rattle_rigid_water(system: &mut WaterBox, pos: &[Vec3], tol: f64, dt: f64, threads: usize) {
+    let w = RigidWater::of(system);
     let n = system.num_molecules();
     let vel = system.velocities_mut();
-    for m in 0..n {
+    let solved = per_molecule(n, threads, |m| {
         let base = m * 3;
+        let mut v = [vel[base], vel[base + 1], vel[base + 2]];
         for _ in 0..100 {
             let mut converged = true;
-            for &(a, b, d2) in &constraints {
-                let (ia, ib) = (base + a, base + b);
-                let d = pos[ia] - pos[ib];
-                let vrel = vel[ia] - vel[ib];
+            for &(a, b, d2) in &w.constraints {
+                let d = pos[base + a] - pos[base + b];
+                let vrel = v[a] - v[b];
                 let dv = d.dot(vrel);
                 if dv.abs() > tol * d2 / dt {
                     converged = false;
-                    let k = dv / (d.norm2() * (1.0 / masses[a] + 1.0 / masses[b]));
-                    vel[ia] -= d * (k / masses[a]);
-                    vel[ib] += d * (k / masses[b]);
+                    let k = dv / (d.norm2() * (1.0 / w.masses[a] + 1.0 / w.masses[b]));
+                    v[a] -= d * (k / w.masses[a]);
+                    v[b] += d * (k / w.masses[b]);
                 }
             }
             if converged {
                 break;
             }
         }
+        v
+    });
+    for (m, mol) in solved.iter().enumerate() {
+        vel[m * 3..m * 3 + 3].copy_from_slice(mol);
     }
 }
 
@@ -318,6 +376,21 @@ mod tests {
         assert!(r.rebuilds < 9 + 1, "list must not rebuild every step");
         assert!(r.total_force_cycles > 0);
         assert!(r.cycles_per_step() > 0.0);
+    }
+
+    #[test]
+    fn parallel_trajectory_is_bitwise_identical() {
+        let mut a = WaterBox::builder().molecules(27).seed(60).build();
+        let mut b = a.clone();
+        let serial = driver(&a, Variant::Expanded);
+        let mut parallel = driver(&b, Variant::Expanded);
+        parallel.app = parallel.app.with_threads(4);
+        let ra = serial.run(&mut a, 4).expect("serial run");
+        let rb = parallel.run(&mut b, 4).expect("parallel run");
+        assert_eq!(a.positions(), b.positions());
+        assert_eq!(a.velocities(), b.velocities());
+        assert_eq!(ra.total_force_cycles, rb.total_force_cycles);
+        assert_eq!(ra.total_counters, rb.total_counters);
     }
 
     #[test]

@@ -155,6 +155,9 @@ fn interaction(
     let mut d_oo = zv;
     let mut f_oo = zv;
 
+    // `a`/`n_site` are site indices into several parallel per-site
+    // arrays (fc, fn_, qq), so plain index loops read best here.
+    #[allow(clippy::needless_range_loop)]
     for a in 0..3 {
         for n_site in 0..3 {
             // Displacement and squared distance: 3 + 5 flops.

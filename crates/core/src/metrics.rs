@@ -83,7 +83,10 @@ impl AnalyticModel {
                 (padded_slots as f64, w)
             }
             Variant::Variable => {
-                let iters = real_pairs as f64 + centers as f64 * 0.0;
+                // 20 words per kernel iteration plus the 28-word centre
+                // budget (18-word centre record + 9-word accumulated
+                // force + 1 flag sentinel), matching `ideal`.
+                let iters = real_pairs as f64;
                 let w = iters * 20.0 + centers as f64 * 28.0;
                 (iters, w)
             }
@@ -153,5 +156,21 @@ mod tests {
         let ds = AnalyticModel::for_dataset(Variant::Variable, 8, 6168, 0, 0, 90);
         assert!(ds.words_per_interaction > 20.0);
         assert!(ds.words_per_interaction < 21.0);
+    }
+
+    #[test]
+    fn variable_dataset_model_matches_centre_budget_exactly() {
+        // Each centre costs exactly 28 words (18-word record + 9-word
+        // force + 1 flag) amortized over its real pairs; iterations are
+        // the real pairs alone.
+        let (real_pairs, centers) = (6168u64, 90u64);
+        let ds = AnalyticModel::for_dataset(Variant::Variable, 8, real_pairs, 0, 0, centers);
+        let expect = 20.0 + 28.0 * centers as f64 / real_pairs as f64;
+        assert!((ds.words_per_interaction - expect).abs() < 1e-12);
+        // And it agrees with the ideal model evaluated at the dataset's
+        // mean neighbour count n̄ = pairs/centres.
+        let ideal = AnalyticModel::ideal(Variant::Variable, 8, real_pairs as f64 / centers as f64);
+        assert!((ds.words_per_interaction - ideal.words_per_interaction).abs() < 1e-12);
+        assert!((ds.intensity - ideal.intensity).abs() < 1e-12);
     }
 }

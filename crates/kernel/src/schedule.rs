@@ -150,8 +150,8 @@ pub fn list_schedule(kernel: &Kernel, costs: &OpCosts, num_slots: usize) -> Sche
     }
 
     // Initial pass: resolve pure chains of non-issuing nodes.
-    for i in 0..n {
-        if live[i] {
+    for (i, &alive) in live.iter().enumerate() {
+        if alive {
             try_resolve(kernel, i, &mut value_ready);
         }
     }
@@ -218,8 +218,8 @@ pub fn list_schedule(kernel: &Kernel, costs: &OpCosts, num_slots: usize) -> Sche
     }
 
     // Final resolution of all live non-issuing nodes.
-    for i in 0..n {
-        if live[i] {
+    for (i, &alive) in live.iter().enumerate() {
+        if alive {
             try_resolve(kernel, i, &mut value_ready);
         }
     }

@@ -199,7 +199,7 @@ mod tests {
                 .collect();
             let cutoff = 0.8;
             let grid = CellGrid::build(pbc, &pts, cutoff);
-            for (_i, &p) in pts.iter().enumerate() {
+            for &p in pts.iter() {
                 let mut visited = vec![false; pts.len()];
                 grid.for_neighbourhood(p, |m| visited[m] = true);
                 for (j, &q) in pts.iter().enumerate() {

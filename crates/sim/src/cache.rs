@@ -216,7 +216,7 @@ mod tests {
     #[test]
     fn single_line_hammer_loads_one_bank() {
         let mut c = cache();
-        let st = c.access_trace(std::iter::repeat(3).take(100), false);
+        let st = c.access_trace(std::iter::repeat_n(3, 100), false);
         assert_eq!(st.max_bank_load, 100);
         assert_eq!(st.misses, 1);
     }

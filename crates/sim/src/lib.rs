@@ -28,6 +28,7 @@ pub mod counters;
 pub mod kernelc;
 pub mod machine;
 pub mod memsys;
+pub mod parallel;
 pub mod program;
 pub mod sdr;
 pub mod srf;

@@ -72,6 +72,75 @@ impl RunReport {
     }
 }
 
+/// Per-op functional results captured by the parallel phase-A pass
+/// ([`StreamProcessor::run_parallel`]): the few facts the timing
+/// scoreboard needs that come from *executing* an op rather than from
+/// its static description.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct OpRecord {
+    /// SRF words a kernel op moved (records consumed + outputs written).
+    pub kernel_srf_words: u64,
+    /// Records a store op wrote (its source buffer's length).
+    pub store_records: usize,
+}
+
+/// How the scoreboard obtains functional results while scheduling.
+#[derive(Clone, Copy)]
+pub(crate) enum ExecMode<'a> {
+    /// Execute each op functionally as it issues (the classic path).
+    Inline,
+    /// Functional execution already happened (parallel per-strip pass);
+    /// compute only costs and timing. Region data must already be in
+    /// its final state — every cost function is address-based, so the
+    /// schedule and cycle counts are bitwise-identical to [`Inline`].
+    Precomputed(&'a [OpRecord]),
+}
+
+/// Run a kernel op's dataflow graph: unroll check, input reshape,
+/// interpretation. Returns the output streams and the SRF words moved
+/// (inputs consumed + outputs written). Shared between the inline
+/// scoreboard and the parallel per-strip executor so the two paths
+/// cannot drift.
+pub(crate) fn kernel_functional(
+    label: &str,
+    kernel: &crate::kernelc::CompiledKernel,
+    input_data: Vec<StreamData>,
+    params: &[f64],
+    iterations: u64,
+) -> Result<(Vec<StreamData>, u64), SimError> {
+    let unroll = kernel.opt.unroll as u64;
+    if !iterations.is_multiple_of(unroll) {
+        return Err(SimError::Program(format!(
+            "kernel '{label}': {iterations} iterations not divisible by unroll {unroll}"
+        )));
+    }
+    // Reshape every-iteration inputs to the unrolled record length.
+    let mut shaped = Vec::with_capacity(input_data.len());
+    for (d, sig) in input_data.into_iter().zip(&kernel.ir.inputs) {
+        if sig.record_len as usize != d.record_len {
+            if d.data.len() % sig.record_len as usize != 0 {
+                return Err(SimError::Program(format!(
+                    "kernel '{label}': input not reshapeable to {} words",
+                    sig.record_len
+                )));
+            }
+            shaped.push(StreamData::new(sig.record_len as usize, d.data));
+        } else {
+            shaped.push(d);
+        }
+    }
+    let unrolled_iters = iterations / unroll;
+    let out = Interpreter::new(&kernel.ir).run(&shaped, params, unrolled_iters as usize)?;
+    let mut srf_words = 0u64;
+    for (s, d) in out.records_consumed.iter().zip(&shaped) {
+        srf_words += (*s * d.record_len) as u64;
+    }
+    for o in &out.outputs {
+        srf_words += o.data.len() as u64;
+    }
+    Ok((out.outputs, srf_words))
+}
+
 /// A Merrimac node ready to execute stream programs.
 #[derive(Debug, Clone)]
 pub struct StreamProcessor {
@@ -116,6 +185,19 @@ impl StreamProcessor {
     /// Execute `program` against `memory`, mutating regions written by
     /// scatter-add/store ops.
     pub fn run(&self, memory: &mut Memory, program: &StreamProgram) -> Result<RunReport, SimError> {
+        self.schedule(memory, program, ExecMode::Inline)
+    }
+
+    /// The scoreboard: schedules ops onto the memory pipeline and the
+    /// cluster array. In [`ExecMode::Inline`] it also executes each op
+    /// functionally as it issues; in [`ExecMode::Precomputed`] the data
+    /// movement already happened and only costs/timing are computed.
+    pub(crate) fn schedule(
+        &self,
+        memory: &mut Memory,
+        program: &StreamProgram,
+        mode: ExecMode,
+    ) -> Result<RunReport, SimError> {
         let n_ops = program.ops.len();
         let n_bufs = program.buffers.len();
 
@@ -309,13 +391,15 @@ impl StreamProcessor {
                         dst,
                     } => {
                         let cost = memsys.gather_cost(memory, *region, *record_len, indices, false);
-                        let mut data = Vec::with_capacity(indices.len() * record_len);
-                        let src = memory.data(*region);
-                        for &idx in indices.iter() {
-                            let s = idx as usize * record_len;
-                            data.extend_from_slice(&src[s..s + record_len]);
+                        if matches!(mode, ExecMode::Inline) {
+                            let mut data = Vec::with_capacity(indices.len() * record_len);
+                            let src = memory.data(*region);
+                            for &idx in indices.iter() {
+                                let s = idx as usize * record_len;
+                                data.extend_from_slice(&src[s..s + record_len]);
+                            }
+                            buffers[dst.0] = Some(StreamData::new(*record_len, data));
                         }
-                        buffers[dst.0] = Some(StreamData::new(*record_len, data));
                         counters.mem_refs += cost.words;
                         counters.dram_words += cost.dram_words;
                         counters.cache_hits += cost.cache.hits;
@@ -337,9 +421,11 @@ impl StreamProcessor {
                             *records,
                             false,
                         );
-                        let s = start * record_len;
-                        let data = memory.data(*region)[s..s + records * record_len].to_vec();
-                        buffers[dst.0] = Some(StreamData::new(*record_len, data));
+                        if matches!(mode, ExecMode::Inline) {
+                            let s = start * record_len;
+                            let data = memory.data(*region)[s..s + records * record_len].to_vec();
+                            buffers[dst.0] = Some(StreamData::new(*record_len, data));
+                        }
                         counters.mem_refs += cost.words;
                         counters.dram_words += cost.dram_words;
                         counters.cache_hits += cost.cache.hits;
@@ -352,26 +438,28 @@ impl StreamProcessor {
                         record_len,
                         indices,
                     } => {
-                        let data = buffers[src.0]
-                            .as_ref()
-                            .expect("scatter-add source produced")
-                            .clone();
-                        if data.num_records() != indices.len() {
-                            return Err(SimError::Program(format!(
-                                "scatter-add '{}': {} records vs {} indices",
-                                lop.label,
-                                data.num_records(),
-                                indices.len()
-                            )));
-                        }
-                        let cost = memsys.scatter_add_cost(memory, *region, *record_len, indices);
-                        let dst = memory.data_mut(*region);
-                        for (r, &idx) in indices.iter().enumerate() {
-                            let base = idx as usize * *record_len;
-                            for f in 0..*record_len {
-                                dst[base + f] += data.record(r)[f];
+                        if matches!(mode, ExecMode::Inline) {
+                            let data = buffers[src.0]
+                                .as_ref()
+                                .expect("scatter-add source produced")
+                                .clone();
+                            if data.num_records() != indices.len() {
+                                return Err(SimError::Program(format!(
+                                    "scatter-add '{}': {} records vs {} indices",
+                                    lop.label,
+                                    data.num_records(),
+                                    indices.len()
+                                )));
+                            }
+                            let dst = memory.data_mut(*region);
+                            for (r, &idx) in indices.iter().enumerate() {
+                                let base = idx as usize * *record_len;
+                                for f in 0..*record_len {
+                                    dst[base + f] += data.record(r)[f];
+                                }
                             }
                         }
+                        let cost = memsys.scatter_add_cost(memory, *region, *record_len, indices);
                         counters.mem_refs += cost.words;
                         counters.dram_words += cost.dram_words;
                         counters.cache_hits += cost.cache.hits;
@@ -384,11 +472,20 @@ impl StreamProcessor {
                         record_len,
                         start,
                     } => {
-                        let data = buffers[src.0]
-                            .as_ref()
-                            .expect("store source produced")
-                            .clone();
-                        let records = data.num_records();
+                        let records = match mode {
+                            ExecMode::Inline => {
+                                let data = buffers[src.0]
+                                    .as_ref()
+                                    .expect("store source produced")
+                                    .clone();
+                                let records = data.num_records();
+                                let dst = memory.data_mut(*region);
+                                let s = start * record_len;
+                                dst[s..s + records * record_len].copy_from_slice(&data.data);
+                                records
+                            }
+                            ExecMode::Precomputed(recs) => recs[i].store_records,
+                        };
                         let cost = memsys.sequential_cost(
                             memory,
                             *region,
@@ -397,9 +494,6 @@ impl StreamProcessor {
                             records,
                             true,
                         );
-                        let dst = memory.data_mut(*region);
-                        let s = start * record_len;
-                        dst[s..s + records * record_len].copy_from_slice(&data.data);
                         counters.mem_refs += cost.words;
                         counters.dram_words += cost.dram_words;
                         counters.cache_hits += cost.cache.hits;
@@ -421,45 +515,32 @@ impl StreamProcessor {
                                 lop.label, iterations, unroll
                             )));
                         }
-                        let input_data: Vec<StreamData> = inputs
-                            .iter()
-                            .map(|b| {
-                                buffers[b.0]
-                                    .as_ref()
-                                    .expect("kernel input produced")
-                                    .clone()
-                            })
-                            .collect();
-                        // Reshape every-iteration inputs to the unrolled
-                        // record length.
-                        let mut shaped = Vec::with_capacity(input_data.len());
-                        for (d, sig) in input_data.into_iter().zip(&kernel.ir.inputs) {
-                            if sig.record_len as usize != d.record_len {
-                                if d.data.len() % sig.record_len as usize != 0 {
-                                    return Err(SimError::Program(format!(
-                                        "kernel '{}': input not reshapeable to {} words",
-                                        lop.label, sig.record_len
-                                    )));
-                                }
-                                shaped.push(StreamData::new(sig.record_len as usize, d.data));
-                            } else {
-                                shaped.push(d);
-                            }
-                        }
                         let unrolled_iters = iterations / unroll;
-                        let out = Interpreter::new(&kernel.ir).run(
-                            &shaped,
-                            params,
-                            unrolled_iters as usize,
-                        )?;
-                        let mut srf_words = 0u64;
-                        for (s, d) in out.records_consumed.iter().zip(&shaped) {
-                            srf_words += (*s * d.record_len) as u64;
-                        }
-                        for (o, b) in out.outputs.into_iter().zip(outputs) {
-                            srf_words += o.data.len() as u64;
-                            buffers[b.0] = Some(o);
-                        }
+                        let srf_words = match mode {
+                            ExecMode::Inline => {
+                                let input_data: Vec<StreamData> = inputs
+                                    .iter()
+                                    .map(|b| {
+                                        buffers[b.0]
+                                            .as_ref()
+                                            .expect("kernel input produced")
+                                            .clone()
+                                    })
+                                    .collect();
+                                let (outs, srf_words) = kernel_functional(
+                                    &lop.label,
+                                    kernel,
+                                    input_data,
+                                    params,
+                                    *iterations,
+                                )?;
+                                for (o, b) in outs.into_iter().zip(outputs) {
+                                    buffers[b.0] = Some(o);
+                                }
+                                srf_words
+                            }
+                            ExecMode::Precomputed(recs) => recs[i].kernel_srf_words,
+                        };
                         counters.srf_refs += srf_words;
                         counters.lrf_refs += kernel.stats.lrf_refs * unrolled_iters;
                         counters.hardware_flops += kernel.stats.hardware_flops * unrolled_iters;
@@ -750,8 +831,10 @@ mod tests {
 
     #[test]
     fn naive_sdr_policy_hurts_overlap_when_registers_scarce() {
-        let mut cfg = MachineConfig::default();
-        cfg.stream_descriptor_registers = 2;
+        let cfg = MachineConfig {
+            stream_descriptor_registers: 2,
+            ..MachineConfig::default()
+        };
         let k = square_kernel(&cfg, KernelOpt::default());
         let n = 4096usize;
         let strips = 6;

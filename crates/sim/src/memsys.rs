@@ -232,8 +232,10 @@ mod tests {
     fn gather_bounded_by_address_rate_when_cached() {
         // With the cached-gather ablation enabled, a warm gather runs at
         // the 8 words/cycle cache rate.
-        let mut cfg = MachineConfig::default();
-        cfg.cache_allocates_gathers = true;
+        let cfg = MachineConfig {
+            cache_allocates_gathers: true,
+            ..MachineConfig::default()
+        };
         let mut ms = MemSystem::new(&cfg);
         let mut mem = Memory::new();
         let r = mem.region("r", vec![0.0; 8192]);

@@ -1,0 +1,572 @@
+//! Parallel cluster-execution engine: fan per-strip functional work
+//! across host threads, then replay the (inherently sequential) timing
+//! scoreboard against precomputed results.
+//!
+//! The split is sound because every cost function in [`crate::memsys`]
+//! and [`crate::cluster`] depends only on *addresses, indices and
+//! static op shapes* — never on region data values — so the timing
+//! pass produces bitwise-identical cycles and counters whether or not
+//! it executed the data movement itself.
+//!
+//! Determinism contract: for an eligible program, `run_parallel`
+//! produces bitwise-identical region contents, forces, cycles and
+//! counters at **every** thread count (including 1). Three properties
+//! guarantee it:
+//!
+//! 1. the per-strip map is order-preserving and each strip's execution
+//!    is pure given the (read-only) input regions;
+//! 2. scatter-add contributions are accumulated into per-strip overlay
+//!    buffers and merged by a *fixed-shape* pairwise tree over strip
+//!    index — the tree's shape depends only on the strip count, never
+//!    on the worker count or completion order;
+//! 3. the timing pass is serial and byte-for-byte the same scoreboard
+//!    as [`StreamProcessor::run`].
+//!
+//! Programs whose buffers cross strips, or that read a region they
+//! also write, cannot be split this way; those fall back to the serial
+//! scoreboard (the engine is then still exact, just not parallel).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use merrimac_kernel::interp::StreamData;
+use rayon::prelude::*;
+
+use crate::counters::Counters;
+use crate::machine::{kernel_functional, ExecMode, OpRecord, RunReport, SimError, StreamProcessor};
+use crate::program::{Memory, StreamOp, StreamProgram};
+
+/// Everything one strip's functional execution produced.
+struct StripOutcome {
+    /// `(op index, record)` for ops the timing pass needs facts about.
+    records: Vec<(usize, OpRecord)>,
+    /// Per-region scatter-add overlays: contributions accumulated into
+    /// a zero-initialized image of the region, in op order.
+    scatter: Vec<(usize, Vec<f64>)>,
+    /// Sequential stores: `(region, start word, data)`, in op order.
+    stores: Vec<(usize, usize, Vec<f64>)>,
+    /// Kernel-side counters (SRF/LRF traffic, FLOPs, iterations) this
+    /// strip contributed — all `u64` sums, so aggregation across
+    /// threads is lossless and order-independent.
+    kernel_counters: Counters,
+}
+
+impl StreamProcessor {
+    /// Execute `program` with the functional phase fanned across
+    /// `threads` worker threads. See the module docs for the
+    /// determinism contract; ineligible programs fall back to the
+    /// serial scoreboard.
+    pub fn run_parallel(
+        &self,
+        memory: &mut Memory,
+        program: &StreamProgram,
+        threads: usize,
+    ) -> Result<RunReport, SimError> {
+        let Some(strips) = strip_partition(program) else {
+            return self.run(memory, program);
+        };
+
+        // ---- phase A: per-strip functional execution ------------------
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads.max(1))
+            .build()
+            .map_err(|e| SimError::Program(format!("thread pool: {e}")))?;
+        let shared: &Memory = memory;
+        let outcomes: Result<Vec<StripOutcome>, SimError> = pool.install(|| {
+            strips
+                .into_par_iter()
+                .map(|ops| exec_strip(shared, program, &ops))
+                .collect()
+        });
+        let outcomes = outcomes?;
+
+        // ---- deterministic merge --------------------------------------
+        let mut records: Vec<OpRecord> = vec![OpRecord::default(); program.ops.len()];
+        let mut kernel_counters = Counters::default();
+        for o in &outcomes {
+            for (i, r) in &o.records {
+                records[*i] = *r;
+            }
+            // Lossless (u64) aggregation of per-strip kernel counters.
+            kernel_counters.add(&o.kernel_counters);
+        }
+        // Scatter overlays, grouped by region in strip order, reduced by
+        // a fixed-shape pairwise tree, then added into the base region.
+        let mut by_region: BTreeMap<usize, Vec<Vec<f64>>> = BTreeMap::new();
+        let mut stores: Vec<(usize, usize, Vec<f64>)> = Vec::new();
+        for o in outcomes {
+            for (region, overlay) in o.scatter {
+                by_region.entry(region).or_default().push(overlay);
+            }
+            stores.extend(o.stores);
+        }
+        for (region, overlays) in by_region {
+            let total = pool.install(|| tree_sum(overlays));
+            for (d, v) in memory
+                .data_mut(crate::program::RegionId(region))
+                .iter_mut()
+                .zip(&total)
+            {
+                *d += *v;
+            }
+        }
+        for (region, start, data) in stores {
+            let dst = memory.data_mut(crate::program::RegionId(region));
+            dst[start..start + data.len()].copy_from_slice(&data);
+        }
+
+        // ---- phase B: serial timing against precomputed results -------
+        let report = self.schedule(memory, program, ExecMode::Precomputed(&records))?;
+        debug_assert_eq!(
+            (
+                kernel_counters.srf_refs,
+                kernel_counters.lrf_refs,
+                kernel_counters.hardware_flops,
+                kernel_counters.hardware_ops,
+                kernel_counters.kernel_iterations,
+            ),
+            (
+                report.counters.srf_refs,
+                report.counters.lrf_refs,
+                report.counters.hardware_flops,
+                report.counters.hardware_ops,
+                report.counters.kernel_iterations,
+            ),
+            "phase-A kernel counter aggregation must match the scoreboard"
+        );
+        Ok(report)
+    }
+}
+
+/// Group op indices by strip, in ascending strip order, iff the program
+/// is strip-isolated: every buffer lives within one strip and no region
+/// is both read and written (or scatter-added and stored).
+fn strip_partition(program: &StreamProgram) -> Option<Vec<Vec<usize>>> {
+    let mut buffer_strip: HashMap<usize, usize> = HashMap::new();
+    let mut reads: HashSet<usize> = HashSet::new();
+    let mut scatters: HashSet<usize> = HashSet::new();
+    let mut stores: HashSet<usize> = HashSet::new();
+    let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, lop) in program.ops.iter().enumerate() {
+        groups.entry(lop.strip).or_default().push(i);
+        let bufs: Vec<usize> = match &lop.op {
+            StreamOp::Gather { dst, .. } | StreamOp::Load { dst, .. } => vec![dst.0],
+            StreamOp::Kernel {
+                inputs, outputs, ..
+            } => inputs.iter().chain(outputs).map(|b| b.0).collect(),
+            StreamOp::ScatterAdd { src, .. } | StreamOp::Store { src, .. } => vec![src.0],
+        };
+        for b in bufs {
+            if *buffer_strip.entry(b).or_insert(lop.strip) != lop.strip {
+                return None; // buffer crosses strips
+            }
+        }
+        match &lop.op {
+            StreamOp::Gather { region, .. } | StreamOp::Load { region, .. } => {
+                reads.insert(region.0);
+            }
+            StreamOp::ScatterAdd { region, .. } => {
+                scatters.insert(region.0);
+            }
+            StreamOp::Store { region, .. } => {
+                stores.insert(region.0);
+            }
+            StreamOp::Kernel { .. } => {}
+        }
+    }
+    let writes_overlap_reads = reads
+        .iter()
+        .any(|r| scatters.contains(r) || stores.contains(r));
+    let scatter_store_mix = scatters.iter().any(|r| stores.contains(r));
+    if writes_overlap_reads || scatter_store_mix {
+        return None;
+    }
+    Some(groups.into_values().collect())
+}
+
+/// Functionally execute one strip's ops against the (read-only) input
+/// regions, accumulating writes into private overlays.
+fn exec_strip(
+    memory: &Memory,
+    program: &StreamProgram,
+    ops: &[usize],
+) -> Result<StripOutcome, SimError> {
+    let mut buffers: HashMap<usize, StreamData> = HashMap::new();
+    let mut out = StripOutcome {
+        records: Vec::new(),
+        scatter: Vec::new(),
+        stores: Vec::new(),
+        kernel_counters: Counters::default(),
+    };
+    for &i in ops {
+        let lop = &program.ops[i];
+        match &lop.op {
+            StreamOp::Gather {
+                region,
+                record_len,
+                indices,
+                dst,
+            } => {
+                let src = memory.data(*region);
+                let mut data = Vec::with_capacity(indices.len() * record_len);
+                for &idx in indices.iter() {
+                    let s = idx as usize * record_len;
+                    data.extend_from_slice(&src[s..s + record_len]);
+                }
+                buffers.insert(dst.0, StreamData::new(*record_len, data));
+            }
+            StreamOp::Load {
+                region,
+                record_len,
+                start,
+                records,
+                dst,
+            } => {
+                let s = start * record_len;
+                let data = memory.data(*region)[s..s + records * record_len].to_vec();
+                buffers.insert(dst.0, StreamData::new(*record_len, data));
+            }
+            StreamOp::Kernel {
+                kernel,
+                inputs,
+                outputs,
+                params,
+                iterations,
+                ..
+            } => {
+                let input_data: Vec<StreamData> = inputs
+                    .iter()
+                    .map(|b| {
+                        buffers
+                            .get(&b.0)
+                            .ok_or_else(|| {
+                                SimError::Program(format!(
+                                    "kernel '{}': input buffer never produced",
+                                    lop.label
+                                ))
+                            })
+                            .cloned()
+                    })
+                    .collect::<Result<_, _>>()?;
+                let (outs, srf_words) =
+                    kernel_functional(&lop.label, kernel, input_data, params, *iterations)?;
+                for (o, b) in outs.into_iter().zip(outputs) {
+                    buffers.insert(b.0, o);
+                }
+                let unrolled = *iterations / kernel.opt.unroll as u64;
+                out.kernel_counters.srf_refs += srf_words;
+                out.kernel_counters.lrf_refs += kernel.stats.lrf_refs * unrolled;
+                out.kernel_counters.hardware_flops += kernel.stats.hardware_flops * unrolled;
+                out.kernel_counters.hardware_ops += kernel.stats.hardware_ops * unrolled;
+                out.kernel_counters.kernel_iterations += *iterations;
+                out.records.push((
+                    i,
+                    OpRecord {
+                        kernel_srf_words: srf_words,
+                        store_records: 0,
+                    },
+                ));
+            }
+            StreamOp::ScatterAdd {
+                src,
+                region,
+                record_len,
+                indices,
+            } => {
+                let data = buffers.get(&src.0).ok_or_else(|| {
+                    SimError::Program(format!(
+                        "scatter-add '{}': source buffer never produced",
+                        lop.label
+                    ))
+                })?;
+                if data.num_records() != indices.len() {
+                    return Err(SimError::Program(format!(
+                        "scatter-add '{}': {} records vs {} indices",
+                        lop.label,
+                        data.num_records(),
+                        indices.len()
+                    )));
+                }
+                let pos = match out.scatter.iter().position(|(r, _)| *r == region.0) {
+                    Some(p) => p,
+                    None => {
+                        out.scatter
+                            .push((region.0, vec![0.0; memory.data(*region).len()]));
+                        out.scatter.len() - 1
+                    }
+                };
+                let overlay = &mut out.scatter[pos].1;
+                for (r, &idx) in indices.iter().enumerate() {
+                    let base = idx as usize * *record_len;
+                    for f in 0..*record_len {
+                        overlay[base + f] += data.record(r)[f];
+                    }
+                }
+            }
+            StreamOp::Store {
+                src,
+                region,
+                record_len,
+                start,
+            } => {
+                let data = buffers.get(&src.0).ok_or_else(|| {
+                    SimError::Program(format!(
+                        "store '{}': source buffer never produced",
+                        lop.label
+                    ))
+                })?;
+                out.records.push((
+                    i,
+                    OpRecord {
+                        kernel_srf_words: 0,
+                        store_records: data.num_records(),
+                    },
+                ));
+                out.stores
+                    .push((region.0, start * record_len, data.data.clone()));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Pairwise tree reduction of equally-sized accumulators. The tree's
+/// shape is a function of `layers.len()` alone, so the result is
+/// bitwise-identical at every worker count; each level's pair-sums run
+/// in parallel.
+fn tree_sum(mut layers: Vec<Vec<f64>>) -> Vec<f64> {
+    while layers.len() > 1 {
+        let mut pairs: Vec<(Vec<f64>, Option<Vec<f64>>)> = Vec::new();
+        let mut it = layers.into_iter();
+        while let Some(a) = it.next() {
+            pairs.push((a, it.next()));
+        }
+        layers = pairs
+            .into_par_iter()
+            .map(|(mut a, b)| {
+                if let Some(b) = b {
+                    for (x, y) in a.iter_mut().zip(&b) {
+                        *x += *y;
+                    }
+                }
+                a
+            })
+            .collect();
+    }
+    layers.pop().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use merrimac_arch::{MachineConfig, OpCosts};
+    use merrimac_kernel::ir::StreamMode;
+    use merrimac_kernel::KernelBuilder;
+
+    use super::*;
+    use crate::kernelc::{CompiledKernel, KernelOpt};
+    use crate::program::ProgramBuilder;
+
+    fn square_kernel(cfg: &MachineConfig) -> Arc<CompiledKernel> {
+        let mut b = KernelBuilder::new("square");
+        let s = b.input("x", 1, StreamMode::EveryIteration);
+        let o = b.output("y", 1);
+        let x = b.read(s, 0);
+        let y = b.mul(x, x);
+        b.write(o, &[y]);
+        Arc::new(CompiledKernel::compile(
+            b.build(),
+            cfg,
+            &OpCosts::default(),
+            KernelOpt::default(),
+        ))
+    }
+
+    /// Multi-strip gather→kernel→scatter-add program where several
+    /// strips hit the same accumulator records.
+    fn scatter_setup(strips: usize, n: usize) -> (Memory, StreamProgram) {
+        let cfg = MachineConfig::default();
+        let k = square_kernel(&cfg);
+        let mut mem = Memory::new();
+        let xs = mem.region("xs", (0..strips * n).map(|i| (i as f64).sin()).collect());
+        let acc = mem.region("acc", vec![0.0; n]);
+        let mut pb = ProgramBuilder::new();
+        for strip in 0..strips {
+            pb.strip(strip);
+            let bx = pb.buffer(&format!("x{strip}"), 1);
+            let by = pb.buffer(&format!("y{strip}"), 1);
+            let idx: Vec<u32> = (0..n as u32).map(|i| i + (strip * n) as u32).collect();
+            pb.gather(format!("gather {strip}"), xs, 1, Arc::new(idx), bx);
+            pb.kernel(
+                format!("kernel {strip}"),
+                k.clone(),
+                vec![bx],
+                vec![by],
+                vec![],
+                n as u64,
+                (n as u64).div_ceil(16),
+            );
+            // All strips accumulate into the same n records.
+            let tgt: Vec<u32> = (0..n as u32).collect();
+            pb.scatter_add(format!("scatter {strip}"), by, acc, 1, Arc::new(tgt));
+        }
+        (mem, pb.build())
+    }
+
+    #[test]
+    fn parallel_matches_expected_sums() {
+        let (mut mem, program) = scatter_setup(4, 257);
+        let proc = StreamProcessor::new(MachineConfig::default());
+        proc.run_parallel(&mut mem, &program, 4).expect("runs");
+        let acc = mem.data(crate::program::RegionId(1));
+        for (i, v) in acc.iter().enumerate() {
+            let expect: f64 = (0..4)
+                .map(|s| {
+                    let x = ((s * 257 + i) as f64).sin();
+                    x * x
+                })
+                .sum::<f64>();
+            assert!((v - expect).abs() < 1e-12, "word {i}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results_or_timing() {
+        let run = |threads: usize| {
+            let (mut mem, program) = scatter_setup(5, 129);
+            let proc = StreamProcessor::new(MachineConfig::default());
+            let r = proc
+                .run_parallel(&mut mem, &program, threads)
+                .expect("runs");
+            (mem.data(crate::program::RegionId(1)).to_vec(), r)
+        };
+        let (base_data, base) = run(1);
+        for threads in [2, 3, 4, 8] {
+            let (data, r) = run(threads);
+            assert_eq!(base_data, data, "region data diverged at {threads} threads");
+            assert_eq!(base.cycles, r.cycles);
+            assert_eq!(base.counters, r.counters);
+            assert_eq!(base.sdr_peak, r.sdr_peak);
+            assert_eq!(base.sdr_stall_cycles, r.sdr_stall_cycles);
+        }
+    }
+
+    #[test]
+    fn timing_identical_to_serial_scoreboard() {
+        let (mut m1, p1) = scatter_setup(3, 200);
+        let (mut m2, p2) = scatter_setup(3, 200);
+        let proc = StreamProcessor::new(MachineConfig::default());
+        let serial = proc.run(&mut m1, &p1).expect("serial");
+        let parallel = proc.run_parallel(&mut m2, &p2, 4).expect("parallel");
+        assert_eq!(serial.cycles, parallel.cycles);
+        assert_eq!(serial.counters, parallel.counters);
+        assert_eq!(serial.sdr_peak, parallel.sdr_peak);
+        assert_eq!(
+            serial.srf_peak_words_per_cluster,
+            parallel.srf_peak_words_per_cluster
+        );
+        // Scatter sums agree to reduction-order rounding.
+        for (a, b) in m1
+            .data(crate::program::RegionId(1))
+            .iter()
+            .zip(m2.data(crate::program::RegionId(1)))
+        {
+            assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn store_programs_round_trip() {
+        // load → kernel → store with two strips; results must be exact.
+        let cfg = MachineConfig::default();
+        let k = square_kernel(&cfg);
+        let n = 300usize;
+        let build = || {
+            let mut mem = Memory::new();
+            let xs = mem.region("xs", (0..2 * n).map(|i| i as f64).collect());
+            let out = mem.region("out", vec![0.0; 2 * n]);
+            let mut pb = ProgramBuilder::new();
+            for strip in 0..2 {
+                pb.strip(strip);
+                let bx = pb.buffer(&format!("x{strip}"), 1);
+                let by = pb.buffer(&format!("y{strip}"), 1);
+                pb.load(format!("load {strip}"), xs, 1, strip * n, n, bx);
+                pb.kernel(
+                    format!("kernel {strip}"),
+                    k.clone(),
+                    vec![bx],
+                    vec![by],
+                    vec![],
+                    n as u64,
+                    (n as u64).div_ceil(16),
+                );
+                pb.store(format!("store {strip}"), by, out, 1, strip * n);
+            }
+            (mem, pb.build())
+        };
+        let proc = StreamProcessor::new(cfg);
+        let (mut m1, p1) = build();
+        let serial = proc.run(&mut m1, &p1).expect("serial");
+        let (mut m2, p2) = build();
+        let parallel = proc.run_parallel(&mut m2, &p2, 4).expect("parallel");
+        assert_eq!(
+            m1.data(crate::program::RegionId(1)),
+            m2.data(crate::program::RegionId(1)),
+            "store-only programs must be bitwise identical"
+        );
+        assert_eq!(serial.cycles, parallel.cycles);
+        assert_eq!(serial.counters, parallel.counters);
+    }
+
+    #[test]
+    fn cross_strip_buffer_falls_back_to_serial() {
+        // Producer in strip 0, consumer in strip 1: ineligible, must
+        // still execute correctly via the serial path.
+        let cfg = MachineConfig::default();
+        let k = square_kernel(&cfg);
+        let n = 64usize;
+        let mut mem = Memory::new();
+        let xs = mem.region("xs", (0..n).map(|i| i as f64).collect());
+        let out = mem.region("out", vec![0.0; n]);
+        let mut pb = ProgramBuilder::new();
+        let bx = pb.buffer("x", 1);
+        let by = pb.buffer("y", 1);
+        pb.strip(0).load("load", xs, 1, 0, n, bx);
+        pb.strip(1).kernel(
+            "kernel",
+            k,
+            vec![bx],
+            vec![by],
+            vec![],
+            n as u64,
+            (n as u64).div_ceil(16),
+        );
+        pb.strip(1).store("store", by, out, 1, 0);
+        let program = pb.build();
+        assert!(strip_partition(&program).is_none());
+        let proc = StreamProcessor::new(cfg);
+        proc.run_parallel(&mut mem, &program, 4)
+            .expect("fallback runs");
+        assert_eq!(mem.data(crate::program::RegionId(1))[5], 25.0);
+    }
+
+    #[test]
+    fn tree_sum_shape_is_width_independent() {
+        let layers: Vec<Vec<f64>> = (0..7)
+            .map(|s| {
+                (0..50)
+                    .map(|i| ((s * 50 + i) as f64).sin() * 1e-3)
+                    .collect()
+            })
+            .collect();
+        let expect = tree_sum(layers.clone());
+        for threads in [1usize, 2, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let got = pool.install(|| tree_sum(layers.clone()));
+            assert_eq!(expect, got, "tree_sum diverged at {threads} threads");
+        }
+    }
+}

@@ -142,9 +142,11 @@ fn measured_intensity_close_to_calculated() {
 #[test]
 fn sdr_fix_never_hurts_and_helps_when_scarce() {
     let (system, list, _) = setup();
-    let mut cfg = MachineConfig::default();
-    cfg.stream_descriptor_registers = 4;
-    cfg.cache_allocates_gathers = true;
+    let cfg = MachineConfig {
+        stream_descriptor_registers: 4,
+        cache_allocates_gathers: true,
+        ..MachineConfig::default()
+    };
     let naive = StreamMdApp::new(cfg.clone())
         .with_neighbor(list.params)
         .with_policy(SdrPolicy::Naive)

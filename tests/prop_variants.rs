@@ -12,7 +12,7 @@ use streammd::{StreamMdApp, Variant};
 
 fn run_case(molecules: usize, seed: u64, cutoff_frac: f64, strip: usize, l: usize) {
     let system = WaterBox::builder().molecules(molecules).seed(seed).build();
-    let cutoff = (cutoff_frac * system.pbc().side()).min(1.0).max(0.3);
+    let cutoff = (cutoff_frac * system.pbc().side()).clamp(0.3, 1.0);
     let params = NeighborListParams {
         cutoff,
         skin: 0.0,

@@ -1,0 +1,196 @@
+//! Order-preserving parallel iterators.
+//!
+//! Items are materialized into a `Vec`, split into one contiguous chunk
+//! per worker, and mapped on scoped threads; results are reassembled in
+//! item order. Purity of the per-item function therefore guarantees
+//! results independent of the worker count.
+
+use crate::current_num_threads;
+
+/// Conversion into a parallel iterator (rayon-compatible name).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A minimal parallel iterator: `map` + order-preserving `collect`,
+/// plus `for_each` and a fixed-shape `reduce`.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    fn items(self) -> Vec<Self::Item>;
+
+    fn map<U: Send, F>(self, f: F) -> ParMap<Self, F>
+    where
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        ParMap { inner: self, f }
+    }
+
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_vec(run_parallel(self.items(), |x| x))
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+        Self::Item: Send,
+    {
+        run_parallel(self.items(), f);
+    }
+
+    /// Reduce with `identity`/`op`. The reduction is performed over the
+    /// ordered item sequence as a fixed left fold of per-chunk left
+    /// folds with one chunk per *configured* worker, so the result
+    /// depends only on the configured width, not on scheduling.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        let parts = run_chunked(self.items(), |chunk| {
+            chunk.into_iter().fold(identity(), &op)
+        });
+        parts.into_iter().fold(identity(), &op)
+    }
+}
+
+/// `collect` targets.
+pub trait FromParallelIterator<T> {
+    fn from_par_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par_vec(v: Vec<Result<T, E>>) -> Self {
+        v.into_iter().collect()
+    }
+}
+
+/// Map adapter.
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, U, F> ParallelIterator for ParMap<I, F>
+where
+    I: ParallelIterator,
+    U: Send,
+    F: Fn(I::Item) -> U + Sync,
+{
+    type Item = U;
+
+    fn items(self) -> Vec<U> {
+        run_parallel(self.inner.items(), self.f)
+    }
+}
+
+/// Base iterator over owned items.
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+
+    fn items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParVec<T>;
+
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = ParVec<&'a T>;
+
+    fn into_par_iter(self) -> ParVec<&'a T> {
+        ParVec {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = ParVec<&'a T>;
+
+    fn into_par_iter(self) -> ParVec<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+macro_rules! range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = ParVec<$t>;
+
+            fn into_par_iter(self) -> ParVec<$t> {
+                ParVec { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+range_par_iter!(u32, u64, usize, i32, i64);
+
+/// Map `items` on up to `current_num_threads()` scoped workers,
+/// returning results in item order.
+fn run_parallel<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
+    let chunks = run_chunked(items, |chunk| chunk.into_iter().map(&f).collect::<Vec<U>>());
+    let mut out = Vec::new();
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+/// Split `items` into one contiguous chunk per worker and process each
+/// chunk on its own scoped thread; chunk results come back in order.
+fn run_chunked<T: Send, U: Send>(items: Vec<T>, f: impl Fn(Vec<T>) -> U + Sync) -> Vec<U> {
+    let n = items.len();
+    let workers = current_num_threads().clamp(1, n.max(1));
+    if workers <= 1 || n <= 1 {
+        return vec![f(items)];
+    }
+    let chunk = n.div_ceil(workers);
+    let mut pending: Vec<Option<Vec<T>>> = Vec::new();
+    let mut items = items;
+    // Split from the back to avoid re-allocating per chunk.
+    while items.len() > chunk {
+        let tail = items.split_off(items.len() - chunk);
+        pending.push(Some(tail));
+    }
+    pending.push(Some(items));
+    pending.reverse();
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = pending
+            .iter_mut()
+            .map(|slot| {
+                let work = slot.take().expect("chunk present");
+                s.spawn(move || f(work))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}

@@ -1,0 +1,196 @@
+//! Offline `rayon` stand-in built on `std::thread::scope`.
+//!
+//! Provides the rayon surface this workspace uses — `par_iter`-style
+//! order-preserving map/collect, `join`, and `ThreadPoolBuilder` /
+//! `ThreadPool::install` — with genuine OS-thread parallelism. Two
+//! properties the StreamMD execution engine relies on:
+//!
+//! * **Order preservation** — `map(...).collect()` returns results in
+//!   item order, regardless of which worker computed which item, so a
+//!   pure per-item map is bitwise-reproducible at any thread count.
+//! * **Explicit width** — `ThreadPool::install` scopes the worker count
+//!   for everything inside the closure (thread-local, like rayon).
+//!
+//! Work is split into contiguous chunks, one per worker. There is no
+//! work stealing; for the strip-shaped workloads here the chunks are
+//! already balanced.
+
+use std::cell::Cell;
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+}
+
+pub mod iter;
+
+thread_local! {
+    static POOL_WIDTH: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel operations will use: the innermost
+/// `ThreadPool::install` width, else `RAYON_NUM_THREADS`, else the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_WIDTH.with(|w| w.get()) {
+        return n;
+    }
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type mirroring `rayon::ThreadPoolBuildError`.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "could not build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` means "use the global default width".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let width = match self.num_threads {
+            Some(0) | None => None,
+            Some(n) => Some(n),
+        };
+        Ok(ThreadPool { width })
+    }
+}
+
+/// A scoped worker-count override (threads are spawned per operation).
+#[derive(Debug)]
+pub struct ThreadPool {
+    width: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's width governing parallel operations.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_WIDTH.with(|w| {
+            w.replace(
+                self.width
+                    .or_else(|| Some(current_num_threads()))
+                    .map(|n| n.max(1)),
+            )
+        });
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_WIDTH.with(|w| w.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.width.unwrap_or_else(current_num_threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        for (i, s) in squares.iter().enumerate() {
+            assert_eq!(*s, i * i);
+        }
+    }
+
+    #[test]
+    fn results_identical_across_widths() {
+        let run = |threads: usize| -> Vec<f64> {
+            ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    (0..257usize)
+                        .into_par_iter()
+                        .map(|i| (i as f64).sqrt().sin())
+                        .collect()
+                })
+        };
+        let serial = run(1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(serial, run(threads), "width {threads} diverged");
+        }
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn install_scopes_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+            inner.install(|| assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x + 1).collect();
+        assert!(v.is_empty());
+    }
+}

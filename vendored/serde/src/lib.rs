@@ -1,0 +1,14 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Exposes the `Serialize`/`Deserialize` trait names and the matching
+//! no-op derives so annotated types compile unchanged without network
+//! access. No serialization machinery is provided (and none is used in
+//! this workspace — structured output is hand-rendered JSON).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`'s name.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`'s name.
+pub trait Deserialize<'de> {}
