@@ -23,14 +23,18 @@ fn run_with(
 ) -> u64 {
     let system = WaterBox::paper_dataset(SEED);
     let list = NeighborList::build(&system, paper_params());
-    let mut app = StreamMdApp::new(cfg)
-        .with_neighbor(paper_params())
-        .with_policy(policy)
-        .with_block_l(l);
+    let mut b = StreamMdApp::builder()
+        .machine(cfg)
+        .neighbor(paper_params())
+        .policy(policy)
+        .block_l(l)
+        .variants(&[variant]);
     if let Some(s) = strip {
-        app = app.with_strip_iterations(s);
+        b = b.strip_iterations(s);
     }
-    app.run_step_with_list(&system, &list, variant)
+    b.build()
+        .expect("valid config")
+        .run_step_with_list(&system, &list, variant)
         .expect("run")
         .perf
         .cycles

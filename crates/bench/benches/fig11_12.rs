@@ -11,7 +11,7 @@
 //!    EXPERIMENTS.md.
 
 use blocking_model::model::{default_sizes, sweep, BlockingConfig, Calibration};
-use merrimac_bench::{banner, paper_system, run_variant};
+use merrimac_bench::{banner, paper_system, run, RunSpec};
 use streammd::Variant;
 
 fn series(label: &str, cal: &Calibration) -> Vec<blocking_model::BlockingPoint> {
@@ -51,7 +51,7 @@ fn main() {
 
     // Calibration from our own simulation of the variable scheme.
     let (system, list) = paper_system();
-    let out = match run_variant(&system, &list, Variant::Variable) {
+    let out = match run(RunSpec::new(&system, &list, Variant::Variable)) {
         Ok(out) => out,
         Err(e) => {
             eprintln!("{e}");

@@ -29,9 +29,12 @@ fn run(policy: SdrPolicy) -> (u64, f64, String) {
     };
     let system = WaterBox::paper_dataset(SEED);
     let list = NeighborList::build(&system, paper_params());
-    let out = StreamMdApp::new(cfg)
-        .with_neighbor(paper_params())
-        .with_policy(policy)
+    let out = StreamMdApp::builder()
+        .machine(cfg)
+        .neighbor(paper_params())
+        .policy(policy)
+        .build()
+        .expect("valid config")
         .run_step_with_list(&system, &list, Variant::Duplicated)
         .expect("run");
     (

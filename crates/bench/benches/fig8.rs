@@ -1,7 +1,8 @@
 //! Figure 8 — locality: percentage of references made to each level of
 //! the register hierarchy (LRF / SRF / MEM) for each variant.
 
-use merrimac_bench::{banner, paper_system, run_all_ok};
+use merrimac_bench::{banner, paper_system, run, RunSpec};
+use streammd::Variant;
 
 fn bar(frac: f64, width: usize) -> String {
     let n = (frac * width as f64).round() as usize;
@@ -11,7 +12,16 @@ fn bar(frac: f64, width: usize) -> String {
 fn main() {
     banner("Figure 8", "Locality of the StreamMD implementations");
     let (system, list) = paper_system();
-    let results = run_all_ok(&system, &list);
+    let results: Vec<_> = Variant::ALL
+        .iter()
+        .filter_map(|&v| match run(RunSpec::new(&system, &list, v)) {
+            Ok(out) => Some((v, out)),
+            Err(e) => {
+                eprintln!("skipping {v}: {e}");
+                None
+            }
+        })
+        .collect();
     println!(
         "{:<12} {:>8} {:>8} {:>8}   (references by hierarchy level)",
         "variant", "%LRF", "%SRF", "%MEM"

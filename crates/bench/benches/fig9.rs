@@ -4,13 +4,22 @@
 
 use md_sim::force::FLOPS_PER_INTERACTION;
 use merrimac_arch::{MachineConfig, P4Config};
-use merrimac_bench::{banner, paper_system, run_all_ok};
+use merrimac_bench::{banner, paper_system, run, RunSpec};
 use streammd::Variant;
 
 fn main() {
     banner("Figure 9", "Performance of the StreamMD implementations");
     let (system, list) = paper_system();
-    let results = run_all_ok(&system, &list);
+    let results: Vec<_> = Variant::ALL
+        .iter()
+        .filter_map(|&v| match run(RunSpec::new(&system, &list, v)) {
+            Ok(out) => Some((v, out)),
+            Err(e) => {
+                eprintln!("skipping {v}: {e}");
+                None
+            }
+        })
+        .collect();
     let p4 = p4_baseline::model::estimate(&P4Config::default(), &system, &list);
 
     println!(

@@ -6,7 +6,7 @@
 
 use std::time::Instant;
 
-use merrimac_bench::{banner, run_variant_threads, small_system, PerfReport, VariantRecord};
+use merrimac_bench::{banner, run, small_system, PerfReport, RunSpec, VariantRecord};
 use streammd::Variant;
 
 const MOLECULES: usize = 216;
@@ -26,10 +26,10 @@ fn main() {
     );
     for variant in Variant::ALL {
         let t0 = Instant::now();
-        let serial = run_variant_threads(&system, &list, variant, 1);
+        let serial = run(RunSpec::new(&system, &list, variant));
         let serial_wall = t0.elapsed().as_secs_f64();
         let t1 = Instant::now();
-        let parallel = run_variant_threads(&system, &list, variant, THREADS);
+        let parallel = run(RunSpec::new(&system, &list, variant).threads(THREADS));
         let parallel_wall = t1.elapsed().as_secs_f64();
         match (serial, parallel) {
             (Ok(s), Ok(p)) => {

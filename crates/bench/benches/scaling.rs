@@ -3,7 +3,7 @@
 //! configurations of the system", paper Section 1).
 
 use merrimac_arch::{MachineConfig, NetworkConfig};
-use merrimac_bench::{banner, paper_system, run_variant};
+use merrimac_bench::{banner, paper_system, run, RunSpec};
 use merrimac_net::scaling::{scaling_sweep, ScalingWorkload};
 use streammd::Variant;
 
@@ -15,7 +15,7 @@ fn main() {
 
     // Calibrate per-molecule cost from the simulated single-node run.
     let (system, list) = paper_system();
-    let out = match run_variant(&system, &list, Variant::Variable) {
+    let out = match run(RunSpec::new(&system, &list, Variant::Variable)) {
         Ok(out) => out,
         Err(e) => {
             eprintln!("{e}");

@@ -1,7 +1,7 @@
 //! Table 2 — dataset properties: molecule count, interactions, centre
 //! replication and padded neighbour totals for the fixed-L layout.
 
-use merrimac_bench::{banner, paper_system, run_variant};
+use merrimac_bench::{banner, paper_system, run, RunSpec};
 use streammd::Variant;
 
 fn main() {
@@ -10,7 +10,7 @@ fn main() {
         "Dataset properties (900-molecule SPC water, r_c = 1.0 nm)",
     );
     let (system, list) = paper_system();
-    let out = match run_variant(&system, &list, Variant::Fixed) {
+    let out = match run(RunSpec::new(&system, &list, Variant::Fixed)) {
         Ok(out) => out,
         Err(e) => {
             eprintln!("{e}");

@@ -1,0 +1,138 @@
+//! Perf-trend regression gate: run every StreamMD variant on the
+//! 216-molecule box, diff the measurements against the committed
+//! baseline (`bench/baselines/BENCH_trend_216.json`), print the delta
+//! table, and exit non-zero on regression. CI runs this on every push;
+//! run it locally with `cargo trend` (alias) or
+//! `cargo bench -p merrimac-bench --bench trend`.
+//!
+//! Environment knobs:
+//!
+//! * `TREND_REFRESH=1` — rewrite the committed baseline from this run
+//!   (after an intentional perf or model change) and exit.
+//! * `TREND_BASELINE_DIR` — read/write baselines here instead of the
+//!   committed directory.
+//! * `BENCH_REPORT_DIR` — where the current report and the
+//!   `TREND_DELTA.txt` table land (default: current directory).
+//! * `TREND_TOL_{GFLOPS,INTENSITY,LOCALITY,CYCLES,WALL}` — tolerance
+//!   overrides (fractions).
+//! * `TREND_INJECT_GFLOPS_FACTOR` / `TREND_INJECT_VARIANT` — scale the
+//!   measured GFLOPS of one variant (default: all) before diffing; a
+//!   self-test hook proving the gate trips (e.g. factor `0.95`).
+
+use std::path::Path;
+use std::time::Instant;
+
+use merrimac_bench::{
+    banner, render_table, run, small_system, trend, PerfReport, RunSpec, Tolerances, VariantRecord,
+};
+use streammd::Variant;
+
+const MOLECULES: usize = 216;
+const LABEL: &str = "trend_216";
+
+fn main() {
+    banner(
+        "trend gate",
+        "per-variant perf vs. committed baseline, fail on regression",
+    );
+    let (system, list) = small_system(MOLECULES);
+    let mut current = PerfReport::new(LABEL, MOLECULES, 1);
+    for variant in Variant::ALL {
+        let t0 = Instant::now();
+        match run(RunSpec::new(&system, &list, variant)) {
+            Ok(out) => {
+                let wall = t0.elapsed().as_secs_f64();
+                current
+                    .variants
+                    .push(VariantRecord::from_outcome(variant.name(), &out, wall));
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                current
+                    .variants
+                    .push(VariantRecord::from_error(variant.name(), &e.to_string()));
+            }
+        }
+    }
+    apply_injection(&mut current);
+
+    match current.write_default() {
+        Ok(path) => println!("[ok] wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("could not write current report: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let baseline_dir = trend::baseline_dir();
+    if std::env::var("TREND_REFRESH").map(|v| v == "1") == Ok(true) {
+        std::fs::create_dir_all(&baseline_dir).expect("create baseline dir");
+        let path = current.write(&baseline_dir).expect("write baseline");
+        println!("[ok] refreshed baseline {}", path.display());
+        return;
+    }
+
+    let baseline = match trend::load_baseline(LABEL) {
+        Ok(Some(b)) => b,
+        Ok(None) => {
+            println!(
+                "no baseline {}/BENCH_{LABEL}.json — nothing to diff (seed one with TREND_REFRESH=1)",
+                baseline_dir.display()
+            );
+            return;
+        }
+        Err(e) => {
+            eprintln!("baseline unusable: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let tol = Tolerances::from_env();
+    let diff = merrimac_bench::compare(&baseline, &current, &tol);
+    let table = render_table(&diff);
+    println!("{table}");
+    write_delta_table(&table);
+    if diff.is_regression() {
+        eprintln!(
+            "trend gate FAILED: {} metric regression(s), {} structural problem(s) vs {}",
+            diff.regressions().len(),
+            diff.problems.len(),
+            baseline_dir.join(format!("BENCH_{LABEL}.json")).display()
+        );
+        eprintln!(
+            "if this change is intentional, refresh the baseline: \
+             TREND_REFRESH=1 cargo bench -p merrimac-bench --bench trend"
+        );
+        std::process::exit(1);
+    }
+    println!("trend gate passed: no regression beyond tolerance");
+}
+
+/// Self-test hook: scale measured GFLOPS so CI can prove the gate trips.
+fn apply_injection(report: &mut PerfReport) {
+    let Some(factor) = std::env::var("TREND_INJECT_GFLOPS_FACTOR")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+    else {
+        return;
+    };
+    let only = std::env::var("TREND_INJECT_VARIANT").ok();
+    for rec in &mut report.variants {
+        if only.as_deref().is_none_or(|v| v == rec.variant) {
+            rec.solution_gflops *= factor;
+            println!(
+                "[inject] {} solution_gflops scaled by {factor}",
+                rec.variant
+            );
+        }
+    }
+}
+
+fn write_delta_table(table: &str) {
+    let dir = std::env::var("BENCH_REPORT_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = Path::new(&dir).join("TREND_DELTA.txt");
+    match std::fs::write(&path, table) {
+        Ok(()) => println!("[ok] wrote {}", path.display()),
+        Err(e) => eprintln!("could not write delta table: {e}"),
+    }
+}

@@ -4,15 +4,24 @@
 //! the corresponding paper artifact reports; this library centralizes
 //! dataset construction and variant execution so harnesses stay small
 //! and consistent.
+//!
+//! Variant execution goes through one entry point: describe the run
+//! with a [`RunSpec`] and pass it to [`run`]. The configuration is
+//! validated by `StreamMdApp::builder()`, so un-runnable setups (e.g. a
+//! strip too large to double-buffer in the SRF) surface as a
+//! [`VariantError`] naming the offending knob instead of wedging the
+//! simulated scoreboard.
 
 use md_sim::neighbor::{NeighborList, NeighborListParams};
 use md_sim::system::WaterBox;
-use merrimac_arch::MachineConfig;
 use merrimac_sim::machine::SimError;
 use streammd::{StepOutcome, StreamMdApp, Variant};
 
+pub mod json;
 pub mod report;
-pub use report::{PerfReport, VariantRecord};
+pub mod trend;
+pub use report::{PerfReport, VariantRecord, SCHEMA_VERSION};
+pub use trend::{compare, render_table, Tolerances, TrendDiff};
 
 /// Default seed for the paper dataset across harnesses (deterministic
 /// output).
@@ -65,47 +74,102 @@ impl std::error::Error for VariantError {
     }
 }
 
+/// One variant execution, fully described: the dataset, its neighbour
+/// list, the variant and the engine thread count. Extend with
+/// [`RunSpec::threads`]; execute with [`run`].
+#[derive(Debug, Clone, Copy)]
+pub struct RunSpec<'a> {
+    pub system: &'a WaterBox,
+    pub list: &'a NeighborList,
+    pub variant: Variant,
+    /// Host worker threads for the functional phase (simulated results
+    /// are identical at any count).
+    pub threads: usize,
+}
+
+impl<'a> RunSpec<'a> {
+    pub fn new(system: &'a WaterBox, list: &'a NeighborList, variant: Variant) -> Self {
+        Self {
+            system,
+            list,
+            variant,
+            threads: 1,
+        }
+    }
+
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// Run one fully-specified variant — the single execution entry point
+/// behind every harness.
+pub fn run(spec: RunSpec) -> Result<StepOutcome, VariantError> {
+    let err = |source| VariantError {
+        variant: spec.variant,
+        source,
+    };
+    StreamMdApp::builder()
+        .neighbor(spec.list.params)
+        .threads(spec.threads)
+        .variants(&[spec.variant])
+        .build()
+        .map_err(err)?
+        .run_step_with_list(spec.system, spec.list, spec.variant)
+        .map_err(err)
+}
+
 /// Run one variant on a prepared system.
+#[deprecated(since = "0.2.0", note = "use run(RunSpec::new(system, list, variant))")]
 pub fn run_variant(
     system: &WaterBox,
     list: &NeighborList,
     variant: Variant,
 ) -> Result<StepOutcome, VariantError> {
-    run_variant_threads(system, list, variant, 1)
+    run(RunSpec::new(system, list, variant))
 }
 
 /// Run one variant with an explicit engine thread count.
+#[deprecated(
+    since = "0.2.0",
+    note = "use run(RunSpec::new(system, list, variant).threads(n))"
+)]
 pub fn run_variant_threads(
     system: &WaterBox,
     list: &NeighborList,
     variant: Variant,
     threads: usize,
 ) -> Result<StepOutcome, VariantError> {
-    StreamMdApp::new(MachineConfig::default())
-        .with_neighbor(list.params)
-        .with_threads(threads)
-        .run_step_with_list(system, list, variant)
-        .map_err(|source| VariantError { variant, source })
+    run(RunSpec::new(system, list, variant).threads(threads))
 }
 
 /// Run all four variants. A failing variant yields its error in place
 /// so one bad variant cannot abort a whole bench suite.
+#[deprecated(
+    since = "0.2.0",
+    note = "iterate Variant::ALL with run(RunSpec::new(..))"
+)]
 pub fn run_all(
     system: &WaterBox,
     list: &NeighborList,
 ) -> Vec<(Variant, Result<StepOutcome, VariantError>)> {
     Variant::ALL
         .iter()
-        .map(|&v| (v, run_variant(system, list, v)))
+        .map(|&v| (v, run(RunSpec::new(system, list, v))))
         .collect()
 }
 
 /// The `run_all` results that succeeded, with failures reported to
 /// stderr — the common harness pattern.
+#[deprecated(
+    since = "0.2.0",
+    note = "iterate Variant::ALL with run(RunSpec::new(..))"
+)]
 pub fn run_all_ok(system: &WaterBox, list: &NeighborList) -> Vec<(Variant, StepOutcome)> {
-    run_all(system, list)
-        .into_iter()
-        .filter_map(|(v, r)| match r {
+    Variant::ALL
+        .iter()
+        .filter_map(|&v| match run(RunSpec::new(system, list, v)) {
             Ok(out) => Some((v, out)),
             Err(e) => {
                 eprintln!("skipping {v}: {e}");
@@ -134,8 +198,8 @@ mod tests {
     #[test]
     fn small_system_runs_every_variant() {
         let (system, list) = small_system(27);
-        for (v, out) in run_all(&system, &list) {
-            let out = out.unwrap_or_else(|e| panic!("{e}"));
+        for v in Variant::ALL {
+            let out = run(RunSpec::new(&system, &list, v)).unwrap_or_else(|e| panic!("{e}"));
             assert!(out.perf.cycles > 0, "{v} produced no cycles");
         }
     }
@@ -150,5 +214,16 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.1234), "12.3%");
+    }
+
+    #[test]
+    fn variant_error_chains_to_sim_error() {
+        use std::error::Error;
+        let e = VariantError {
+            variant: Variant::Fixed,
+            source: SimError::Config("bad knob".into()),
+        };
+        assert!(e.to_string().contains("fixed"));
+        assert!(e.source().is_some());
     }
 }

@@ -5,14 +5,29 @@
 //!
 //! The JSON is rendered by hand — the workspace builds offline and the
 //! vendored `serde` is a no-op stand-in — so the schema lives entirely
-//! in this file: a report object with per-variant records of GFLOPS,
-//! arithmetic intensity, locality split, simulated seconds, host
-//! wall-clock and the engine thread count.
+//! in this file: a report object tagged with [`SCHEMA_VERSION`] holding
+//! per-variant records of GFLOPS, arithmetic intensity, the locality
+//! split with its raw per-level reference counts, the per-phase cycle
+//! breakdown, simulated seconds, host wall-clock and the engine thread
+//! count. [`PerfReport::from_json`] reads the same format back (via the
+//! hand-rolled [`crate::json`] parser) for the trend harness and
+//! rejects reports written by a different schema version.
 
 use std::io;
 use std::path::{Path, PathBuf};
 
-use streammd::StepOutcome;
+use streammd::{PhaseBreakdown, StepOutcome};
+
+use crate::json::{self, Json};
+
+/// Version tag of the `BENCH_*.json` format. Bump whenever a field is
+/// added, removed or changes meaning; the trend harness refuses to diff
+/// across versions (a stale baseline must be refreshed, not guessed at).
+///
+/// Version history: 1 — original per-variant records; 2 — adds
+/// `schema_version`, raw `lrf_refs`/`srf_refs` counts and the
+/// per-phase cycle breakdown.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One variant's measurements (or its failure).
 #[derive(Debug, Clone)]
@@ -26,8 +41,14 @@ pub struct VariantRecord {
     pub intensity_measured: f64,
     /// (LRF, SRF, MEM) reference fractions.
     pub locality: (f64, f64, f64),
+    /// Raw register-hierarchy reference counts behind the fractions.
+    pub lrf_refs: u64,
+    pub srf_refs: u64,
     pub mem_refs: u64,
     pub iterations: u64,
+    /// Per-phase busy cycles (gather/load/kernel/scatter-add/store) and
+    /// scoreboard stalls.
+    pub phases: PhaseBreakdown,
     /// Host wall-clock seconds spent simulating this variant.
     pub wall_seconds: f64,
     /// Set when the variant failed; measurement fields are zero.
@@ -44,8 +65,11 @@ impl VariantRecord {
             all_gflops: out.perf.all_gflops,
             intensity_measured: out.perf.intensity_measured,
             locality: out.perf.locality,
+            lrf_refs: out.report.counters.lrf_refs,
+            srf_refs: out.report.counters.srf_refs,
             mem_refs: out.perf.mem_refs,
             iterations: out.iterations,
+            phases: out.perf.phases,
             wall_seconds,
             error: None,
         }
@@ -60,14 +84,18 @@ impl VariantRecord {
             all_gflops: 0.0,
             intensity_measured: 0.0,
             locality: (0.0, 0.0, 0.0),
+            lrf_refs: 0,
+            srf_refs: 0,
             mem_refs: 0,
             iterations: 0,
+            phases: PhaseBreakdown::default(),
             wall_seconds: 0.0,
             error: Some(error.to_string()),
         }
     }
 
     fn to_json(&self) -> String {
+        let p = &self.phases;
         let mut fields = vec![
             format!("\"variant\": {}", json_str(&self.variant)),
             format!("\"cycles\": {}", self.cycles),
@@ -84,8 +112,19 @@ impl VariantRecord {
                 json_f64(self.locality.1),
                 json_f64(self.locality.2)
             ),
+            format!("\"lrf_refs\": {}", self.lrf_refs),
+            format!("\"srf_refs\": {}", self.srf_refs),
             format!("\"mem_refs\": {}", self.mem_refs),
             format!("\"iterations\": {}", self.iterations),
+            format!(
+                "\"phases\": {{\"gather\": {}, \"load\": {}, \"kernel\": {}, \"scatter_add\": {}, \"store\": {}, \"sdr_stall\": {}}}",
+                p.gather_cycles,
+                p.load_cycles,
+                p.kernel_cycles,
+                p.scatter_add_cycles,
+                p.store_cycles,
+                p.sdr_stall_cycles
+            ),
             format!("\"wall_seconds\": {}", json_f64(self.wall_seconds)),
         ];
         match &self.error {
@@ -94,6 +133,73 @@ impl VariantRecord {
         }
         format!("    {{\n      {}\n    }}", fields.join(",\n      "))
     }
+
+    fn from_json_value(v: &Json) -> Result<Self, String> {
+        let str_field = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("variant record missing string `{k}`"))
+        };
+        let u64_field = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("variant record missing count `{k}`"))
+        };
+        // `json_f64` writes non-finite values as null; read them back as 0.
+        let f64_field = |k: &str| -> Result<f64, String> {
+            match v.get(k) {
+                Some(Json::Null) => Ok(0.0),
+                Some(j) => j
+                    .as_f64()
+                    .ok_or_else(|| format!("variant record field `{k}` is not a number")),
+                None => Err(format!("variant record missing number `{k}`")),
+            }
+        };
+        let locality = v
+            .get("locality")
+            .ok_or("variant record missing `locality`")?;
+        let loc_field = |k: &str| -> Result<f64, String> {
+            locality
+                .get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("locality missing `{k}`"))
+        };
+        let phases = v.get("phases").ok_or("variant record missing `phases`")?;
+        let phase_field = |k: &str| -> Result<u64, String> {
+            phases
+                .get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("phases missing `{k}`"))
+        };
+        let error = match v.get("error") {
+            Some(Json::Str(s)) => Some(s.clone()),
+            _ => None,
+        };
+        Ok(Self {
+            variant: str_field("variant")?,
+            cycles: u64_field("cycles")?,
+            seconds: f64_field("seconds")?,
+            solution_gflops: f64_field("solution_gflops")?,
+            all_gflops: f64_field("all_gflops")?,
+            intensity_measured: f64_field("intensity_measured")?,
+            locality: (loc_field("lrf")?, loc_field("srf")?, loc_field("mem")?),
+            lrf_refs: u64_field("lrf_refs")?,
+            srf_refs: u64_field("srf_refs")?,
+            mem_refs: u64_field("mem_refs")?,
+            iterations: u64_field("iterations")?,
+            phases: PhaseBreakdown {
+                gather_cycles: phase_field("gather")?,
+                load_cycles: phase_field("load")?,
+                kernel_cycles: phase_field("kernel")?,
+                scatter_add_cycles: phase_field("scatter_add")?,
+                store_cycles: phase_field("store")?,
+                sdr_stall_cycles: phase_field("sdr_stall")?,
+            },
+            wall_seconds: f64_field("wall_seconds")?,
+            error,
+        })
+    }
 }
 
 /// A full run report, serialized as `BENCH_<label>.json`.
@@ -101,6 +207,9 @@ impl VariantRecord {
 pub struct PerfReport {
     /// Short slug naming the experiment (also names the output file).
     pub label: String,
+    /// Format version; always [`SCHEMA_VERSION`] for freshly built
+    /// reports, whatever the file said for loaded ones.
+    pub schema_version: u64,
     pub molecules: usize,
     /// Engine worker threads used for the functional phase.
     pub threads: usize,
@@ -111,6 +220,7 @@ impl PerfReport {
     pub fn new(label: impl Into<String>, molecules: usize, threads: usize) -> Self {
         Self {
             label: label.into(),
+            schema_version: SCHEMA_VERSION,
             molecules,
             threads,
             variants: Vec::new(),
@@ -120,12 +230,64 @@ impl PerfReport {
     pub fn to_json(&self) -> String {
         let variants: Vec<String> = self.variants.iter().map(|v| v.to_json()).collect();
         format!(
-            "{{\n  \"label\": {},\n  \"molecules\": {},\n  \"threads\": {},\n  \"variants\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"label\": {},\n  \"schema_version\": {},\n  \"molecules\": {},\n  \"threads\": {},\n  \"variants\": [\n{}\n  ]\n}}\n",
             json_str(&self.label),
+            self.schema_version,
             self.molecules,
             self.threads,
             variants.join(",\n")
         )
+    }
+
+    /// Parse a report previously rendered by [`PerfReport::to_json`].
+    ///
+    /// A report whose `schema_version` differs from [`SCHEMA_VERSION`]
+    /// (including pre-versioning files with no tag at all) is rejected:
+    /// cross-version diffs silently compare renamed or re-scaled fields,
+    /// so the only safe answer is "refresh the baseline".
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = json::parse(text)?;
+        let version = v.get("schema_version").and_then(Json::as_u64).unwrap_or(1);
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "report schema version {version} does not match this binary's {SCHEMA_VERSION}; \
+                 refresh the baseline (TREND_REFRESH=1) instead of diffing across formats"
+            ));
+        }
+        let label = v
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or("report missing `label`")?
+            .to_string();
+        let molecules = v
+            .get("molecules")
+            .and_then(Json::as_u64)
+            .ok_or("report missing `molecules`")? as usize;
+        let threads = v
+            .get("threads")
+            .and_then(Json::as_u64)
+            .ok_or("report missing `threads`")? as usize;
+        let variants = v
+            .get("variants")
+            .and_then(Json::as_arr)
+            .ok_or("report missing `variants`")?
+            .iter()
+            .map(VariantRecord::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            label,
+            schema_version: version,
+            molecules,
+            threads,
+            variants,
+        })
+    }
+
+    /// Read and parse a report file.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
     }
 
     /// Write `BENCH_<label>.json` under `dir`, returning the path.
@@ -180,6 +342,7 @@ mod tests {
             .push(VariantRecord::from_error("variable", "boom \"quoted\""));
         let json = report.to_json();
         assert!(json.contains("\"label\": \"unit_test\""));
+        assert!(json.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\\\"quoted\\\""));
         let dir = std::env::temp_dir();
@@ -195,5 +358,72 @@ mod tests {
         assert_eq!(json_f64(f64::NAN), "null");
         assert_eq!(json_f64(f64::INFINITY), "null");
         assert_eq!(json_f64(1.5), "1.5");
+    }
+
+    fn sample_record() -> VariantRecord {
+        VariantRecord {
+            variant: "fixed".into(),
+            cycles: 123_456,
+            seconds: 1.25e-4,
+            solution_gflops: 31.5,
+            all_gflops: 40.25,
+            intensity_measured: 10.5,
+            locality: (0.95, 0.026, 0.024),
+            lrf_refs: 9_000_000,
+            srf_refs: 250_000,
+            mem_refs: 230_000,
+            iterations: 7_800,
+            phases: PhaseBreakdown {
+                gather_cycles: 100,
+                load_cycles: 50,
+                kernel_cycles: 9_000,
+                scatter_add_cycles: 70,
+                store_cycles: 30,
+                sdr_stall_cycles: 5,
+            },
+            wall_seconds: 0.75,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let mut report = PerfReport::new("rt", 216, 2);
+        report.variants.push(sample_record());
+        report
+            .variants
+            .push(VariantRecord::from_error("variable", "deadlock"));
+        let parsed = PerfReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(parsed.label, "rt");
+        assert_eq!(parsed.schema_version, SCHEMA_VERSION);
+        assert_eq!(parsed.molecules, 216);
+        assert_eq!(parsed.threads, 2);
+        assert_eq!(parsed.variants.len(), 2);
+        let a = &parsed.variants[0];
+        let b = &report.variants[0];
+        assert_eq!(a.variant, b.variant);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.solution_gflops, b.solution_gflops);
+        assert_eq!(a.locality, b.locality);
+        assert_eq!(a.lrf_refs, b.lrf_refs);
+        assert_eq!(a.phases, b.phases);
+        assert_eq!(a.error, None);
+        assert_eq!(
+            parsed.variants[1].error.as_deref(),
+            Some("deadlock"),
+            "errors survive the round trip"
+        );
+    }
+
+    #[test]
+    fn mismatched_schema_version_is_rejected() {
+        let mut report = PerfReport::new("old", 64, 1);
+        report.schema_version = SCHEMA_VERSION + 1;
+        let err = PerfReport::from_json(&report.to_json()).expect_err("must reject");
+        assert!(err.contains("schema version"), "{err}");
+        // Pre-versioning reports (no tag) are implicitly version 1.
+        let legacy = r#"{"label": "x", "molecules": 1, "threads": 1, "variants": []}"#;
+        let err = PerfReport::from_json(legacy).expect_err("must reject untagged");
+        assert!(err.contains("schema version 1"), "{err}");
     }
 }

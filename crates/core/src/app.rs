@@ -16,6 +16,7 @@ use merrimac_sim::{
 
 use crate::kernels;
 use crate::layout::{build_layout, Layout, Strip};
+use crate::metrics::PhaseBreakdown;
 use crate::variant::{DatasetStats, Variant};
 
 /// Figure 9-style performance summary of one force step.
@@ -37,6 +38,9 @@ pub struct PerfSummary {
     pub locality: (f64, f64, f64),
     /// Fraction of the cheaper unit's busy time overlapped (Figure 7).
     pub overlap: f64,
+    /// Per-phase cycle breakdown (gather/load/kernel/scatter-add/store
+    /// plus scoreboard stalls) — the trend harness's structured view.
+    pub phases: PhaseBreakdown,
 }
 
 /// Output of one StreamMD force step.
@@ -70,6 +74,12 @@ pub struct StreamMdApp {
 }
 
 impl StreamMdApp {
+    /// Validated construction — the preferred entry point. See
+    /// [`crate::config::SimConfigBuilder`].
+    pub fn builder() -> crate::config::SimConfigBuilder {
+        crate::config::SimConfigBuilder::new()
+    }
+
     pub fn new(cfg: MachineConfig) -> Self {
         Self {
             threads: cfg.host_threads.max(1),
@@ -90,33 +100,45 @@ impl StreamMdApp {
         }
     }
 
+    #[deprecated(since = "0.2.0", note = "use StreamMdApp::builder().policy(..)")]
     pub fn with_policy(mut self, policy: SdrPolicy) -> Self {
         self.policy = policy;
         self
     }
 
+    #[deprecated(since = "0.2.0", note = "use StreamMdApp::builder().neighbor(..)")]
     pub fn with_neighbor(mut self, params: NeighborListParams) -> Self {
         self.neighbor = params;
         self
     }
 
+    #[deprecated(since = "0.2.0", note = "use StreamMdApp::builder().block_l(..)")]
     pub fn with_block_l(mut self, l: usize) -> Self {
         assert!(l >= 1);
         self.block_l = l;
         self
     }
 
+    /// Unlike the builder, this shim performs no SRF-feasibility check;
+    /// an over-sized strip surfaces later as
+    /// [`SimError::StripSrfOverflow`] when the step runs.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use StreamMdApp::builder().strip_iterations(..), which validates the strip"
+    )]
     pub fn with_strip_iterations(mut self, iters: usize) -> Self {
         self.strip_iterations = Some(iters);
         self
     }
 
+    #[deprecated(since = "0.2.0", note = "use StreamMdApp::builder().kernel_opt(..)")]
     pub fn with_kernel_opt(mut self, opt: KernelOpt) -> Self {
         self.kernel_opt = opt;
         self
     }
 
     /// Set the host worker-thread count for the execution engine.
+    #[deprecated(since = "0.2.0", note = "use StreamMdApp::builder().threads(..)")]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
@@ -236,6 +258,7 @@ impl StreamMdApp {
                 .arithmetic_intensity(computed * FLOPS_PER_INTERACTION),
             locality: report.counters.locality_split(),
             overlap: report.timeline.overlap_fraction(),
+            phases: PhaseBreakdown::from_report(&report),
         };
         Ok(StepOutcome {
             forces: out,
@@ -520,7 +543,7 @@ mod tests {
             rebuild_interval: 1,
         };
         let list = NeighborList::build(&system, params);
-        let app = StreamMdApp::new(MachineConfig::default()).with_neighbor(params);
+        let app = StreamMdApp::builder().neighbor(params).build().unwrap();
         (system, list, app)
     }
 
@@ -596,16 +619,22 @@ mod tests {
     #[test]
     fn thread_count_is_invisible_in_results() {
         let (system, list, app) = small_system();
-        let app = app.with_strip_iterations(200);
+        let base = StreamMdApp::builder()
+            .neighbor(app.neighbor)
+            .strip_iterations(200);
         for variant in Variant::ALL {
-            let serial = app
+            let serial = base
                 .clone()
-                .with_threads(1)
+                .threads(1)
+                .build()
+                .unwrap()
                 .run_step_with_list(&system, &list, variant)
                 .unwrap();
-            let parallel = app
+            let parallel = base
                 .clone()
-                .with_threads(4)
+                .threads(4)
+                .build()
+                .unwrap()
                 .run_step_with_list(&system, &list, variant)
                 .unwrap();
             assert_eq!(
@@ -621,7 +650,11 @@ mod tests {
     #[test]
     fn strip_mining_produces_multiple_strips() {
         let (system, list, app) = small_system();
-        let app = app.with_strip_iterations(200);
+        let app = StreamMdApp::builder()
+            .neighbor(app.neighbor)
+            .strip_iterations(200)
+            .build()
+            .unwrap();
         let out = app
             .run_step_with_list(&system, &list, Variant::Expanded)
             .unwrap();

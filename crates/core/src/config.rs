@@ -1,0 +1,358 @@
+//! Validated construction of [`StreamMdApp`] — the front door of the
+//! experiment API.
+//!
+//! [`SimConfigBuilder`] replaces the grab-bag of `with_*` knobs on
+//! [`StreamMdApp`]: every knob is set on the builder and checked once,
+//! together, in [`SimConfigBuilder::build`], which returns
+//! `Err(SimError)` instead of panicking or — worse — handing back a
+//! configuration that wedges the simulated scoreboard mid-run. The
+//! canonical example of the latter is an over-sized strip: a fixed-L
+//! strip of 997 blocks needs more SRF space for its live streams than
+//! the machine owns, so the old API deadlocked after the functional
+//! work was done. `build()` rejects it up front, naming the strip size.
+//!
+//! ```
+//! use streammd::{SimConfigBuilder, Variant};
+//!
+//! let app = SimConfigBuilder::new()
+//!     .block_l(8)
+//!     .threads(4)
+//!     .build()
+//!     .expect("valid configuration");
+//! # let _ = app;
+//!
+//! // An un-runnable strip is caught at build time:
+//! let err = SimConfigBuilder::new()
+//!     .strip_iterations(997)
+//!     .build()
+//!     .unwrap_err();
+//! assert!(err.to_string().contains("997"));
+//!
+//! // ...unless the run is scoped to variants whose footprint fits:
+//! SimConfigBuilder::new()
+//!     .strip_iterations(997)
+//!     .variants(&[Variant::Variable, Variant::Expanded])
+//!     .build()
+//!     .expect("997-iteration strips fit for the compact variants");
+//! ```
+
+use md_sim::neighbor::NeighborListParams;
+use merrimac_arch::{MachineConfig, OpCosts};
+use merrimac_sim::machine::SimError;
+use merrimac_sim::{KernelOpt, SdrPolicy};
+
+use crate::app::StreamMdApp;
+use crate::variant::Variant;
+
+/// Builder for a validated [`StreamMdApp`]. Construct with
+/// [`SimConfigBuilder::new`] or [`StreamMdApp::builder`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    cfg: MachineConfig,
+    costs: OpCosts,
+    policy: SdrPolicy,
+    kernel_opt: KernelOpt,
+    neighbor: NeighborListParams,
+    block_l: usize,
+    strip_iterations: Option<usize>,
+    threads: Option<usize>,
+    variants: Vec<Variant>,
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimConfigBuilder {
+    pub fn new() -> Self {
+        Self {
+            cfg: MachineConfig::default(),
+            costs: OpCosts::default(),
+            policy: SdrPolicy::Eager,
+            kernel_opt: KernelOpt {
+                unroll: 1,
+                software_pipeline: true,
+            },
+            neighbor: NeighborListParams {
+                cutoff: 1.0,
+                skin: 0.0,
+                rebuild_interval: 10,
+            },
+            block_l: 8,
+            strip_iterations: None,
+            threads: None,
+            variants: Variant::ALL.to_vec(),
+        }
+    }
+
+    /// Machine parameters (Table 1 defaults).
+    pub fn machine(mut self, cfg: MachineConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Per-op cycle cost overrides.
+    pub fn costs(mut self, costs: OpCosts) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Stream-descriptor-register retirement policy (Figure 7).
+    pub fn policy(mut self, policy: SdrPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Kernel compilation options (unroll, software pipelining).
+    pub fn kernel_opt(mut self, opt: KernelOpt) -> Self {
+        self.kernel_opt = opt;
+        self
+    }
+
+    /// Neighbour-list policy.
+    pub fn neighbor(mut self, params: NeighborListParams) -> Self {
+        self.neighbor = params;
+        self
+    }
+
+    /// Fixed-list block length L (paper: 8).
+    pub fn block_l(mut self, l: usize) -> Self {
+        self.block_l = l;
+        self
+    }
+
+    /// Strip size override (kernel iterations per strip). Validated at
+    /// build time against the SRF footprint of every variant in scope.
+    pub fn strip_iterations(mut self, iters: usize) -> Self {
+        self.strip_iterations = Some(iters);
+        self
+    }
+
+    /// Host worker threads for the functional phase of the execution
+    /// engine (simulated results are identical at any count).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Restrict the variants this configuration is expected to run.
+    /// Strip-size validation only covers the variants in scope, so a
+    /// strip too large for `fixed` can still be built for `variable`.
+    pub fn variants(mut self, variants: &[Variant]) -> Self {
+        self.variants = variants.to_vec();
+        self
+    }
+
+    /// Validate every knob and produce the application.
+    pub fn build(self) -> Result<StreamMdApp, SimError> {
+        if self.block_l == 0 {
+            return Err(SimError::Config("block_l must be at least 1".into()));
+        }
+        if self.kernel_opt.unroll == 0 {
+            return Err(SimError::Config("kernel unroll must be at least 1".into()));
+        }
+        if self.threads == Some(0) {
+            return Err(SimError::Config("threads must be at least 1".into()));
+        }
+        if self.strip_iterations == Some(0) {
+            return Err(SimError::Config(
+                "strip_iterations must be at least 1".into(),
+            ));
+        }
+        if self.cfg.clusters == 0 || self.cfg.srf_words_per_cluster == 0 {
+            return Err(SimError::Config(
+                "machine needs at least one cluster and a non-empty SRF".into(),
+            ));
+        }
+        if !self.neighbor.cutoff.is_finite() || self.neighbor.cutoff <= 0.0 {
+            return Err(SimError::Config(format!(
+                "neighbour cutoff must be positive and finite, got {}",
+                self.neighbor.cutoff
+            )));
+        }
+        if !self.neighbor.skin.is_finite() || self.neighbor.skin < 0.0 {
+            return Err(SimError::Config(format!(
+                "neighbour skin must be non-negative and finite, got {}",
+                self.neighbor.skin
+            )));
+        }
+        if self.neighbor.rebuild_interval == 0 {
+            return Err(SimError::Config(
+                "neighbour rebuild_interval must be at least 1".into(),
+            ));
+        }
+        if let Some(strip) = self.strip_iterations {
+            for &variant in &self.variants {
+                let needed = strip_working_set_per_cluster(
+                    variant,
+                    self.block_l,
+                    strip,
+                    self.cfg.clusters.max(1),
+                );
+                if needed > self.cfg.srf_words_per_cluster {
+                    return Err(SimError::StripSrfOverflow {
+                        label: format!("variant {variant}, L = {}", self.block_l),
+                        strip_iterations: strip as u64,
+                        needed_words_per_cluster: needed,
+                        capacity_words_per_cluster: self.cfg.srf_words_per_cluster,
+                    });
+                }
+            }
+        }
+        let threads = self.threads.unwrap_or(self.cfg.host_threads.max(1));
+        Ok(StreamMdApp {
+            threads,
+            cfg: self.cfg,
+            costs: self.costs,
+            policy: self.policy,
+            kernel_opt: self.kernel_opt,
+            neighbor: self.neighbor,
+            block_l: self.block_l,
+            strip_iterations: self.strip_iterations,
+        })
+    }
+}
+
+/// SRF words per cluster a *full* strip's kernel working set needs —
+/// the same accounting the scoreboard preflight
+/// (`StreamProcessor::validate_program`) applies to the real program,
+/// evaluated on the buffers each variant's emitter creates. The kernel
+/// can only issue with all input streams live and all output streams
+/// allocated, so this is a hard floor; a strip whose floor exceeds the
+/// per-cluster SRF capacity can never run once the dataset is large
+/// enough to fill the strip.
+///
+/// The `variable` variant's centre-record stream is dataset-dependent
+/// (one 18-word record per centre run); the estimate uses the minimum
+/// (a single centre plus the sentinel), so it only rejects strips that
+/// are infeasible for *every* dataset.
+pub(crate) fn strip_working_set_per_cluster(
+    variant: Variant,
+    block_l: usize,
+    strip_iterations: usize,
+    clusters: usize,
+) -> usize {
+    let s = strip_iterations;
+    let l = block_l;
+    let buffers: Vec<usize> = match variant {
+        // c_pos, shift, n_pos in; c_partial, n_partial out.
+        Variant::Expanded => vec![9 * s; 5],
+        // c_pos, shift, n_pos(L per block) in; c_force, n_partial out.
+        Variant::Fixed => vec![9 * s, 9 * s, 9 * l * s, 9 * s, 9 * l * s],
+        // As fixed but no neighbour partials.
+        Variant::Duplicated => vec![9 * s, 9 * s, 9 * l * s, 9 * s],
+        // n_pos, flags, centre records in; c_force, n_partial out.
+        Variant::Variable => vec![9 * s, s, 18 * 2, 9 * s, 9 * s],
+    };
+    buffers.iter().map(|w| w.div_ceil(clusters)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build() {
+        let app = SimConfigBuilder::new().build().expect("defaults are valid");
+        assert_eq!(app.block_l, 8);
+        assert_eq!(app.threads, 1);
+        assert!(app.strip_iterations.is_none());
+    }
+
+    #[test]
+    fn rejects_degenerate_knobs() {
+        for (b, what) in [
+            (SimConfigBuilder::new().block_l(0), "block_l"),
+            (SimConfigBuilder::new().threads(0), "threads"),
+            (SimConfigBuilder::new().strip_iterations(0), "strip"),
+            (
+                SimConfigBuilder::new().kernel_opt(KernelOpt {
+                    unroll: 0,
+                    software_pipeline: false,
+                }),
+                "unroll",
+            ),
+            (
+                SimConfigBuilder::new().neighbor(NeighborListParams {
+                    cutoff: -1.0,
+                    skin: 0.0,
+                    rebuild_interval: 1,
+                }),
+                "cutoff",
+            ),
+            (
+                SimConfigBuilder::new().neighbor(NeighborListParams {
+                    cutoff: 1.0,
+                    skin: f64::NAN,
+                    rebuild_interval: 1,
+                }),
+                "skin",
+            ),
+            (
+                SimConfigBuilder::new().neighbor(NeighborListParams {
+                    cutoff: 1.0,
+                    skin: 0.0,
+                    rebuild_interval: 0,
+                }),
+                "rebuild",
+            ),
+        ] {
+            let err = b.build().expect_err(what);
+            assert!(matches!(err, SimError::Config(_)), "{what}: {err}");
+        }
+    }
+
+    #[test]
+    fn unrunnable_strip_is_rejected_naming_the_size() {
+        // The ROADMAP deadlock configuration: fixed variant, strip 997.
+        let err = SimConfigBuilder::new()
+            .strip_iterations(997)
+            .build()
+            .expect_err("997-block fixed strips cannot be double-buffered");
+        let msg = err.to_string();
+        assert!(msg.contains("997"), "{msg}");
+        assert!(msg.contains("fixed"), "{msg}");
+    }
+
+    #[test]
+    fn variant_scope_limits_strip_validation() {
+        // The same strip is fine for the compact per-interaction
+        // variants.
+        SimConfigBuilder::new()
+            .strip_iterations(997)
+            .variants(&[Variant::Variable, Variant::Expanded])
+            .build()
+            .expect("fits for variable/expanded");
+        // And the variable variant tolerates very large strips (the
+        // ablation sweep uses 4096).
+        SimConfigBuilder::new()
+            .strip_iterations(4096)
+            .variants(&[Variant::Variable])
+            .build()
+            .expect("ablation-sized variable strips fit");
+    }
+
+    #[test]
+    fn working_set_matches_scoreboard_floor_for_fixed_997() {
+        // 997 blocks at L = 8: five buffers of 8973/8973/71784/8973/71784
+        // words → 561+561+4487+561+4487 = 10657 words/cluster, over the
+        // 8192-word bank.
+        let w = strip_working_set_per_cluster(Variant::Fixed, 8, 997, 16);
+        assert_eq!(w, 10657);
+        assert!(w > MachineConfig::default().srf_words_per_cluster);
+    }
+
+    #[test]
+    fn threads_default_to_machine_host_threads() {
+        let cfg = MachineConfig {
+            host_threads: 6,
+            ..MachineConfig::default()
+        };
+        let app = SimConfigBuilder::new().machine(cfg).build().unwrap();
+        assert_eq!(app.threads, 6);
+        let app = SimConfigBuilder::new().threads(3).build().unwrap();
+        assert_eq!(app.threads, 3);
+    }
+}

@@ -322,7 +322,6 @@ fn rattle_rigid_water(system: &mut WaterBox, pos: &[Vec3], tol: f64, dt: f64, th
 mod tests {
     use super::*;
     use md_sim::neighbor::NeighborListParams;
-    use merrimac_arch::MachineConfig;
 
     fn driver(system: &WaterBox, variant: Variant) -> MerrimacDriver {
         let params = NeighborListParams {
@@ -330,7 +329,7 @@ mod tests {
             skin: 0.08,
             rebuild_interval: 3,
         };
-        let app = StreamMdApp::new(MachineConfig::default()).with_neighbor(params);
+        let app = StreamMdApp::builder().neighbor(params).build().unwrap();
         MerrimacDriver::new(app, variant)
     }
 
@@ -384,7 +383,7 @@ mod tests {
         let mut b = a.clone();
         let serial = driver(&a, Variant::Expanded);
         let mut parallel = driver(&b, Variant::Expanded);
-        parallel.app = parallel.app.with_threads(4);
+        parallel.app.threads = 4;
         let ra = serial.run(&mut a, 4).expect("serial run");
         let rb = parallel.run(&mut b, 4).expect("parallel run");
         assert_eq!(a.positions(), b.positions());

@@ -26,6 +26,7 @@
 //! behind the paper's Table 4 and Figures 8–9.
 
 pub mod app;
+pub mod config;
 pub mod driver;
 pub mod kernels;
 pub mod layout;
@@ -34,6 +35,8 @@ pub mod models;
 pub mod variant;
 
 pub use app::{PerfSummary, StepOutcome, StreamMdApp};
+pub use config::SimConfigBuilder;
 pub use driver::{DriverReport, MerrimacDriver};
-pub use metrics::AnalyticModel;
+pub use merrimac_sim::machine::SimError;
+pub use metrics::{AnalyticModel, PhaseBreakdown};
 pub use variant::{DatasetStats, Variant};

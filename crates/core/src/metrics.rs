@@ -10,8 +10,62 @@
 use serde::{Deserialize, Serialize};
 
 use md_sim::force::FLOPS_PER_INTERACTION;
+use merrimac_sim::RunReport;
 
 use crate::variant::Variant;
+
+/// Per-phase cycle breakdown of one simulated step — the structured
+/// counters the perf-trend harness tracks across commits. Wraps the
+/// simulator's raw [`merrimac_sim::PhaseCycles`] with the
+/// scoreboard-stall count and fraction helpers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Memory-unit cycles spent on index gathers.
+    pub gather_cycles: u64,
+    /// Memory-unit cycles spent on sequential stream loads.
+    pub load_cycles: u64,
+    /// Cluster-array cycles spent running interaction kernels.
+    pub kernel_cycles: u64,
+    /// Memory-unit cycles spent on scatter-add force reductions.
+    pub scatter_add_cycles: u64,
+    /// Memory-unit cycles spent on sequential stores.
+    pub store_cycles: u64,
+    /// Cycles the memory unit idled with work ready but no stream
+    /// descriptor register free (the Figure 7 pathology).
+    pub sdr_stall_cycles: u64,
+}
+
+impl PhaseBreakdown {
+    pub fn from_report(report: &RunReport) -> Self {
+        Self {
+            gather_cycles: report.phases.gather,
+            load_cycles: report.phases.load,
+            kernel_cycles: report.phases.kernel,
+            scatter_add_cycles: report.phases.scatter_add,
+            store_cycles: report.phases.store,
+            sdr_stall_cycles: report.sdr_stall_cycles,
+        }
+    }
+
+    /// Total memory-unit busy cycles.
+    pub fn memory_cycles(&self) -> u64 {
+        self.gather_cycles + self.load_cycles + self.scatter_add_cycles + self.store_cycles
+    }
+
+    /// Fraction of `makespan` each phase occupied (gather, load, kernel,
+    /// scatter-add, store). Phases overlap across units, so the
+    /// fractions can legitimately sum past 1.
+    pub fn fractions(&self, makespan: u64) -> (f64, f64, f64, f64, f64) {
+        let t = (makespan as f64).max(1.0);
+        (
+            self.gather_cycles as f64 / t,
+            self.load_cycles as f64 / t,
+            self.kernel_cycles as f64 / t,
+            self.scatter_add_cycles as f64 / t,
+            self.store_cycles as f64 / t,
+        )
+    }
+}
 
 /// Closed-form per-iteration word traffic and intensity.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -16,6 +16,39 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Busy cycles of the machine broken down by stream-operation class —
+/// the per-phase view behind the trend harness: a locality regression
+/// shows up as gather/scatter growth, a schedule regression as kernel
+/// growth, an SDR-policy regression as scoreboard stall growth.
+///
+/// Phase cycles count *occupancy* of the issuing unit, so `gather +
+/// load + scatter_add + store` equals the memory unit's busy time and
+/// `kernel` the cluster array's; because the two units overlap, the sum
+/// of all phases normally exceeds the makespan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseCycles {
+    pub gather: u64,
+    pub load: u64,
+    pub kernel: u64,
+    pub scatter_add: u64,
+    pub store: u64,
+}
+
+impl PhaseCycles {
+    pub fn add(&mut self, o: &PhaseCycles) {
+        self.gather += o.gather;
+        self.load += o.load;
+        self.kernel += o.kernel;
+        self.scatter_add += o.scatter_add;
+        self.store += o.store;
+    }
+
+    /// Memory-unit busy cycles (all stream memory op classes).
+    pub fn memory(&self) -> u64 {
+        self.gather + self.load + self.scatter_add + self.store
+    }
+}
+
 /// Aggregated counters of one program run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct Counters {
@@ -130,6 +163,24 @@ mod tests {
         assert_eq!(a.lrf_refs, 11);
         assert_eq!(a.mem_refs, 22);
         assert_eq!(a.hardware_flops, 33);
+    }
+
+    #[test]
+    fn phase_cycles_accumulate_and_split_by_unit() {
+        let mut p = PhaseCycles {
+            gather: 10,
+            load: 5,
+            kernel: 100,
+            scatter_add: 7,
+            store: 3,
+        };
+        p.add(&PhaseCycles {
+            gather: 1,
+            ..Default::default()
+        });
+        assert_eq!(p.gather, 11);
+        assert_eq!(p.memory(), 11 + 5 + 7 + 3);
+        assert_eq!(p.kernel, 100);
     }
 
     #[test]

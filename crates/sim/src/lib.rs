@@ -34,9 +34,9 @@ pub mod sdr;
 pub mod srf;
 pub mod timeline;
 
-pub use counters::Counters;
+pub use counters::{Counters, PhaseCycles};
 pub use kernelc::{CompiledKernel, KernelOpt};
-pub use machine::{RunReport, StreamProcessor};
+pub use machine::{RunReport, SimError, StreamProcessor};
 pub use program::{BufferId, ProgramBuilder, RegionId, StreamOp, StreamProgram};
 pub use sdr::SdrPolicy;
 pub use timeline::Timeline;

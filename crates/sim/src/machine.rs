@@ -12,7 +12,7 @@
 use merrimac_arch::{MachineConfig, OpCosts};
 use merrimac_kernel::interp::{InterpError, Interpreter, StreamData};
 
-use crate::counters::Counters;
+use crate::counters::{Counters, PhaseCycles};
 use crate::memsys::MemSystem;
 use crate::program::{BufferId, Memory, StreamOp, StreamProgram};
 use crate::sdr::{SdrFile, SdrPolicy};
@@ -25,6 +25,23 @@ pub enum SimError {
     Interp(InterpError),
     /// A single buffer exceeds SRF capacity — no schedule can run it.
     SrfImpossible(String),
+    /// A strip's kernel working set (its live input streams plus the
+    /// output streams that must be allocated to issue the kernel) cannot
+    /// fit in the SRF, so the scoreboard would wedge at kernel issue.
+    /// Detected up front so callers get a diagnostic naming the strip
+    /// size instead of a deadlock.
+    StripSrfOverflow {
+        /// Label of the kernel op that can never issue.
+        label: String,
+        /// Strip size (kernel iterations) that produced the working set.
+        strip_iterations: u64,
+        /// SRF words per cluster the working set needs.
+        needed_words_per_cluster: usize,
+        /// SRF words per cluster the machine has.
+        capacity_words_per_cluster: usize,
+    },
+    /// Invalid configuration rejected before any simulation ran.
+    Config(String),
     /// The scoreboard wedged (a bug or an impossible program).
     Deadlock(String),
     /// Program shape error (e.g. iterations not divisible by unroll).
@@ -36,6 +53,18 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::Interp(e) => write!(f, "kernel execution failed: {e}"),
             SimError::SrfImpossible(s) => write!(f, "SRF cannot hold buffer: {s}"),
+            SimError::StripSrfOverflow {
+                label,
+                strip_iterations,
+                needed_words_per_cluster,
+                capacity_words_per_cluster,
+            } => write!(
+                f,
+                "strip size {strip_iterations} is un-runnable: kernel '{label}' needs \
+                 {needed_words_per_cluster} SRF words/cluster for its live streams but the \
+                 machine has {capacity_words_per_cluster}; reduce strip_iterations"
+            ),
+            SimError::Config(s) => write!(f, "invalid configuration: {s}"),
             SimError::Deadlock(s) => write!(f, "scoreboard deadlock: {s}"),
             SimError::Program(s) => write!(f, "malformed program: {s}"),
         }
@@ -57,6 +86,9 @@ pub struct RunReport {
     pub cycles: u64,
     pub timeline: Timeline,
     pub counters: Counters,
+    /// Busy cycles by stream-operation class (gather/load/kernel/
+    /// scatter-add/store).
+    pub phases: PhaseCycles,
     /// Peak stream descriptor registers in use.
     pub sdr_peak: usize,
     /// Peak SRF words per cluster.
@@ -188,6 +220,57 @@ impl StreamProcessor {
         self.schedule(memory, program, ExecMode::Inline)
     }
 
+    /// Preflight: reject programs the scoreboard can never complete.
+    ///
+    /// A kernel op can only issue once every input stream is live in the
+    /// SRF and every output stream has been allocated, so the sum of the
+    /// per-cluster shares of its inputs and outputs is a hard floor on
+    /// SRF occupancy at issue time. If that floor exceeds the per-cluster
+    /// capacity the kernel can never issue and the scoreboard would
+    /// deadlock — the classic symptom of a strip sized past what the SRF
+    /// can double-buffer. Detecting it here turns an opaque
+    /// [`SimError::Deadlock`] into a [`SimError::StripSrfOverflow`]
+    /// naming the offending strip size.
+    pub fn validate_program(&self, program: &StreamProgram) -> Result<(), SimError> {
+        // Per-buffer allocation shares, from each buffer's producer op
+        // (allocation happens when the producer issues and uses the
+        // worst-case capacity, spread across clusters).
+        let mut share = vec![0usize; program.buffers.len()];
+        for lop in &program.ops {
+            for b in produced_buffers(&lop.op) {
+                let words = buffer_capacity_words(program, &lop.op, b);
+                share[b.0] = words.div_ceil(self.cfg.clusters);
+            }
+        }
+        for lop in &program.ops {
+            if let StreamOp::Kernel {
+                inputs,
+                outputs,
+                iterations,
+                ..
+            } = &lop.op
+            {
+                let mut seen: Vec<usize> = Vec::new();
+                let mut needed = 0usize;
+                for b in inputs.iter().chain(outputs) {
+                    if !seen.contains(&b.0) {
+                        seen.push(b.0);
+                        needed += share[b.0];
+                    }
+                }
+                if needed > self.cfg.srf_words_per_cluster {
+                    return Err(SimError::StripSrfOverflow {
+                        label: lop.label.clone(),
+                        strip_iterations: *iterations,
+                        needed_words_per_cluster: needed,
+                        capacity_words_per_cluster: self.cfg.srf_words_per_cluster,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// The scoreboard: schedules ops onto the memory pipeline and the
     /// cluster array. In [`ExecMode::Inline`] it also executes each op
     /// functionally as it issues; in [`ExecMode::Precomputed`] the data
@@ -198,6 +281,7 @@ impl StreamProcessor {
         program: &StreamProgram,
         mode: ExecMode,
     ) -> Result<RunReport, SimError> {
+        self.validate_program(program)?;
         let n_ops = program.ops.len();
         let n_bufs = program.buffers.len();
 
@@ -261,6 +345,7 @@ impl StreamProcessor {
         let mut memsys = MemSystem::new(&self.cfg);
         let mut timeline = Timeline::default();
         let mut counters = Counters::default();
+        let mut phases = PhaseCycles::default();
         let mut mem_free_at: u64 = 0;
         let mut kernel_free_at: u64 = 0;
         let mut now: u64 = 0;
@@ -558,6 +643,13 @@ impl StreamProcessor {
 
                 let end = now + cost_cycles;
                 state[i] = OpState::Running { end };
+                match &lop.op {
+                    StreamOp::Gather { .. } => phases.gather += cost_cycles,
+                    StreamOp::Load { .. } => phases.load += cost_cycles,
+                    StreamOp::Kernel { .. } => phases.kernel += cost_cycles,
+                    StreamOp::ScatterAdd { .. } => phases.scatter_add += cost_cycles,
+                    StreamOp::Store { .. } => phases.store += cost_cycles,
+                }
                 timeline.record(unit, now, end, &lop.label, lop.strip);
                 match unit {
                     Unit::Memory => {
@@ -626,6 +718,7 @@ impl StreamProcessor {
             cycles: timeline.makespan(),
             timeline,
             counters,
+            phases,
             sdr_peak: sdr.peak(),
             srf_peak_words_per_cluster: srf.peak_words_per_cluster(),
             sdr_stall_cycles,
@@ -772,6 +865,69 @@ mod tests {
         assert_eq!(r.counters.srf_refs, 128);
         assert!(r.counters.lrf_refs > 0);
         assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn phase_cycles_partition_unit_busy_time() {
+        let (_, r) = run_square(256);
+        assert_eq!(
+            r.phases.memory(),
+            r.timeline.busy(crate::timeline::Unit::Memory),
+            "memory phases must sum to the memory unit's busy time"
+        );
+        assert_eq!(
+            r.phases.kernel,
+            r.timeline.busy(crate::timeline::Unit::Kernel)
+        );
+        assert!(r.phases.load > 0 && r.phases.store > 0 && r.phases.kernel > 0);
+        assert_eq!(r.phases.gather, 0);
+        assert_eq!(r.phases.scatter_add, 0);
+    }
+
+    #[test]
+    fn oversized_kernel_working_set_is_rejected_up_front() {
+        // One kernel whose input + output streams exceed the whole SRF:
+        // previously this wedged the scoreboard; now the preflight names
+        // the strip size.
+        let cfg = MachineConfig::default();
+        let capacity = cfg.srf_words_per_cluster * cfg.clusters;
+        let n = capacity / 2 + cfg.clusters; // in + out > capacity
+        let mut mem = Memory::new();
+        let src = mem.region("xs", vec![1.0; n]);
+        let out = mem.region("ys", vec![0.0; n]);
+        let k = square_kernel(&cfg, KernelOpt::default());
+        let mut pb = ProgramBuilder::new();
+        let bx = pb.buffer("x", 1);
+        let by = pb.buffer("y", 1);
+        pb.load("load x", src, 1, 0, n, bx);
+        pb.kernel(
+            "square huge",
+            k,
+            vec![bx],
+            vec![by],
+            vec![],
+            n as u64,
+            (n as u64).div_ceil(16),
+        );
+        pb.store("store y", by, out, 1, 0);
+        let program = pb.build();
+        let err = StreamProcessor::new(cfg)
+            .run(&mut mem, &program)
+            .expect_err("must be rejected");
+        match &err {
+            SimError::StripSrfOverflow {
+                strip_iterations,
+                needed_words_per_cluster,
+                capacity_words_per_cluster,
+                ..
+            } => {
+                assert_eq!(*strip_iterations, n as u64);
+                assert!(needed_words_per_cluster > capacity_words_per_cluster);
+            }
+            other => panic!("expected StripSrfOverflow, got {other:?}"),
+        }
+        // The diagnostic must name the strip size.
+        assert!(err.to_string().contains(&n.to_string()), "{err}");
     }
 
     #[test]

@@ -61,6 +61,9 @@ impl StreamProcessor {
         program: &StreamProgram,
         threads: usize,
     ) -> Result<RunReport, SimError> {
+        // Reject un-runnable programs before burning functional work on
+        // them (the serial path validates inside `schedule`).
+        self.validate_program(program)?;
         let Some(strips) = strip_partition(program) else {
             return self.run(memory, program);
         };

@@ -18,7 +18,10 @@ fn main() {
         system.pbc().side()
     );
 
-    let app = StreamMdApp::new(MachineConfig::default());
+    let app = StreamMdApp::builder()
+        .machine(MachineConfig::default())
+        .build()
+        .expect("valid configuration");
     let outcome = app
         .run_step(&system, Variant::Variable)
         .expect("simulation runs");

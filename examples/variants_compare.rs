@@ -28,7 +28,11 @@ fn main() {
         "variant", "cycles", "sol GFLOPS", "all GFLOPS", "MEM (Kref)", "time (ms)"
     );
 
-    let app = StreamMdApp::new(MachineConfig::default()).with_neighbor(params);
+    let app = StreamMdApp::builder()
+        .machine(MachineConfig::default())
+        .neighbor(params)
+        .build()
+        .expect("valid configuration");
     let mut results = Vec::new();
     for v in streammd::Variant::ALL {
         let out = app

@@ -38,8 +38,10 @@
 //! // down with the box for this doc-sized system.)
 //! let system = WaterBox::builder().molecules(64).seed(7).build();
 //! let params = NeighborListParams { cutoff: 0.55, skin: 0.0, rebuild_interval: 10 };
-//! let outcome = StreamMdApp::new(MachineConfig::default())
-//!     .with_neighbor(params)
+//! let outcome = StreamMdApp::builder()
+//!     .neighbor(params)
+//!     .build()
+//!     .expect("valid configuration")
 //!     .run_step(&system, Variant::Variable)
 //!     .expect("simulation runs");
 //! assert!(outcome.perf.solution_gflops > 0.0);

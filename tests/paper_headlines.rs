@@ -16,7 +16,7 @@ fn setup() -> (WaterBox, NeighborList, StreamMdApp) {
         rebuild_interval: 1,
     };
     let list = NeighborList::build(&system, params);
-    let app = StreamMdApp::new(MachineConfig::default()).with_neighbor(params);
+    let app = StreamMdApp::builder().neighbor(params).build().unwrap();
     (system, list, app)
 }
 
@@ -147,14 +147,20 @@ fn sdr_fix_never_hurts_and_helps_when_scarce() {
         cache_allocates_gathers: true,
         ..MachineConfig::default()
     };
-    let naive = StreamMdApp::new(cfg.clone())
-        .with_neighbor(list.params)
-        .with_policy(SdrPolicy::Naive)
+    let naive = StreamMdApp::builder()
+        .machine(cfg.clone())
+        .neighbor(list.params)
+        .policy(SdrPolicy::Naive)
+        .build()
+        .unwrap()
         .run_step_with_list(&system, &list, Variant::Duplicated)
         .unwrap();
-    let eager = StreamMdApp::new(cfg)
-        .with_neighbor(list.params)
-        .with_policy(SdrPolicy::Eager)
+    let eager = StreamMdApp::builder()
+        .machine(cfg)
+        .neighbor(list.params)
+        .policy(SdrPolicy::Eager)
+        .build()
+        .unwrap()
         .run_step_with_list(&system, &list, Variant::Duplicated)
         .unwrap();
     assert!(

@@ -19,9 +19,16 @@ fn run_case(molecules: usize, seed: u64, strip: usize, threads: usize) {
         rebuild_interval: 1,
     };
     let list = NeighborList::build(&system, params);
+    // Deliberately on the deprecated unchecked shims: the sampled strips
+    // include sizes (997) whose *full* strip would overflow the SRF, but
+    // these boxes are small enough that the layout clamps every strip to
+    // the available work — the run-time preflight stays green. The
+    // builder's dataset-independent validation would reject them.
+    #[allow(deprecated)]
     let app = StreamMdApp::new(MachineConfig::default())
         .with_neighbor(params)
         .with_strip_iterations(strip);
+    #[allow(deprecated)]
     for v in Variant::ALL {
         let serial = app
             .clone()

@@ -6,7 +6,6 @@ use md_sim::force::compute_forces;
 use md_sim::neighbor::{NeighborList, NeighborListParams};
 use md_sim::system::WaterBox;
 use md_sim::vec3::Vec3;
-use merrimac_arch::MachineConfig;
 use streammd::{StreamMdApp, Variant};
 
 fn setup(molecules: usize, seed: u64) -> (WaterBox, NeighborList) {
@@ -21,7 +20,10 @@ fn setup(molecules: usize, seed: u64) -> (WaterBox, NeighborList) {
 }
 
 fn check(system: &WaterBox, list: &NeighborList, variant: Variant) {
-    let app = StreamMdApp::new(MachineConfig::default()).with_neighbor(list.params);
+    let app = StreamMdApp::builder()
+        .neighbor(list.params)
+        .build()
+        .unwrap();
     let out = app
         .run_step_with_list(system, list, variant)
         .unwrap_or_else(|e| panic!("{variant}: {e}"));
@@ -72,7 +74,10 @@ fn duplicated_matches_reference_end_to_end() {
 #[test]
 fn all_variants_agree_with_each_other() {
     let (system, list) = setup(64, 1005);
-    let app = StreamMdApp::new(MachineConfig::default()).with_neighbor(list.params);
+    let app = StreamMdApp::builder()
+        .neighbor(list.params)
+        .build()
+        .unwrap();
     let outs: Vec<Vec<Vec3>> = Variant::ALL
         .iter()
         .map(|&v| app.run_step_with_list(&system, &list, v).unwrap().forces)
@@ -89,9 +94,11 @@ fn all_variants_agree_with_each_other() {
 fn variants_tolerate_odd_strip_sizes() {
     let (system, list) = setup(64, 1006);
     for strip in [17usize, 63, 333] {
-        let app = StreamMdApp::new(MachineConfig::default())
-            .with_neighbor(list.params)
-            .with_strip_iterations(strip);
+        let app = StreamMdApp::builder()
+            .neighbor(list.params)
+            .strip_iterations(strip)
+            .build()
+            .unwrap();
         for v in Variant::ALL {
             let out = app.run_step_with_list(&system, &list, v).unwrap();
             assert!(out.perf.cycles > 0, "{v} strip {strip}");
@@ -102,7 +109,10 @@ fn variants_tolerate_odd_strip_sizes() {
 #[test]
 fn net_force_is_conserved_through_the_machine() {
     let (system, list) = setup(125, 1007);
-    let app = StreamMdApp::new(MachineConfig::default()).with_neighbor(list.params);
+    let app = StreamMdApp::builder()
+        .neighbor(list.params)
+        .build()
+        .unwrap();
     for v in Variant::ALL {
         let out = app.run_step_with_list(&system, &list, v).unwrap();
         let net: Vec3 = out.forces.iter().copied().sum();
@@ -120,9 +130,11 @@ fn fixed_l_variants_all_match() {
         .map(|f| f.norm())
         .fold(1.0f64, f64::max);
     for l in [2usize, 3, 8, 16] {
-        let app = StreamMdApp::new(MachineConfig::default())
-            .with_neighbor(list.params)
-            .with_block_l(l);
+        let app = StreamMdApp::builder()
+            .neighbor(list.params)
+            .block_l(l)
+            .build()
+            .unwrap();
         let out = app
             .run_step_with_list(&system, &list, Variant::Fixed)
             .unwrap();
