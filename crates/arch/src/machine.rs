@@ -88,9 +88,11 @@ pub struct MachineConfig {
     /// (Figure 8). Enabling it is the cache ablation of the benches.
     pub cache_allocates_gathers: bool,
     /// Host worker threads the execution engine uses for the functional
-    /// phase of a simulated step (not a property of the modeled
-    /// machine). Results and cycle counts are bitwise-identical at any
-    /// value; 1 runs serially.
+    /// and memory-timing phases of a simulated step (not a property of
+    /// the modeled machine). Results and cycle counts are
+    /// bitwise-identical at any value; 1 runs serially. The default
+    /// honours the `MERRIMAC_HOST_THREADS` environment variable (CI
+    /// runs the tier-1 suite across a thread matrix this way).
     pub host_threads: usize,
 }
 
@@ -122,7 +124,11 @@ impl Default for MachineConfig {
             kernel_startup: 150,
             dram_capacity_bytes: 2 * 1024 * 1024 * 1024,
             cache_allocates_gathers: false,
-            host_threads: 1,
+            host_threads: std::env::var("MERRIMAC_HOST_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&t| t >= 1)
+                .unwrap_or(1),
         }
     }
 }

@@ -1,12 +1,19 @@
-//! Perf-trend regression gate: run every StreamMD variant on the
-//! 216-molecule box, diff the measurements against the committed
-//! baseline (`bench/baselines/BENCH_trend_216.json`), print the delta
-//! table, and exit non-zero on regression. CI runs this on every push;
-//! run it locally with `cargo trend` (alias) or
+//! Perf-trend regression gate: run every StreamMD variant on the trend
+//! dataset, diff the measurements against the committed baseline
+//! (`bench/baselines/BENCH_<label>.json`), print the delta table, and
+//! exit non-zero on regression. CI runs the 216-molecule gate on every
+//! push and the 900-molecule paper-scale gate on `main`; run either
+//! locally with `cargo trend` (alias) or
 //! `cargo bench -p merrimac-bench --bench trend`.
 //!
 //! Environment knobs:
 //!
+//! * `TREND_DATASET=900` — run the paper's 900-molecule dataset (label
+//!   `trend_900`, looser wall-clock tolerance) instead of the default
+//!   216-molecule box (label `trend_216`).
+//! * `TREND_THREADS` — engine worker threads for the functional phase
+//!   (default: host parallelism capped at 8). Simulated metrics are
+//!   bitwise-identical at any count; only wall-clock moves.
 //! * `TREND_REFRESH=1` — rewrite the committed baseline from this run
 //!   (after an intentional perf or model change) and exit.
 //! * `TREND_BASELINE_DIR` — read/write baselines here instead of the
@@ -22,24 +29,75 @@
 use std::path::Path;
 use std::time::Instant;
 
+use md_sim::neighbor::NeighborList;
+use md_sim::system::WaterBox;
 use merrimac_bench::{
-    banner, render_table, run, small_system, trend, PerfReport, RunSpec, Tolerances, VariantRecord,
+    banner, paper_system, render_table, run, small_system, trend, PerfReport, RunSpec, Tolerances,
+    VariantRecord,
 };
 use streammd::Variant;
 
-const MOLECULES: usize = 216;
-const LABEL: &str = "trend_216";
+/// The dataset the gate runs, selected by `TREND_DATASET`.
+struct Dataset {
+    label: &'static str,
+    molecules: usize,
+    system: WaterBox,
+    list: NeighborList,
+    tolerance_defaults: Tolerances,
+}
+
+fn dataset_from_env() -> Dataset {
+    match std::env::var("TREND_DATASET").as_deref() {
+        Ok("900") => {
+            let (system, list) = paper_system();
+            Dataset {
+                label: "trend_900",
+                molecules: 900,
+                system,
+                list,
+                tolerance_defaults: Tolerances::paper_scale(),
+            }
+        }
+        _ => {
+            let (system, list) = small_system(216);
+            Dataset {
+                label: "trend_216",
+                molecules: 216,
+                system,
+                list,
+                tolerance_defaults: Tolerances::default(),
+            }
+        }
+    }
+}
+
+fn threads_from_env() -> usize {
+    std::env::var("TREND_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(1)
+        })
+}
 
 fn main() {
+    let ds = dataset_from_env();
+    let threads = threads_from_env();
     banner(
         "trend gate",
         "per-variant perf vs. committed baseline, fail on regression",
     );
-    let (system, list) = small_system(MOLECULES);
-    let mut current = PerfReport::new(LABEL, MOLECULES, 1);
+    println!(
+        "dataset: {} molecules (label {}), {threads} engine thread(s)",
+        ds.molecules, ds.label
+    );
+    let mut current = PerfReport::new(ds.label, ds.molecules, threads);
     for variant in Variant::ALL {
         let t0 = Instant::now();
-        match run(RunSpec::new(&system, &list, variant)) {
+        match run(RunSpec::new(&ds.system, &ds.list, variant).threads(threads)) {
             Ok(out) => {
                 let wall = t0.elapsed().as_secs_f64();
                 current
@@ -72,12 +130,13 @@ fn main() {
         return;
     }
 
-    let baseline = match trend::load_baseline(LABEL) {
+    let baseline = match trend::load_baseline(ds.label) {
         Ok(Some(b)) => b,
         Ok(None) => {
             println!(
-                "no baseline {}/BENCH_{LABEL}.json — nothing to diff (seed one with TREND_REFRESH=1)",
-                baseline_dir.display()
+                "no baseline {}/BENCH_{}.json — nothing to diff (seed one with TREND_REFRESH=1)",
+                baseline_dir.display(),
+                ds.label
             );
             return;
         }
@@ -87,7 +146,7 @@ fn main() {
         }
     };
 
-    let tol = Tolerances::from_env();
+    let tol = Tolerances::from_env_or(ds.tolerance_defaults);
     let diff = merrimac_bench::compare(&baseline, &current, &tol);
     let table = render_table(&diff);
     println!("{table}");
@@ -97,7 +156,9 @@ fn main() {
             "trend gate FAILED: {} metric regression(s), {} structural problem(s) vs {}",
             diff.regressions().len(),
             diff.problems.len(),
-            baseline_dir.join(format!("BENCH_{LABEL}.json")).display()
+            baseline_dir
+                .join(format!("BENCH_{}.json", ds.label))
+                .display()
         );
         eprintln!(
             "if this change is intentional, refresh the baseline: \

@@ -120,65 +120,6 @@ pub fn run(spec: RunSpec) -> Result<StepOutcome, VariantError> {
         .map_err(err)
 }
 
-/// Run one variant on a prepared system.
-#[deprecated(since = "0.2.0", note = "use run(RunSpec::new(system, list, variant))")]
-pub fn run_variant(
-    system: &WaterBox,
-    list: &NeighborList,
-    variant: Variant,
-) -> Result<StepOutcome, VariantError> {
-    run(RunSpec::new(system, list, variant))
-}
-
-/// Run one variant with an explicit engine thread count.
-#[deprecated(
-    since = "0.2.0",
-    note = "use run(RunSpec::new(system, list, variant).threads(n))"
-)]
-pub fn run_variant_threads(
-    system: &WaterBox,
-    list: &NeighborList,
-    variant: Variant,
-    threads: usize,
-) -> Result<StepOutcome, VariantError> {
-    run(RunSpec::new(system, list, variant).threads(threads))
-}
-
-/// Run all four variants. A failing variant yields its error in place
-/// so one bad variant cannot abort a whole bench suite.
-#[deprecated(
-    since = "0.2.0",
-    note = "iterate Variant::ALL with run(RunSpec::new(..))"
-)]
-pub fn run_all(
-    system: &WaterBox,
-    list: &NeighborList,
-) -> Vec<(Variant, Result<StepOutcome, VariantError>)> {
-    Variant::ALL
-        .iter()
-        .map(|&v| (v, run(RunSpec::new(system, list, v))))
-        .collect()
-}
-
-/// The `run_all` results that succeeded, with failures reported to
-/// stderr — the common harness pattern.
-#[deprecated(
-    since = "0.2.0",
-    note = "iterate Variant::ALL with run(RunSpec::new(..))"
-)]
-pub fn run_all_ok(system: &WaterBox, list: &NeighborList) -> Vec<(Variant, StepOutcome)> {
-    Variant::ALL
-        .iter()
-        .filter_map(|&v| match run(RunSpec::new(system, list, v)) {
-            Ok(out) => Some((v, out)),
-            Err(e) => {
-                eprintln!("skipping {v}: {e}");
-                None
-            }
-        })
-        .collect()
-}
-
 /// Render a percentage.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)

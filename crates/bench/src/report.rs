@@ -16,6 +16,7 @@
 use std::io;
 use std::path::{Path, PathBuf};
 
+use merrimac_sim::FallbackKind;
 use streammd::{PhaseBreakdown, StepOutcome};
 
 use crate::json::{self, Json};
@@ -26,8 +27,11 @@ use crate::json::{self, Json};
 ///
 /// Version history: 1 — original per-variant records; 2 — adds
 /// `schema_version`, raw `lrf_refs`/`srf_refs` counts and the
-/// per-phase cycle breakdown.
-pub const SCHEMA_VERSION: u64 = 2;
+/// per-phase cycle breakdown; 3 — adds the per-variant `partition`
+/// object (`parallelized`, `strips`, `fallback` reason code) recording
+/// whether the strip partitioner admitted the program to the sharded
+/// parallel engine.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One variant's measurements (or its failure).
 #[derive(Debug, Clone)]
@@ -125,6 +129,15 @@ impl VariantRecord {
                 p.store_cycles,
                 p.sdr_stall_cycles
             ),
+            format!(
+                "\"partition\": {{\"parallelized\": {}, \"strips\": {}, \"fallback\": {}}}",
+                p.partition_parallelized,
+                p.partition_strips,
+                match p.partition_fallback {
+                    Some(kind) => json_str(kind.code()),
+                    None => "null".to_string(),
+                }
+            ),
             format!("\"wall_seconds\": {}", json_f64(self.wall_seconds)),
         ];
         match &self.error {
@@ -172,6 +185,24 @@ impl VariantRecord {
                 .and_then(Json::as_u64)
                 .ok_or_else(|| format!("phases missing `{k}`"))
         };
+        let partition = v
+            .get("partition")
+            .ok_or("variant record missing `partition`")?;
+        let partition_parallelized = partition
+            .get("parallelized")
+            .and_then(Json::as_bool)
+            .ok_or("partition missing `parallelized`")?;
+        let partition_strips = partition
+            .get("strips")
+            .and_then(Json::as_u64)
+            .ok_or("partition missing `strips`")? as u32;
+        let partition_fallback = match partition.get("fallback") {
+            Some(Json::Str(s)) => Some(
+                FallbackKind::from_code(s)
+                    .ok_or_else(|| format!("unknown partition fallback code `{s}`"))?,
+            ),
+            _ => None,
+        };
         let error = match v.get("error") {
             Some(Json::Str(s)) => Some(s.clone()),
             _ => None,
@@ -195,6 +226,9 @@ impl VariantRecord {
                 scatter_add_cycles: phase_field("scatter_add")?,
                 store_cycles: phase_field("store")?,
                 sdr_stall_cycles: phase_field("sdr_stall")?,
+                partition_parallelized,
+                partition_strips,
+                partition_fallback,
             },
             wall_seconds: f64_field("wall_seconds")?,
             error,
@@ -380,6 +414,9 @@ mod tests {
                 scatter_add_cycles: 70,
                 store_cycles: 30,
                 sdr_stall_cycles: 5,
+                partition_parallelized: true,
+                partition_strips: 4,
+                partition_fallback: None,
             },
             wall_seconds: 0.75,
             error: None,
@@ -390,9 +427,9 @@ mod tests {
     fn json_round_trips_exactly() {
         let mut report = PerfReport::new("rt", 216, 2);
         report.variants.push(sample_record());
-        report
-            .variants
-            .push(VariantRecord::from_error("variable", "deadlock"));
+        let mut failed = VariantRecord::from_error("variable", "deadlock");
+        failed.phases.partition_fallback = Some(FallbackKind::RegionConflict);
+        report.variants.push(failed);
         let parsed = PerfReport::from_json(&report.to_json()).expect("parses");
         assert_eq!(parsed.label, "rt");
         assert_eq!(parsed.schema_version, SCHEMA_VERSION);
@@ -407,7 +444,15 @@ mod tests {
         assert_eq!(a.locality, b.locality);
         assert_eq!(a.lrf_refs, b.lrf_refs);
         assert_eq!(a.phases, b.phases);
+        assert!(a.phases.partition_parallelized);
+        assert_eq!(a.phases.partition_strips, 4);
         assert_eq!(a.error, None);
+        let f = &parsed.variants[1].phases;
+        assert_eq!(
+            f.partition_fallback,
+            Some(FallbackKind::RegionConflict),
+            "fallback reason codes survive the round trip"
+        );
         assert_eq!(
             parsed.variants[1].error.as_deref(),
             Some("deadlock"),

@@ -11,7 +11,7 @@ use merrimac_arch::{MachineConfig, OpCosts};
 use merrimac_sim::machine::SimError;
 use merrimac_sim::program::Memory;
 use merrimac_sim::{
-    CompiledKernel, KernelOpt, ProgramBuilder, RunReport, SdrPolicy, StreamProcessor,
+    AccessIntent, CompiledKernel, KernelOpt, ProgramBuilder, RunReport, SdrPolicy, StreamProcessor,
 };
 
 use crate::kernels;
@@ -100,50 +100,6 @@ impl StreamMdApp {
         }
     }
 
-    #[deprecated(since = "0.2.0", note = "use StreamMdApp::builder().policy(..)")]
-    pub fn with_policy(mut self, policy: SdrPolicy) -> Self {
-        self.policy = policy;
-        self
-    }
-
-    #[deprecated(since = "0.2.0", note = "use StreamMdApp::builder().neighbor(..)")]
-    pub fn with_neighbor(mut self, params: NeighborListParams) -> Self {
-        self.neighbor = params;
-        self
-    }
-
-    #[deprecated(since = "0.2.0", note = "use StreamMdApp::builder().block_l(..)")]
-    pub fn with_block_l(mut self, l: usize) -> Self {
-        assert!(l >= 1);
-        self.block_l = l;
-        self
-    }
-
-    /// Unlike the builder, this shim performs no SRF-feasibility check;
-    /// an over-sized strip surfaces later as
-    /// [`SimError::StripSrfOverflow`] when the step runs.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use StreamMdApp::builder().strip_iterations(..), which validates the strip"
-    )]
-    pub fn with_strip_iterations(mut self, iters: usize) -> Self {
-        self.strip_iterations = Some(iters);
-        self
-    }
-
-    #[deprecated(since = "0.2.0", note = "use StreamMdApp::builder().kernel_opt(..)")]
-    pub fn with_kernel_opt(mut self, opt: KernelOpt) -> Self {
-        self.kernel_opt = opt;
-        self
-    }
-
-    /// Set the host worker-thread count for the execution engine.
-    #[deprecated(since = "0.2.0", note = "use StreamMdApp::builder().threads(..)")]
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
-        self
-    }
-
     /// Default strip size: fill roughly a third of the SRF with live
     /// strip state so double buffering fits.
     fn default_strip(&self, variant: Variant) -> usize {
@@ -199,6 +155,14 @@ impl StreamMdApp {
         let forces = mem.region("forces", vec![0.0; layout.force_records * 9]);
 
         let mut pb = ProgramBuilder::new();
+        // Access intents: the positions table and shift table are
+        // read-shared across every strip; the force array is a
+        // cross-strip scatter-add reduction target. Declaring them lets
+        // the partitioner run strips (and their memory timing) in
+        // parallel.
+        pb.intent(positions, AccessIntent::ReadOnly)
+            .intent(shifts, AccessIntent::ReadOnly)
+            .intent(forces, AccessIntent::ReduceAdd);
         for (sid, s) in layout.strips.iter().enumerate() {
             pb.strip(sid);
             match variant {
@@ -294,6 +258,7 @@ impl StreamMdApp {
                 &format!("{name}[{sid}]"),
                 idx.iter().map(|&i| i as f64).collect(),
             );
+            pb.intent(r, AccessIntent::ReadOnly);
             let buf = pb.buffer(&format!("{name}.{sid}"), 1);
             pb.load(format!("load {name} {sid}"), r, 1, 0, idx.len(), buf);
         }
@@ -371,6 +336,7 @@ impl StreamMdApp {
                 &format!("{name}[{sid}]"),
                 idx.iter().map(|&i| i as f64).collect(),
             );
+            pb.intent(r, AccessIntent::ReadOnly);
             let buf = pb.buffer(&format!("{name}.{sid}"), 1);
             pb.load(format!("load {name} {sid}"), r, 1, 0, idx.len(), buf);
         }
@@ -451,6 +417,7 @@ impl StreamMdApp {
             &format!("i_neighbor[{sid}]"),
             s.i_neighbor.iter().map(|&i| i as f64).collect(),
         );
+        pb.intent(r_idx, AccessIntent::ReadOnly);
         let b_idx = pb.buffer(&format!("i_neighbor.{sid}"), 1);
         pb.load(
             format!("load i_neighbor {sid}"),
@@ -462,6 +429,7 @@ impl StreamMdApp {
         );
         // Flag stream.
         let r_flags = mem.region(&format!("flags[{sid}]"), s.flags.clone());
+        pb.intent(r_flags, AccessIntent::ReadOnly);
         let b_flags = pb.buffer(&format!("flags.{sid}"), 1);
         pb.load(
             format!("load flags {sid}"),
@@ -475,6 +443,7 @@ impl StreamMdApp {
         // scalar core).
         let n_centers = s.center_records.len() / 18;
         let r_centers = mem.region(&format!("center_recs[{sid}]"), s.center_records.clone());
+        pb.intent(r_centers, AccessIntent::ReadOnly);
         let b_centers = pb.buffer(&format!("centers.{sid}"), 18);
         pb.load(
             format!("load centers {sid}"),
@@ -644,6 +613,34 @@ mod tests {
             assert_eq!(serial.perf.cycles, parallel.perf.cycles);
             assert_eq!(serial.report.counters, parallel.report.counters);
             assert_eq!(serial.perf.locality, parallel.perf.locality);
+        }
+    }
+
+    #[test]
+    fn stream_md_programs_partition_across_strips() {
+        // All four paper variants read-share positions/shifts and
+        // reduce into forces: the declared intents must admit them to
+        // the parallel engine, strips and memory timing included.
+        let (system, list, app) = small_system();
+        // Small enough that even the block variants (whose iteration
+        // count is pairs/L, not pairs) mine more than one strip.
+        let app = StreamMdApp::builder()
+            .neighbor(app.neighbor)
+            .strip_iterations(40)
+            .build()
+            .unwrap();
+        for variant in Variant::ALL {
+            let out = app.run_step_with_list(&system, &list, variant).unwrap();
+            assert!(
+                out.perf.phases.partition_parallelized,
+                "{variant}: fell back with {:?}",
+                out.perf.phases.partition_fallback
+            );
+            assert!(
+                out.perf.phases.partition_strips >= 2,
+                "{variant}: only {} strip(s)",
+                out.perf.phases.partition_strips
+            );
         }
     }
 

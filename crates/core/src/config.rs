@@ -257,7 +257,12 @@ mod tests {
     fn defaults_build() {
         let app = SimConfigBuilder::new().build().expect("defaults are valid");
         assert_eq!(app.block_l, 8);
-        assert_eq!(app.threads, 1);
+        // `host_threads` honours MERRIMAC_HOST_THREADS (the CI thread
+        // matrix), so compare against the machine default, not 1.
+        assert_eq!(
+            app.threads,
+            merrimac_arch::MachineConfig::default().host_threads.max(1)
+        );
         assert!(app.strip_iterations.is_none());
     }
 

@@ -38,5 +38,6 @@ pub use app::{PerfSummary, StepOutcome, StreamMdApp};
 pub use config::SimConfigBuilder;
 pub use driver::{DriverReport, MerrimacDriver};
 pub use merrimac_sim::machine::SimError;
+pub use merrimac_sim::{AccessIntent, FallbackKind, PartitionSummary};
 pub use metrics::{AnalyticModel, PhaseBreakdown};
 pub use variant::{DatasetStats, Variant};

@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use md_sim::force::FLOPS_PER_INTERACTION;
-use merrimac_sim::RunReport;
+use merrimac_sim::{FallbackKind, RunReport};
 
 use crate::variant::Variant;
 
@@ -33,6 +33,13 @@ pub struct PhaseBreakdown {
     /// Cycles the memory unit idled with work ready but no stream
     /// descriptor register free (the Figure 7 pathology).
     pub sdr_stall_cycles: u64,
+    /// Did the strip partitioner admit the step's program to the
+    /// parallel (per-strip sharded) execution engine?
+    pub partition_parallelized: bool,
+    /// Strip groups the partitioner formed.
+    pub partition_strips: u32,
+    /// Why the program fell back to the serial scoreboard, if it did.
+    pub partition_fallback: Option<FallbackKind>,
 }
 
 impl PhaseBreakdown {
@@ -44,6 +51,9 @@ impl PhaseBreakdown {
             scatter_add_cycles: report.phases.scatter_add,
             store_cycles: report.phases.store,
             sdr_stall_cycles: report.sdr_stall_cycles,
+            partition_parallelized: report.partition.parallelized,
+            partition_strips: report.partition.strips,
+            partition_fallback: report.partition.fallback,
         }
     }
 

@@ -34,9 +34,16 @@ pub mod sdr;
 pub mod srf;
 pub mod timeline;
 
+pub use cache::CacheAccessStats;
 pub use counters::{Counters, PhaseCycles};
 pub use kernelc::{CompiledKernel, KernelOpt};
 pub use machine::{RunReport, SimError, StreamProcessor};
-pub use program::{BufferId, ProgramBuilder, RegionId, StreamOp, StreamProgram};
+pub use memsys::{MemOpCost, MemSystem};
+pub use parallel::{
+    partition_program, FallbackKind, FallbackReason, PartitionReport, PartitionSummary,
+};
+pub use program::{
+    AccessIntent, AccessKind, BufferId, Memory, ProgramBuilder, RegionId, StreamOp, StreamProgram,
+};
 pub use sdr::SdrPolicy;
 pub use timeline::Timeline;

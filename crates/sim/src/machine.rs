@@ -12,8 +12,10 @@
 use merrimac_arch::{MachineConfig, OpCosts};
 use merrimac_kernel::interp::{InterpError, Interpreter, StreamData};
 
+use crate::cache::CacheAccessStats;
 use crate::counters::{Counters, PhaseCycles};
-use crate::memsys::MemSystem;
+use crate::memsys::{MemOpCost, MemSystem};
+use crate::parallel::PartitionSummary;
 use crate::program::{BufferId, Memory, StreamOp, StreamProgram};
 use crate::sdr::{SdrFile, SdrPolicy};
 use crate::srf::SrfAllocator;
@@ -95,6 +97,13 @@ pub struct RunReport {
     pub srf_peak_words_per_cluster: usize,
     /// Cycles the memory unit sat idle with work ready but no SDR free.
     pub sdr_stall_cycles: u64,
+    /// How the strip partitioner classified this program (parallelized
+    /// vs serial fallback, with a typed reason).
+    pub partition: PartitionSummary,
+    /// Aggregate stream-cache behaviour over the whole run. For
+    /// partitioned runs this is the deterministic strip-order merge of
+    /// the per-strip shard stats.
+    pub cache_stats: CacheAccessStats,
 }
 
 impl RunReport {
@@ -112,8 +121,11 @@ impl RunReport {
 pub(crate) struct OpRecord {
     /// SRF words a kernel op moved (records consumed + outputs written).
     pub kernel_srf_words: u64,
-    /// Records a store op wrote (its source buffer's length).
-    pub store_records: usize,
+    /// Memory-system cost of this op, computed in phase A against the
+    /// op's strip shard. `Some` for every memory op of a partitioned
+    /// program; the timing pass consumes it instead of re-running the
+    /// (stateful, serial) cache model.
+    pub mem_cost: Option<MemOpCost>,
 }
 
 /// How the scoreboard obtains functional results while scheduling.
@@ -185,6 +197,11 @@ pub struct StreamProcessor {
     /// lookahead can deadlock the SRF allocator, exactly the hazard
     /// static stream scheduling exists to prevent.
     pub strip_lookahead: usize,
+    /// Print the strip partitioner's report (read-shared/owned/reduce
+    /// regions, or the typed fallback reason) to stderr before each run.
+    /// Defaults from the `MERRIMAC_PARTITION_VERBOSE` environment
+    /// variable.
+    pub partition_verbose: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -201,6 +218,9 @@ impl StreamProcessor {
             costs: OpCosts::default(),
             policy: SdrPolicy::Eager,
             strip_lookahead: 1,
+            partition_verbose: std::env::var("MERRIMAC_PARTITION_VERBOSE")
+                .map(|v| !v.is_empty() && v != "0")
+                .unwrap_or(false),
         }
     }
 
@@ -216,8 +236,13 @@ impl StreamProcessor {
 
     /// Execute `program` against `memory`, mutating regions written by
     /// scatter-add/store ops.
+    ///
+    /// Routes through the same partition-aware engine as
+    /// [`StreamProcessor::run_parallel`] with one host thread, so a
+    /// program's cycles and counters depend only on whether it is
+    /// partitionable — never on which entry point ran it.
     pub fn run(&self, memory: &mut Memory, program: &StreamProgram) -> Result<RunReport, SimError> {
-        self.schedule(memory, program, ExecMode::Inline)
+        self.run_with_threads(memory, program, 1)
     }
 
     /// Preflight: reject programs the scoreboard can never complete.
@@ -232,6 +257,21 @@ impl StreamProcessor {
     /// [`SimError::Deadlock`] into a [`SimError::StripSrfOverflow`]
     /// naming the offending strip size.
     pub fn validate_program(&self, program: &StreamProgram) -> Result<(), SimError> {
+        // Declared access intents must cover every op touching the
+        // region: an op of a kind the intent forbids is a contract
+        // violation, not a partitioner fallback.
+        for lop in &program.ops {
+            if let Some((region, kind)) = lop.op.region_use() {
+                if let Some(intent) = program.declared_intent(region) {
+                    if !intent.permits(kind) {
+                        return Err(SimError::Program(format!(
+                            "op '{}' performs a {kind} on region {} declared {intent}",
+                            lop.label, region.0
+                        )));
+                    }
+                }
+            }
+        }
         // Per-buffer allocation shares, from each buffer's producer op
         // (allocation happens when the producer issues and uses the
         // worst-case capacity, spread across clusters).
@@ -475,7 +515,14 @@ impl StreamProcessor {
                         indices,
                         dst,
                     } => {
-                        let cost = memsys.gather_cost(memory, *region, *record_len, indices, false);
+                        let cost = match mode {
+                            ExecMode::Inline => {
+                                memsys.gather_cost(memory, *region, *record_len, indices, false)
+                            }
+                            ExecMode::Precomputed(recs) => {
+                                recs[i].mem_cost.expect("precomputed gather cost")
+                            }
+                        };
                         if matches!(mode, ExecMode::Inline) {
                             let mut data = Vec::with_capacity(indices.len() * record_len);
                             let src = memory.data(*region);
@@ -498,14 +545,19 @@ impl StreamProcessor {
                         records,
                         dst,
                     } => {
-                        let cost = memsys.sequential_cost(
-                            memory,
-                            *region,
-                            *record_len,
-                            *start,
-                            *records,
-                            false,
-                        );
+                        let cost = match mode {
+                            ExecMode::Inline => memsys.sequential_cost(
+                                memory,
+                                *region,
+                                *record_len,
+                                *start,
+                                *records,
+                                false,
+                            ),
+                            ExecMode::Precomputed(recs) => {
+                                recs[i].mem_cost.expect("precomputed load cost")
+                            }
+                        };
                         if matches!(mode, ExecMode::Inline) {
                             let s = start * record_len;
                             let data = memory.data(*region)[s..s + records * record_len].to_vec();
@@ -544,7 +596,14 @@ impl StreamProcessor {
                                 }
                             }
                         }
-                        let cost = memsys.scatter_add_cost(memory, *region, *record_len, indices);
+                        let cost = match mode {
+                            ExecMode::Inline => {
+                                memsys.scatter_add_cost(memory, *region, *record_len, indices)
+                            }
+                            ExecMode::Precomputed(recs) => {
+                                recs[i].mem_cost.expect("precomputed scatter-add cost")
+                            }
+                        };
                         counters.mem_refs += cost.words;
                         counters.dram_words += cost.dram_words;
                         counters.cache_hits += cost.cache.hits;
@@ -557,7 +616,7 @@ impl StreamProcessor {
                         record_len,
                         start,
                     } => {
-                        let records = match mode {
+                        let cost = match mode {
                             ExecMode::Inline => {
                                 let data = buffers[src.0]
                                     .as_ref()
@@ -567,18 +626,19 @@ impl StreamProcessor {
                                 let dst = memory.data_mut(*region);
                                 let s = start * record_len;
                                 dst[s..s + records * record_len].copy_from_slice(&data.data);
-                                records
+                                memsys.sequential_cost(
+                                    memory,
+                                    *region,
+                                    *record_len,
+                                    *start,
+                                    records,
+                                    true,
+                                )
                             }
-                            ExecMode::Precomputed(recs) => recs[i].store_records,
+                            ExecMode::Precomputed(recs) => {
+                                recs[i].mem_cost.expect("precomputed store cost")
+                            }
                         };
-                        let cost = memsys.sequential_cost(
-                            memory,
-                            *region,
-                            *record_len,
-                            *start,
-                            records,
-                            true,
-                        );
                         counters.mem_refs += cost.words;
                         counters.dram_words += cost.dram_words;
                         counters.cache_hits += cost.cache.hits;
@@ -722,12 +782,17 @@ impl StreamProcessor {
             sdr_peak: sdr.peak(),
             srf_peak_words_per_cluster: srf.peak_words_per_cluster(),
             sdr_stall_cycles,
+            // The caller (`run_with_threads`) overwrites these with the
+            // partitioner's verdict and, for partitioned runs, the
+            // merged per-strip shard stats.
+            partition: PartitionSummary::default(),
+            cache_stats: memsys.stats(),
         })
     }
 }
 
 /// Buffers an op produces.
-fn produced_buffers(op: &StreamOp) -> Vec<BufferId> {
+pub(crate) fn produced_buffers(op: &StreamOp) -> Vec<BufferId> {
     match op {
         StreamOp::Gather { dst, .. } | StreamOp::Load { dst, .. } => vec![*dst],
         StreamOp::Kernel { outputs, .. } => outputs.clone(),
@@ -756,7 +821,7 @@ fn region_access(op: &StreamOp) -> (Vec<usize>, Vec<usize>) {
 }
 
 /// Worst-case SRF words a produced buffer can hold.
-fn buffer_capacity_words(program: &StreamProgram, op: &StreamOp, b: BufferId) -> usize {
+pub(crate) fn buffer_capacity_words(program: &StreamProgram, op: &StreamOp, b: BufferId) -> usize {
     match op {
         StreamOp::Gather {
             indices,

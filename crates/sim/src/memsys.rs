@@ -45,6 +45,8 @@ pub struct MemOpCost {
 pub struct MemSystem {
     cfg: MachineConfig,
     cache: StreamCache,
+    /// Cumulative cache behaviour over every op costed so far.
+    stats: CacheAccessStats,
 }
 
 impl MemSystem {
@@ -52,7 +54,27 @@ impl MemSystem {
         Self {
             cfg: cfg.clone(),
             cache: StreamCache::new(cfg),
+            stats: CacheAccessStats::default(),
         }
+    }
+
+    /// A per-strip shard of the memory system for the parallel timing
+    /// pass: a cold cache whose state is private to one strip.
+    ///
+    /// Sharding contract: each strip's memory ops are costed against its
+    /// own shard in op-index order, so a strip's costs depend only on
+    /// that strip's address trace — never on which thread ran it or when.
+    /// The shards' [`CacheAccessStats`] are merged in ascending strip
+    /// order with [`CacheAccessStats::merge`] (plain `u64` sums plus a
+    /// max, both order-insensitive), making the aggregate bitwise-
+    /// identical at every host thread count.
+    pub fn strip_shard(cfg: &MachineConfig) -> Self {
+        Self::new(cfg)
+    }
+
+    /// Cumulative cache behaviour over every op costed so far.
+    pub fn stats(&self) -> CacheAccessStats {
+        self.stats
     }
 
     /// Reset cache contents.
@@ -103,6 +125,7 @@ impl MemSystem {
             });
             let trace = addrs.map(|w| mem.word_address(region, w));
             let cache = self.cache.access_trace(trace, write);
+            self.stats.merge(&cache);
             let dram_words = (cache.misses + cache.writebacks) * self.line_words();
             let cycles = self.throughput_cycles(words, words, dram_words, true);
             return MemOpCost {
@@ -118,6 +141,7 @@ impl MemSystem {
             misses: words / self.line_words().max(1),
             ..Default::default()
         };
+        self.stats.merge(&cache);
         let cycles = self.throughput_cycles(words, words, words, true);
         MemOpCost {
             cycles,
@@ -143,6 +167,7 @@ impl MemSystem {
         let base = (start * record_len) as u64;
         let trace = (base..base + words).map(|w| mem.word_address(region, w));
         let cache = self.cache.access_trace(trace, write);
+        self.stats.merge(&cache);
         let dram_words = (cache.misses + cache.writebacks) * self.line_words();
         // Strided transfers need one address per record, not per word.
         let addresses = records as u64;
@@ -176,6 +201,7 @@ impl MemSystem {
             .map(|w| mem.word_address(region, w))
             .collect();
         let cache = self.cache.access_trace(addrs.iter().copied(), true);
+        self.stats.merge(&cache);
         let dram_words = (cache.misses + cache.writebacks) * self.line_words();
 
         // Per-bank scatter-add pressure with a combining window: an add
@@ -311,6 +337,20 @@ mod tests {
         let (mut ms, mem, r) = setup(64);
         let cost = ms.scatter_add_cost(&mem, r, 1, &[0]);
         assert!(cost.cycles >= MachineConfig::default().scatter_add_latency);
+    }
+
+    #[test]
+    fn cumulative_stats_sum_per_op_cache_behaviour() {
+        let (mut ms, mem, r) = setup(65_536);
+        let a = ms.sequential_cost(&mem, r, 8, 0, 512, false);
+        let b = ms.sequential_cost(&mem, r, 8, 512, 512, true);
+        let mut expect = CacheAccessStats::default();
+        expect.merge(&a.cache);
+        expect.merge(&b.cache);
+        assert_eq!(ms.stats(), expect);
+        // A fresh strip shard starts with zeroed stats and a cold cache.
+        let shard = MemSystem::strip_shard(&MachineConfig::default());
+        assert_eq!(shard.stats(), CacheAccessStats::default());
     }
 
     #[test]

@@ -1,6 +1,6 @@
-//! Parallel cluster-execution engine: fan per-strip functional work
-//! across host threads, then replay the (inherently sequential) timing
-//! scoreboard against precomputed results.
+//! Parallel execution engine: fan per-strip functional work *and*
+//! per-strip memory timing across host threads, then replay the
+//! (inherently sequential) scoreboard against precomputed results.
 //!
 //! The split is sound because every cost function in [`crate::memsys`]
 //! and [`crate::cluster`] depends only on *addresses, indices and
@@ -8,10 +8,32 @@
 //! pass produces bitwise-identical cycles and counters whether or not
 //! it executed the data movement itself.
 //!
-//! Determinism contract: for an eligible program, `run_parallel`
-//! produces bitwise-identical region contents, forces, cycles and
-//! counters at **every** thread count (including 1). Three properties
-//! guarantee it:
+//! ## The access-intent partition contract
+//!
+//! [`partition_program`] admits a program to the parallel path when
+//! every strip's work is independent under the declared (or safely
+//! inferable) per-region access intents:
+//!
+//! * regions that are only **read** (gather/load) may be shared by any
+//!   number of strips — read sharing is always safe;
+//! * regions that are only **scatter-added** ([`AccessIntent::ReduceAdd`])
+//!   accumulate into per-strip overlays merged by the deterministic
+//!   tree reduction;
+//! * regions that are **stored** (and, if declared
+//!   [`AccessIntent::WriteOwned`], also read) parallelize when each
+//!   strip owns a provably disjoint slice and every read precedes every
+//!   write in program order — the phase-A pass reads pre-state, so a
+//!   read that follows a write would observe stale data.
+//!
+//! Anything else produces a typed [`FallbackReason`] and the program
+//! runs on the serial scoreboard with the shared-cache memory model
+//! (still exact, just not parallel).
+//!
+//! ## Determinism contract
+//!
+//! For a partitioned program, execution produces bitwise-identical
+//! region contents, forces, cycles and counters at **every** thread
+//! count (including 1). Four properties guarantee it:
 //!
 //! 1. the per-strip map is order-preserving and each strip's execution
 //!    is pure given the (read-only) input regions;
@@ -19,25 +41,415 @@
 //!    buffers and merged by a *fixed-shape* pairwise tree over strip
 //!    index — the tree's shape depends only on the strip count, never
 //!    on the worker count or completion order;
-//! 3. the timing pass is serial and byte-for-byte the same scoreboard
-//!    as [`StreamProcessor::run`].
-//!
-//! Programs whose buffers cross strips, or that read a region they
-//! also write, cannot be split this way; those fall back to the serial
-//! scoreboard (the engine is then still exact, just not parallel).
+//! 3. each strip's memory ops are costed in op-index order against a
+//!    private cold [`MemSystem`] shard ([`MemSystem::strip_shard`]), so
+//!    a strip's costs are a pure function of its own address trace;
+//!    per-strip [`CacheAccessStats`] merge in ascending strip order;
+//! 4. the timing pass is serial and byte-for-byte the same scoreboard
+//!    as the fallback path, consuming the precomputed per-op costs.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
+use merrimac_arch::MachineConfig;
 use merrimac_kernel::interp::StreamData;
 use rayon::prelude::*;
 
+use crate::cache::CacheAccessStats;
 use crate::counters::Counters;
-use crate::machine::{kernel_functional, ExecMode, OpRecord, RunReport, SimError, StreamProcessor};
-use crate::program::{Memory, StreamOp, StreamProgram};
+use crate::machine::{
+    buffer_capacity_words, kernel_functional, produced_buffers, ExecMode, OpRecord, RunReport,
+    SimError, StreamProcessor,
+};
+use crate::memsys::MemSystem;
+use crate::program::{
+    AccessIntent, AccessKind, BufferId, Memory, RegionId, StreamOp, StreamProgram,
+};
+
+/// Why a program could not be partitioned across strips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// An SRF buffer is produced in one strip and consumed in another,
+    /// so the strips are not independent units of work.
+    BufferCrossesStrips {
+        buffer: BufferId,
+        strips: (usize, usize),
+    },
+    /// A region is accessed with incompatible kinds (e.g. read in one
+    /// strip, stored in another without a `WriteOwned` declaration).
+    RegionConflict {
+        region: RegionId,
+        strips: (usize, usize),
+        kinds: (AccessKind, AccessKind),
+    },
+    /// Two strips store overlapping word ranges of the same region, so
+    /// the merge order would be observable.
+    WriteWriteOverlap {
+        region: RegionId,
+        strips: (usize, usize),
+    },
+    /// A `WriteOwned` region is read *after* it is written in program
+    /// order; the phase-A pass reads pre-state and would observe stale
+    /// data.
+    ReadAfterWrite {
+        region: RegionId,
+        strips: (usize, usize),
+    },
+}
+
+impl FallbackReason {
+    /// The reason's kind, for compact summaries.
+    pub fn kind(&self) -> FallbackKind {
+        match self {
+            FallbackReason::BufferCrossesStrips { .. } => FallbackKind::BufferCrossesStrips,
+            FallbackReason::RegionConflict { .. } => FallbackKind::RegionConflict,
+            FallbackReason::WriteWriteOverlap { .. } => FallbackKind::WriteWriteOverlap,
+            FallbackReason::ReadAfterWrite { .. } => FallbackKind::ReadAfterWrite,
+        }
+    }
+
+    /// Human-readable description naming the buffer/region involved.
+    pub fn describe(&self, program: &StreamProgram, memory: &Memory) -> String {
+        let region_name = |r: &RegionId| {
+            if r.0 < memory.num_regions() {
+                format!("'{}'", memory.name(*r))
+            } else {
+                format!("#{}", r.0)
+            }
+        };
+        match self {
+            FallbackReason::BufferCrossesStrips { buffer, strips } => {
+                let name = program
+                    .buffers
+                    .get(buffer.0)
+                    .map(|b| b.name.clone())
+                    .unwrap_or_else(|| format!("#{}", buffer.0));
+                format!(
+                    "buffer '{name}' is used by strips {} and {}",
+                    strips.0, strips.1
+                )
+            }
+            FallbackReason::RegionConflict {
+                region,
+                strips,
+                kinds,
+            } => format!(
+                "region {} is {} by strip {} and {} by strip {} (no compatible intent)",
+                region_name(region),
+                kinds.0,
+                strips.0,
+                kinds.1,
+                strips.1
+            ),
+            FallbackReason::WriteWriteOverlap { region, strips } => format!(
+                "strips {} and {} store overlapping ranges of region {}",
+                strips.0,
+                strips.1,
+                region_name(region)
+            ),
+            FallbackReason::ReadAfterWrite { region, strips } => format!(
+                "write-owned region {} is written by strip {} before strip {} reads it",
+                region_name(region),
+                strips.1,
+                strips.0
+            ),
+        }
+    }
+}
+
+/// Compact classification of [`FallbackReason`], suitable for reports
+/// and the benchmark JSON schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FallbackKind {
+    BufferCrossesStrips,
+    RegionConflict,
+    WriteWriteOverlap,
+    ReadAfterWrite,
+}
+
+impl FallbackKind {
+    /// Stable string code used in `BENCH_*.json` (schema 3).
+    pub fn code(&self) -> &'static str {
+        match self {
+            FallbackKind::BufferCrossesStrips => "buffer_crosses_strips",
+            FallbackKind::RegionConflict => "region_conflict",
+            FallbackKind::WriteWriteOverlap => "write_write_overlap",
+            FallbackKind::ReadAfterWrite => "read_after_write",
+        }
+    }
+
+    /// Inverse of [`FallbackKind::code`].
+    pub fn from_code(code: &str) -> Option<Self> {
+        match code {
+            "buffer_crosses_strips" => Some(FallbackKind::BufferCrossesStrips),
+            "region_conflict" => Some(FallbackKind::RegionConflict),
+            "write_write_overlap" => Some(FallbackKind::WriteWriteOverlap),
+            "read_after_write" => Some(FallbackKind::ReadAfterWrite),
+            _ => None,
+        }
+    }
+}
+
+/// Copyable digest of a [`PartitionReport`], carried on every
+/// [`RunReport`] and surfaced through `PhaseBreakdown` into the bench
+/// schema.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartitionSummary {
+    /// Did the program run on the parallel per-strip engine?
+    pub parallelized: bool,
+    /// Number of strip groups the partitioner formed.
+    pub strips: u32,
+    /// Why the program fell back to serial, if it did.
+    pub fallback: Option<FallbackKind>,
+}
+
+/// The strip partitioner's full verdict on a program.
+#[derive(Debug, Clone)]
+pub struct PartitionReport {
+    /// Op indices grouped by strip, in ascending strip order.
+    pub strips: Vec<Vec<usize>>,
+    /// Regions read by two or more strips (the read-shared positions
+    /// table of StreamMD is the motivating case).
+    pub read_shared_regions: Vec<RegionId>,
+    /// Scatter-add reduction targets merged across strips.
+    pub reduce_regions: Vec<RegionId>,
+    /// Regions stored (and possibly read, under `WriteOwned`) in
+    /// provably disjoint per-strip slices.
+    pub owned_write_regions: Vec<RegionId>,
+    /// `None` iff the program parallelizes.
+    pub fallback: Option<FallbackReason>,
+}
+
+impl PartitionReport {
+    /// Did the partitioner admit the program to the parallel path?
+    pub fn is_parallel(&self) -> bool {
+        self.fallback.is_none()
+    }
+
+    /// Copyable digest for reports.
+    pub fn summary(&self) -> PartitionSummary {
+        PartitionSummary {
+            parallelized: self.fallback.is_none(),
+            strips: self.strips.len() as u32,
+            fallback: self.fallback.as_ref().map(FallbackReason::kind),
+        }
+    }
+
+    /// Human-readable description, printed under
+    /// `MERRIMAC_PARTITION_VERBOSE`.
+    pub fn describe(&self, program: &StreamProgram, memory: &Memory) -> String {
+        match &self.fallback {
+            Some(reason) => format!(
+                "partition: serial fallback ({}) — {}",
+                reason.kind().code(),
+                reason.describe(program, memory)
+            ),
+            None => {
+                let names = |rs: &[RegionId]| {
+                    rs.iter()
+                        .map(|r| memory.name(*r).to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                };
+                format!(
+                    "partition: parallel across {} strips; read-shared: [{}]; reduce: [{}]; owned-write: [{}]",
+                    self.strips.len(),
+                    names(&self.read_shared_regions),
+                    names(&self.reduce_regions),
+                    names(&self.owned_write_regions)
+                )
+            }
+        }
+    }
+}
+
+/// One region access seen by the partitioner.
+struct RegionAccess {
+    op: usize,
+    strip: usize,
+    kind: AccessKind,
+    /// Word range a store writes (upper bound via the source buffer's
+    /// capacity), for the cross-strip disjointness check.
+    store_range: Option<(usize, usize)>,
+}
+
+/// Classify `program` for parallel strip execution under the declared
+/// access intents. See the module docs for the full contract.
+pub fn partition_program(program: &StreamProgram) -> PartitionReport {
+    let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, lop) in program.ops.iter().enumerate() {
+        groups.entry(lop.strip).or_default().push(i);
+    }
+    let strips: Vec<Vec<usize>> = groups.into_values().collect();
+    let fail = |fallback: FallbackReason| PartitionReport {
+        strips: Vec::new(),
+        read_shared_regions: Vec::new(),
+        reduce_regions: Vec::new(),
+        owned_write_regions: Vec::new(),
+        fallback: Some(fallback),
+    };
+
+    // Every SRF buffer must live within one strip.
+    let mut buffer_strip: HashMap<usize, usize> = HashMap::new();
+    for lop in &program.ops {
+        let bufs: Vec<usize> = match &lop.op {
+            StreamOp::Gather { dst, .. } | StreamOp::Load { dst, .. } => vec![dst.0],
+            StreamOp::Kernel {
+                inputs, outputs, ..
+            } => inputs.iter().chain(outputs).map(|b| b.0).collect(),
+            StreamOp::ScatterAdd { src, .. } | StreamOp::Store { src, .. } => vec![src.0],
+        };
+        for b in bufs {
+            let home = *buffer_strip.entry(b).or_insert(lop.strip);
+            if home != lop.strip {
+                return fail(FallbackReason::BufferCrossesStrips {
+                    buffer: BufferId(b),
+                    strips: (home, lop.strip),
+                });
+            }
+        }
+    }
+
+    // Producer op of each buffer, for bounding store ranges.
+    let mut producer: HashMap<usize, usize> = HashMap::new();
+    for (i, lop) in program.ops.iter().enumerate() {
+        for b in produced_buffers(&lop.op) {
+            producer.entry(b.0).or_insert(i);
+        }
+    }
+
+    // Per-region access lists, in op-index order.
+    let mut accesses: BTreeMap<usize, Vec<RegionAccess>> = BTreeMap::new();
+    for (i, lop) in program.ops.iter().enumerate() {
+        let Some((region, kind)) = lop.op.region_use() else {
+            continue;
+        };
+        let store_range = match &lop.op {
+            StreamOp::Store {
+                src,
+                record_len,
+                start,
+                ..
+            } => {
+                let cap = producer
+                    .get(&src.0)
+                    .map(|&p| buffer_capacity_words(program, &program.ops[p].op, *src))
+                    .unwrap_or(0);
+                let s = start * record_len;
+                Some((s, s + cap))
+            }
+            _ => None,
+        };
+        accesses.entry(region.0).or_default().push(RegionAccess {
+            op: i,
+            strip: lop.strip,
+            kind,
+            store_range,
+        });
+    }
+
+    let mut read_shared_regions = Vec::new();
+    let mut reduce_regions = Vec::new();
+    let mut owned_write_regions = Vec::new();
+    for (region, accs) in &accesses {
+        let region = RegionId(*region);
+        let first = |k: AccessKind| accs.iter().find(|a| a.kind == k);
+        let reads: Vec<&RegionAccess> =
+            accs.iter().filter(|a| a.kind == AccessKind::Read).collect();
+        let has_reduce = accs.iter().any(|a| a.kind == AccessKind::Reduce);
+        let writes: Vec<&RegionAccess> = accs
+            .iter()
+            .filter(|a| a.kind == AccessKind::Write)
+            .collect();
+
+        // Reductions compose with nothing else: a read would observe
+        // pre-reduction state, a store would race the merge.
+        if has_reduce {
+            let reduce = first(AccessKind::Reduce).expect("reduce access present");
+            if let Some(r) = reads.first() {
+                return fail(FallbackReason::RegionConflict {
+                    region,
+                    strips: (r.strip, reduce.strip),
+                    kinds: (AccessKind::Read, AccessKind::Reduce),
+                });
+            }
+            if let Some(w) = writes.first() {
+                return fail(FallbackReason::RegionConflict {
+                    region,
+                    strips: (reduce.strip, w.strip),
+                    kinds: (AccessKind::Reduce, AccessKind::Write),
+                });
+            }
+        }
+
+        // Reads and writes mix only under a declared `WriteOwned`
+        // intent, and only when every read precedes every write in
+        // program order (phase A reads pre-state).
+        if !reads.is_empty() && !writes.is_empty() {
+            if program.declared_intent(region) != Some(AccessIntent::WriteOwned) {
+                return fail(FallbackReason::RegionConflict {
+                    region,
+                    strips: (reads[0].strip, writes[0].strip),
+                    kinds: (AccessKind::Read, AccessKind::Write),
+                });
+            }
+            let min_write = writes.iter().map(|w| w.op).min().expect("write present");
+            if let Some(late_read) = reads.iter().find(|r| r.op > min_write) {
+                let w = writes
+                    .iter()
+                    .find(|w| w.op == min_write)
+                    .expect("min write");
+                return fail(FallbackReason::ReadAfterWrite {
+                    region,
+                    strips: (late_read.strip, w.strip),
+                });
+            }
+        }
+
+        // Stores from different strips must target provably disjoint
+        // word ranges (same-strip stores are ordered by the scoreboard's
+        // WAW hazard and replayed in op order).
+        for (ai, a) in writes.iter().enumerate() {
+            for b in writes.iter().skip(ai + 1) {
+                if a.strip == b.strip {
+                    continue;
+                }
+                let (a0, a1) = a.store_range.expect("store range");
+                let (b0, b1) = b.store_range.expect("store range");
+                if a0 < b1 && b0 < a1 {
+                    return fail(FallbackReason::WriteWriteOverlap {
+                        region,
+                        strips: (a.strip, b.strip),
+                    });
+                }
+            }
+        }
+
+        if !writes.is_empty() {
+            owned_write_regions.push(region);
+        } else if has_reduce {
+            reduce_regions.push(region);
+        } else {
+            let strips_reading: BTreeSet<usize> = reads.iter().map(|r| r.strip).collect();
+            if strips_reading.len() >= 2 {
+                read_shared_regions.push(region);
+            }
+        }
+    }
+
+    PartitionReport {
+        strips,
+        read_shared_regions,
+        reduce_regions,
+        owned_write_regions,
+        fallback: None,
+    }
+}
 
 /// Everything one strip's functional execution produced.
 struct StripOutcome {
-    /// `(op index, record)` for ops the timing pass needs facts about.
+    /// `(op index, record)` for ops the timing pass needs facts about:
+    /// kernels, and every memory op (which carries its precomputed
+    /// [`crate::memsys::MemOpCost`]).
     records: Vec<(usize, OpRecord)>,
     /// Per-region scatter-add overlays: contributions accumulated into
     /// a zero-initialized image of the region, in op order.
@@ -48,14 +460,29 @@ struct StripOutcome {
     /// strip contributed — all `u64` sums, so aggregation across
     /// threads is lossless and order-independent.
     kernel_counters: Counters,
+    /// Cumulative cache behaviour of this strip's memory shard.
+    cache_stats: CacheAccessStats,
 }
 
 impl StreamProcessor {
-    /// Execute `program` with the functional phase fanned across
-    /// `threads` worker threads. See the module docs for the
-    /// determinism contract; ineligible programs fall back to the
-    /// serial scoreboard.
+    /// Execute `program` with the functional *and* memory-timing phases
+    /// fanned across `threads` worker threads. See the module docs for
+    /// the determinism contract; ineligible programs fall back to the
+    /// serial scoreboard with a typed [`FallbackReason`].
     pub fn run_parallel(
+        &self,
+        memory: &mut Memory,
+        program: &StreamProgram,
+        threads: usize,
+    ) -> Result<RunReport, SimError> {
+        self.run_with_threads(memory, program, threads)
+    }
+
+    /// The single engine behind [`StreamProcessor::run`] and
+    /// [`StreamProcessor::run_parallel`]: partition, fan out, merge,
+    /// replay. Cycle numbers depend only on whether the program
+    /// partitions — never on the entry point or thread count.
+    pub(crate) fn run_with_threads(
         &self,
         memory: &mut Memory,
         program: &StreamProgram,
@@ -64,20 +491,29 @@ impl StreamProcessor {
         // Reject un-runnable programs before burning functional work on
         // them (the serial path validates inside `schedule`).
         self.validate_program(program)?;
-        let Some(strips) = strip_partition(program) else {
-            return self.run(memory, program);
-        };
+        let partition = partition_program(program);
+        if self.partition_verbose {
+            eprintln!("{}", partition.describe(program, memory));
+        }
+        let summary = partition.summary();
+        if !partition.is_parallel() {
+            let mut report = self.schedule(memory, program, ExecMode::Inline)?;
+            report.partition = summary;
+            return Ok(report);
+        }
+        let strips = partition.strips;
 
-        // ---- phase A: per-strip functional execution ------------------
+        // ---- phase A: per-strip functional execution + memory costs ----
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads.max(1))
             .build()
             .map_err(|e| SimError::Program(format!("thread pool: {e}")))?;
         let shared: &Memory = memory;
+        let cfg = &self.cfg;
         let outcomes: Result<Vec<StripOutcome>, SimError> = pool.install(|| {
             strips
                 .into_par_iter()
-                .map(|ops| exec_strip(shared, program, &ops))
+                .map(|ops| exec_strip(cfg, shared, program, &ops))
                 .collect()
         });
         let outcomes = outcomes?;
@@ -85,12 +521,15 @@ impl StreamProcessor {
         // ---- deterministic merge --------------------------------------
         let mut records: Vec<OpRecord> = vec![OpRecord::default(); program.ops.len()];
         let mut kernel_counters = Counters::default();
+        let mut cache_stats = CacheAccessStats::default();
         for o in &outcomes {
             for (i, r) in &o.records {
                 records[*i] = *r;
             }
-            // Lossless (u64) aggregation of per-strip kernel counters.
+            // Lossless (u64) aggregation of per-strip kernel counters
+            // and shard cache stats, in ascending strip order.
             kernel_counters.add(&o.kernel_counters);
+            cache_stats.merge(&o.cache_stats);
         }
         // Scatter overlays, grouped by region in strip order, reduced by
         // a fixed-shape pairwise tree, then added into the base region.
@@ -104,21 +543,17 @@ impl StreamProcessor {
         }
         for (region, overlays) in by_region {
             let total = pool.install(|| tree_sum(overlays));
-            for (d, v) in memory
-                .data_mut(crate::program::RegionId(region))
-                .iter_mut()
-                .zip(&total)
-            {
+            for (d, v) in memory.data_mut(RegionId(region)).iter_mut().zip(&total) {
                 *d += *v;
             }
         }
         for (region, start, data) in stores {
-            let dst = memory.data_mut(crate::program::RegionId(region));
+            let dst = memory.data_mut(RegionId(region));
             dst[start..start + data.len()].copy_from_slice(&data);
         }
 
         // ---- phase B: serial timing against precomputed results -------
-        let report = self.schedule(memory, program, ExecMode::Precomputed(&records))?;
+        let mut report = self.schedule(memory, program, ExecMode::Precomputed(&records))?;
         debug_assert_eq!(
             (
                 kernel_counters.srf_refs,
@@ -136,69 +571,30 @@ impl StreamProcessor {
             ),
             "phase-A kernel counter aggregation must match the scoreboard"
         );
+        report.partition = summary;
+        report.cache_stats = cache_stats;
         Ok(report)
     }
 }
 
-/// Group op indices by strip, in ascending strip order, iff the program
-/// is strip-isolated: every buffer lives within one strip and no region
-/// is both read and written (or scatter-added and stored).
-fn strip_partition(program: &StreamProgram) -> Option<Vec<Vec<usize>>> {
-    let mut buffer_strip: HashMap<usize, usize> = HashMap::new();
-    let mut reads: HashSet<usize> = HashSet::new();
-    let mut scatters: HashSet<usize> = HashSet::new();
-    let mut stores: HashSet<usize> = HashSet::new();
-    let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-    for (i, lop) in program.ops.iter().enumerate() {
-        groups.entry(lop.strip).or_default().push(i);
-        let bufs: Vec<usize> = match &lop.op {
-            StreamOp::Gather { dst, .. } | StreamOp::Load { dst, .. } => vec![dst.0],
-            StreamOp::Kernel {
-                inputs, outputs, ..
-            } => inputs.iter().chain(outputs).map(|b| b.0).collect(),
-            StreamOp::ScatterAdd { src, .. } | StreamOp::Store { src, .. } => vec![src.0],
-        };
-        for b in bufs {
-            if *buffer_strip.entry(b).or_insert(lop.strip) != lop.strip {
-                return None; // buffer crosses strips
-            }
-        }
-        match &lop.op {
-            StreamOp::Gather { region, .. } | StreamOp::Load { region, .. } => {
-                reads.insert(region.0);
-            }
-            StreamOp::ScatterAdd { region, .. } => {
-                scatters.insert(region.0);
-            }
-            StreamOp::Store { region, .. } => {
-                stores.insert(region.0);
-            }
-            StreamOp::Kernel { .. } => {}
-        }
-    }
-    let writes_overlap_reads = reads
-        .iter()
-        .any(|r| scatters.contains(r) || stores.contains(r));
-    let scatter_store_mix = scatters.iter().any(|r| stores.contains(r));
-    if writes_overlap_reads || scatter_store_mix {
-        return None;
-    }
-    Some(groups.into_values().collect())
-}
-
 /// Functionally execute one strip's ops against the (read-only) input
-/// regions, accumulating writes into private overlays.
+/// regions, accumulating writes into private overlays and costing every
+/// memory op in op-index order against a private cold [`MemSystem`]
+/// shard.
 fn exec_strip(
+    cfg: &MachineConfig,
     memory: &Memory,
     program: &StreamProgram,
     ops: &[usize],
 ) -> Result<StripOutcome, SimError> {
     let mut buffers: HashMap<usize, StreamData> = HashMap::new();
+    let mut memsys = MemSystem::strip_shard(cfg);
     let mut out = StripOutcome {
         records: Vec::new(),
         scatter: Vec::new(),
         stores: Vec::new(),
         kernel_counters: Counters::default(),
+        cache_stats: CacheAccessStats::default(),
     };
     for &i in ops {
         let lop = &program.ops[i];
@@ -209,6 +605,7 @@ fn exec_strip(
                 indices,
                 dst,
             } => {
+                let cost = memsys.gather_cost(memory, *region, *record_len, indices, false);
                 let src = memory.data(*region);
                 let mut data = Vec::with_capacity(indices.len() * record_len);
                 for &idx in indices.iter() {
@@ -216,6 +613,13 @@ fn exec_strip(
                     data.extend_from_slice(&src[s..s + record_len]);
                 }
                 buffers.insert(dst.0, StreamData::new(*record_len, data));
+                out.records.push((
+                    i,
+                    OpRecord {
+                        mem_cost: Some(cost),
+                        ..OpRecord::default()
+                    },
+                ));
             }
             StreamOp::Load {
                 region,
@@ -224,9 +628,18 @@ fn exec_strip(
                 records,
                 dst,
             } => {
+                let cost =
+                    memsys.sequential_cost(memory, *region, *record_len, *start, *records, false);
                 let s = start * record_len;
                 let data = memory.data(*region)[s..s + records * record_len].to_vec();
                 buffers.insert(dst.0, StreamData::new(*record_len, data));
+                out.records.push((
+                    i,
+                    OpRecord {
+                        mem_cost: Some(cost),
+                        ..OpRecord::default()
+                    },
+                ));
             }
             StreamOp::Kernel {
                 kernel,
@@ -265,7 +678,7 @@ fn exec_strip(
                     i,
                     OpRecord {
                         kernel_srf_words: srf_words,
-                        store_records: 0,
+                        ..OpRecord::default()
                     },
                 ));
             }
@@ -304,6 +717,14 @@ fn exec_strip(
                         overlay[base + f] += data.record(r)[f];
                     }
                 }
+                let cost = memsys.scatter_add_cost(memory, *region, *record_len, indices);
+                out.records.push((
+                    i,
+                    OpRecord {
+                        mem_cost: Some(cost),
+                        ..OpRecord::default()
+                    },
+                ));
             }
             StreamOp::Store {
                 src,
@@ -317,11 +738,14 @@ fn exec_strip(
                         lop.label
                     ))
                 })?;
+                let records = data.num_records();
+                let cost =
+                    memsys.sequential_cost(memory, *region, *record_len, *start, records, true);
                 out.records.push((
                     i,
                     OpRecord {
-                        kernel_srf_words: 0,
-                        store_records: data.num_records(),
+                        mem_cost: Some(cost),
+                        ..OpRecord::default()
                     },
                 ));
                 out.stores
@@ -329,6 +753,7 @@ fn exec_strip(
             }
         }
     }
+    out.cache_stats = memsys.stats();
     Ok(out)
 }
 
@@ -386,7 +811,8 @@ mod tests {
     }
 
     /// Multi-strip gather→kernel→scatter-add program where several
-    /// strips hit the same accumulator records.
+    /// strips read-share `xs` and accumulate into the same records of
+    /// `acc`.
     fn scatter_setup(strips: usize, n: usize) -> (Memory, StreamProgram) {
         let cfg = MachineConfig::default();
         let k = square_kernel(&cfg);
@@ -394,6 +820,8 @@ mod tests {
         let xs = mem.region("xs", (0..strips * n).map(|i| (i as f64).sin()).collect());
         let acc = mem.region("acc", vec![0.0; n]);
         let mut pb = ProgramBuilder::new();
+        pb.intent(xs, AccessIntent::ReadOnly)
+            .intent(acc, AccessIntent::ReduceAdd);
         for strip in 0..strips {
             pb.strip(strip);
             let bx = pb.buffer(&format!("x{strip}"), 1);
@@ -420,8 +848,10 @@ mod tests {
     fn parallel_matches_expected_sums() {
         let (mut mem, program) = scatter_setup(4, 257);
         let proc = StreamProcessor::new(MachineConfig::default());
-        proc.run_parallel(&mut mem, &program, 4).expect("runs");
-        let acc = mem.data(crate::program::RegionId(1));
+        let r = proc.run_parallel(&mut mem, &program, 4).expect("runs");
+        assert!(r.partition.parallelized);
+        assert_eq!(r.partition.strips, 4);
+        let acc = mem.data(RegionId(1));
         for (i, v) in acc.iter().enumerate() {
             let expect: f64 = (0..4)
                 .map(|s| {
@@ -434,6 +864,21 @@ mod tests {
     }
 
     #[test]
+    fn partitioner_classifies_shared_and_reduce_regions() {
+        let (mem, program) = scatter_setup(3, 64);
+        let part = partition_program(&program);
+        assert!(part.is_parallel());
+        assert_eq!(part.strips.len(), 3);
+        assert_eq!(part.read_shared_regions, vec![RegionId(0)]);
+        assert_eq!(part.reduce_regions, vec![RegionId(1)]);
+        assert!(part.owned_write_regions.is_empty());
+        let text = part.describe(&program, &mem);
+        assert!(text.contains("parallel across 3 strips"), "{text}");
+        assert!(text.contains("xs"), "{text}");
+        assert!(text.contains("acc"), "{text}");
+    }
+
+    #[test]
     fn thread_count_does_not_change_results_or_timing() {
         let run = |threads: usize| {
             let (mut mem, program) = scatter_setup(5, 129);
@@ -441,9 +886,10 @@ mod tests {
             let r = proc
                 .run_parallel(&mut mem, &program, threads)
                 .expect("runs");
-            (mem.data(crate::program::RegionId(1)).to_vec(), r)
+            (mem.data(RegionId(1)).to_vec(), r)
         };
         let (base_data, base) = run(1);
+        assert!(base.partition.parallelized);
         for threads in [2, 3, 4, 8] {
             let (data, r) = run(threads);
             assert_eq!(base_data, data, "region data diverged at {threads} threads");
@@ -451,6 +897,8 @@ mod tests {
             assert_eq!(base.counters, r.counters);
             assert_eq!(base.sdr_peak, r.sdr_peak);
             assert_eq!(base.sdr_stall_cycles, r.sdr_stall_cycles);
+            assert_eq!(base.cache_stats, r.cache_stats);
+            assert_eq!(base.partition, r.partition);
         }
     }
 
@@ -468,12 +916,9 @@ mod tests {
             serial.srf_peak_words_per_cluster,
             parallel.srf_peak_words_per_cluster
         );
+        assert_eq!(serial.cache_stats, parallel.cache_stats);
         // Scatter sums agree to reduction-order rounding.
-        for (a, b) in m1
-            .data(crate::program::RegionId(1))
-            .iter()
-            .zip(m2.data(crate::program::RegionId(1)))
-        {
+        for (a, b) in m1.data(RegionId(1)).iter().zip(m2.data(RegionId(1))) {
             assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0));
         }
     }
@@ -481,6 +926,8 @@ mod tests {
     #[test]
     fn store_programs_round_trip() {
         // load → kernel → store with two strips; results must be exact.
+        // The stores target disjoint halves of a shared region with no
+        // declared intent: ownership is inferred from the ranges.
         let cfg = MachineConfig::default();
         let k = square_kernel(&cfg);
         let n = 300usize;
@@ -509,16 +956,182 @@ mod tests {
         };
         let proc = StreamProcessor::new(cfg);
         let (mut m1, p1) = build();
+        let part = partition_program(&p1);
+        assert!(part.is_parallel(), "disjoint stores must partition");
+        assert_eq!(part.owned_write_regions, vec![RegionId(1)]);
         let serial = proc.run(&mut m1, &p1).expect("serial");
         let (mut m2, p2) = build();
         let parallel = proc.run_parallel(&mut m2, &p2, 4).expect("parallel");
         assert_eq!(
-            m1.data(crate::program::RegionId(1)),
-            m2.data(crate::program::RegionId(1)),
+            m1.data(RegionId(1)),
+            m2.data(RegionId(1)),
             "store-only programs must be bitwise identical"
         );
         assert_eq!(serial.cycles, parallel.cycles);
         assert_eq!(serial.counters, parallel.counters);
+        assert!(parallel.partition.parallelized);
+    }
+
+    #[test]
+    fn overlapping_cross_strip_stores_fall_back() {
+        let cfg = MachineConfig::default();
+        let k = square_kernel(&cfg);
+        let n = 64usize;
+        let mut mem = Memory::new();
+        let xs = mem.region("xs", (0..2 * n).map(|i| i as f64).collect());
+        let out = mem.region("out", vec![0.0; 2 * n]);
+        let mut pb = ProgramBuilder::new();
+        for strip in 0..2 {
+            pb.strip(strip);
+            let bx = pb.buffer(&format!("x{strip}"), 1);
+            let by = pb.buffer(&format!("y{strip}"), 1);
+            pb.load(format!("load {strip}"), xs, 1, strip * n, n, bx);
+            pb.kernel(
+                format!("kernel {strip}"),
+                k.clone(),
+                vec![bx],
+                vec![by],
+                vec![],
+                n as u64,
+                (n as u64).div_ceil(16),
+            );
+            // Both strips store to word 0: observable merge order.
+            pb.store(format!("store {strip}"), by, out, 1, 0);
+        }
+        let program = pb.build();
+        let part = partition_program(&program);
+        assert!(matches!(
+            part.fallback,
+            Some(FallbackReason::WriteWriteOverlap {
+                region: RegionId(1),
+                strips: (0, 1),
+            })
+        ));
+        assert_eq!(
+            part.summary().fallback,
+            Some(FallbackKind::WriteWriteOverlap)
+        );
+        // Fallback still executes correctly (serial scoreboard).
+        let proc = StreamProcessor::new(cfg);
+        let r = proc.run_parallel(&mut mem, &program, 4).expect("fallback");
+        assert!(!r.partition.parallelized);
+    }
+
+    #[test]
+    fn write_owned_in_place_update_partitions() {
+        // Strips load a shared region and store updated values back to
+        // their own slices: read+write of one region, previously an
+        // unconditional serial fallback, now parallel under a declared
+        // `WriteOwned` intent (reads precede writes, slices disjoint).
+        let cfg = MachineConfig::default();
+        let k = square_kernel(&cfg);
+        let n = 200usize;
+        let build = |declare: bool| {
+            let mut mem = Memory::new();
+            let xs = mem.region("xs", (1..=2 * n).map(|i| i as f64).collect());
+            let mut pb = ProgramBuilder::new();
+            if declare {
+                pb.intent(xs, AccessIntent::WriteOwned);
+            }
+            // All loads first (so every read precedes every write)…
+            let mut bufs = Vec::new();
+            for strip in 0..2 {
+                pb.strip(strip);
+                let bx = pb.buffer(&format!("x{strip}"), 1);
+                pb.load(format!("load {strip}"), xs, 1, strip * n, n, bx);
+                bufs.push(bx);
+            }
+            // …then per-strip kernel + store back in place.
+            for (strip, &bx) in bufs.iter().enumerate() {
+                pb.strip(strip);
+                let by = pb.buffer(&format!("y{strip}"), 1);
+                pb.kernel(
+                    format!("kernel {strip}"),
+                    k.clone(),
+                    vec![bx],
+                    vec![by],
+                    vec![],
+                    n as u64,
+                    (n as u64).div_ceil(16),
+                );
+                pb.store(format!("store {strip}"), by, xs, 1, strip * n);
+            }
+            (mem, pb.build())
+        };
+        // Undeclared: read+write conflict, serial fallback.
+        let (_, undeclared) = build(false);
+        let part = partition_program(&undeclared);
+        assert!(matches!(
+            part.fallback,
+            Some(FallbackReason::RegionConflict {
+                region: RegionId(0),
+                kinds: (AccessKind::Read, AccessKind::Write),
+                ..
+            })
+        ));
+        // Declared write-owned: partitions, and matches the serial result.
+        let (mut m1, p1) = build(true);
+        let part = partition_program(&p1);
+        assert!(part.is_parallel(), "{:?}", part.fallback);
+        assert_eq!(part.owned_write_regions, vec![RegionId(0)]);
+        let proc = StreamProcessor::new(cfg);
+        let r1 = proc.run_parallel(&mut m1, &p1, 4).expect("parallel");
+        assert!(r1.partition.parallelized);
+        let (mut m2, _) = build(true);
+        let (_, undeclared2) = build(false);
+        let r2 = proc
+            .run_with_threads(&mut m2, &undeclared2, 1)
+            .expect("serial");
+        assert!(!r2.partition.parallelized);
+        assert_eq!(m1.data(RegionId(0)), m2.data(RegionId(0)));
+        for (i, v) in m1.data(RegionId(0)).iter().enumerate() {
+            let x = (i + 1) as f64;
+            assert_eq!(*v, x * x);
+        }
+    }
+
+    #[test]
+    fn write_owned_read_after_write_falls_back() {
+        // Declared write-owned, but strip 1 reads after strip 0's store
+        // in program order: phase A would read stale data.
+        let cfg = MachineConfig::default();
+        let k = square_kernel(&cfg);
+        let n = 32usize;
+        let mut mem = Memory::new();
+        let xs = mem.region("xs", (0..2 * n).map(|i| i as f64).collect());
+        let mut pb = ProgramBuilder::new();
+        pb.intent(xs, AccessIntent::WriteOwned);
+        for strip in 0..2 {
+            pb.strip(strip);
+            let bx = pb.buffer(&format!("x{strip}"), 1);
+            let by = pb.buffer(&format!("y{strip}"), 1);
+            pb.load(format!("load {strip}"), xs, 1, strip * n, n, bx);
+            pb.kernel(
+                format!("kernel {strip}"),
+                k.clone(),
+                vec![bx],
+                vec![by],
+                vec![],
+                n as u64,
+                (n as u64).div_ceil(16),
+            );
+            pb.store(format!("store {strip}"), by, xs, 1, strip * n);
+        }
+        let program = pb.build();
+        let part = partition_program(&program);
+        assert!(matches!(
+            part.fallback,
+            Some(FallbackReason::ReadAfterWrite {
+                region: RegionId(0),
+                strips: (1, 0),
+            })
+        ));
+        // The fallback path still computes the in-place update exactly.
+        let proc = StreamProcessor::new(cfg);
+        let r = proc.run_parallel(&mut mem, &program, 4).expect("fallback");
+        assert!(!r.partition.parallelized);
+        assert_eq!(r.partition.fallback, Some(FallbackKind::ReadAfterWrite));
+        assert_eq!(mem.data(RegionId(0))[5], 25.0);
     }
 
     #[test]
@@ -546,11 +1159,40 @@ mod tests {
         );
         pb.strip(1).store("store", by, out, 1, 0);
         let program = pb.build();
-        assert!(strip_partition(&program).is_none());
+        let part = partition_program(&program);
+        assert!(matches!(
+            part.fallback,
+            Some(FallbackReason::BufferCrossesStrips {
+                buffer: BufferId(0),
+                strips: (0, 1),
+            })
+        ));
+        let text = part.describe(&program, &mem);
+        assert!(text.contains("serial fallback"), "{text}");
+        assert!(text.contains("'x'"), "{text}");
         let proc = StreamProcessor::new(cfg);
-        proc.run_parallel(&mut mem, &program, 4)
+        let r = proc
+            .run_parallel(&mut mem, &program, 4)
             .expect("fallback runs");
-        assert_eq!(mem.data(crate::program::RegionId(1))[5], 25.0);
+        assert!(!r.partition.parallelized);
+        assert_eq!(
+            r.partition.fallback,
+            Some(FallbackKind::BufferCrossesStrips)
+        );
+        assert_eq!(mem.data(RegionId(1))[5], 25.0);
+    }
+
+    #[test]
+    fn fallback_kind_codes_round_trip() {
+        for kind in [
+            FallbackKind::BufferCrossesStrips,
+            FallbackKind::RegionConflict,
+            FallbackKind::WriteWriteOverlap,
+            FallbackKind::ReadAfterWrite,
+        ] {
+            assert_eq!(FallbackKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(FallbackKind::from_code("nonsense"), None);
     }
 
     #[test]

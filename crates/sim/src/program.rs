@@ -13,6 +13,8 @@
 //! forces = scatter_add(partial_forces, i_forces); // StreamOp::ScatterAdd
 //! ```
 
+use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::Arc;
 
 use crate::kernelc::CompiledKernel;
@@ -20,6 +22,72 @@ use crate::kernelc::CompiledKernel;
 /// Handle to a memory region (an array in node DRAM).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RegionId(pub usize);
+
+/// Declared access intent for a memory region, set at `ProgramBuilder`
+/// level. The strip partitioner uses intents to decide whether strips
+/// touching the same region can execute in parallel:
+///
+/// - `ReadOnly` regions may be gathered/loaded from any number of
+///   strips concurrently (read sharing is always safe).
+/// - `WriteOwned` regions may be read and then stored, provided every
+///   read precedes every write in program order and the stored ranges
+///   of different strips are disjoint (each strip "owns" its slice).
+/// - `ReduceAdd` regions accept scatter-adds from many strips; partial
+///   contributions are merged with the deterministic tree reduction.
+///
+/// Declaring an intent the ops then violate (e.g. storing to a region
+/// declared `ReadOnly`) is a program validation error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessIntent {
+    /// Only gathered/loaded; never written.
+    ReadOnly,
+    /// Read and sequentially stored; strips own disjoint slices.
+    WriteOwned,
+    /// Scatter-add reduction target; merged across strips.
+    ReduceAdd,
+}
+
+impl AccessIntent {
+    /// Does this intent permit an op of the given access kind?
+    pub fn permits(self, kind: AccessKind) -> bool {
+        match self {
+            AccessIntent::ReadOnly => kind == AccessKind::Read,
+            AccessIntent::WriteOwned => matches!(kind, AccessKind::Read | AccessKind::Write),
+            AccessIntent::ReduceAdd => kind == AccessKind::Reduce,
+        }
+    }
+}
+
+impl fmt::Display for AccessIntent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessIntent::ReadOnly => "read-only",
+            AccessIntent::WriteOwned => "write-owned",
+            AccessIntent::ReduceAdd => "reduce-add",
+        })
+    }
+}
+
+/// How a single stream op touches a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Gather or sequential load.
+    Read,
+    /// Hardware scatter-add (commutative accumulation).
+    Reduce,
+    /// Sequential store.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Reduce => "reduce",
+            AccessKind::Write => "write",
+        })
+    }
+}
 
 /// Handle to an SRF buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -142,6 +210,19 @@ impl StreamOp {
             StreamOp::Store { .. } => "store",
         }
     }
+
+    /// Which region this op touches and how (`None` for kernels, which
+    /// operate purely on SRF buffers).
+    pub fn region_use(&self) -> Option<(RegionId, AccessKind)> {
+        match self {
+            StreamOp::Gather { region, .. } | StreamOp::Load { region, .. } => {
+                Some((*region, AccessKind::Read))
+            }
+            StreamOp::ScatterAdd { region, .. } => Some((*region, AccessKind::Reduce)),
+            StreamOp::Store { region, .. } => Some((*region, AccessKind::Write)),
+            StreamOp::Kernel { .. } => None,
+        }
+    }
 }
 
 /// Declared SRF buffer.
@@ -164,6 +245,16 @@ pub struct LabelledOp {
 pub struct StreamProgram {
     pub buffers: Vec<BufferDecl>,
     pub ops: Vec<LabelledOp>,
+    /// Declared access intents, keyed by `RegionId.0`. Regions without a
+    /// declared intent are handled conservatively by the partitioner.
+    pub intents: BTreeMap<usize, AccessIntent>,
+}
+
+impl StreamProgram {
+    /// The declared intent for `region`, if any.
+    pub fn declared_intent(&self, region: RegionId) -> Option<AccessIntent> {
+        self.intents.get(&region.0).copied()
+    }
 }
 
 /// Builder for stream programs.
@@ -190,6 +281,14 @@ impl ProgramBuilder {
     /// Set the strip id attached to subsequently pushed ops.
     pub fn strip(&mut self, strip: usize) -> &mut Self {
         self.strip = strip;
+        self
+    }
+
+    /// Declare the access intent for a region. The partitioner uses the
+    /// declaration to admit read-shared and owner-write regions into
+    /// parallel execution; `validate_program` rejects ops that violate it.
+    pub fn intent(&mut self, region: RegionId, intent: AccessIntent) -> &mut Self {
+        self.program.intents.insert(region.0, intent);
         self
     }
 
@@ -345,5 +444,35 @@ mod tests {
         assert!(p.ops[0].op.is_memory());
         assert_eq!(p.ops[0].op.mnemonic(), "gather");
         assert_eq!(p.ops[0].strip, 0);
+        assert_eq!(p.ops[0].op.region_use(), Some((pos, AccessKind::Read)));
+    }
+
+    #[test]
+    fn intents_round_trip_through_builder() {
+        let mut m = Memory::new();
+        let pos = m.region("positions", vec![0.0; 8]);
+        let forces = m.region("forces", vec![0.0; 8]);
+        let mut b = ProgramBuilder::new();
+        b.intent(pos, AccessIntent::ReadOnly)
+            .intent(forces, AccessIntent::ReduceAdd);
+        let p = b.build();
+        assert_eq!(p.declared_intent(pos), Some(AccessIntent::ReadOnly));
+        assert_eq!(p.declared_intent(forces), Some(AccessIntent::ReduceAdd));
+        assert_eq!(p.declared_intent(RegionId(99)), None);
+    }
+
+    #[test]
+    fn intent_permissions_match_contract() {
+        use AccessIntent::*;
+        use AccessKind::*;
+        assert!(ReadOnly.permits(Read));
+        assert!(!ReadOnly.permits(Write));
+        assert!(!ReadOnly.permits(Reduce));
+        assert!(WriteOwned.permits(Read));
+        assert!(WriteOwned.permits(Write));
+        assert!(!WriteOwned.permits(Reduce));
+        assert!(ReduceAdd.permits(Reduce));
+        assert!(!ReduceAdd.permits(Read));
+        assert!(!ReduceAdd.permits(Write));
     }
 }

@@ -6,9 +6,9 @@
 //! kernel's live streams than the machine has, so the kernel could never
 //! issue and the run died as an opaque `Deadlock`. Both layers of the
 //! fix are pinned here: the builder rejects the strip at `build()` time,
-//! and (for configurations smuggled past the builder via the deprecated
-//! shims) the simulator's preflight turns the deadlock into a
-//! `StripSrfOverflow` naming the strip size.
+//! and (for configurations smuggled past the builder by mutating the
+//! app's public fields directly) the simulator's preflight turns the
+//! deadlock into a `StripSrfOverflow` naming the strip size.
 
 use md_sim::neighbor::{NeighborList, NeighborListParams};
 use md_sim::system::WaterBox;
@@ -53,15 +53,14 @@ fn builder_rejects_strip_997_naming_the_strip() {
 }
 
 #[test]
-fn unchecked_shim_path_gets_the_diagnostic_at_run_time() {
-    // Smuggle the bad strip past the builder through the deprecated
-    // knobs; the simulator preflight must still refuse with the named
-    // diagnostic instead of deadlocking.
+fn unchecked_field_path_gets_the_diagnostic_at_run_time() {
+    // Smuggle the bad strip past the builder by mutating the app's
+    // public fields directly; the simulator preflight must still refuse
+    // with the named diagnostic instead of deadlocking.
     let (system, list) = box_216();
-    #[allow(deprecated)]
-    let app = StreamMdApp::new(MachineConfig::default())
-        .with_neighbor(list.params)
-        .with_strip_iterations(997);
+    let mut app = StreamMdApp::new(MachineConfig::default());
+    app.neighbor = list.params;
+    app.strip_iterations = Some(997);
     let err = app
         .run_step_with_list(&system, &list, Variant::Fixed)
         .expect_err("fixed/997/216 molecules is un-runnable");

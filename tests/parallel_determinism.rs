@@ -19,25 +19,23 @@ fn run_case(molecules: usize, seed: u64, strip: usize, threads: usize) {
         rebuild_interval: 1,
     };
     let list = NeighborList::build(&system, params);
-    // Deliberately on the deprecated unchecked shims: the sampled strips
+    // Deliberately unchecked field construction: the sampled strips
     // include sizes (997) whose *full* strip would overflow the SRF, but
     // these boxes are small enough that the layout clamps every strip to
     // the available work — the run-time preflight stays green. The
     // builder's dataset-independent validation would reject them.
-    #[allow(deprecated)]
-    let app = StreamMdApp::new(MachineConfig::default())
-        .with_neighbor(params)
-        .with_strip_iterations(strip);
-    #[allow(deprecated)]
+    let mut app = StreamMdApp::new(MachineConfig::default());
+    app.neighbor = params;
+    app.strip_iterations = Some(strip);
     for v in Variant::ALL {
-        let serial = app
-            .clone()
-            .with_threads(1)
+        let mut serial_app = app.clone();
+        serial_app.threads = 1;
+        let serial = serial_app
             .run_step_with_list(&system, &list, v)
             .unwrap_or_else(|e| panic!("{v} serial: {e}"));
-        let parallel = app
-            .clone()
-            .with_threads(threads)
+        let mut parallel_app = app.clone();
+        parallel_app.threads = threads;
+        let parallel = parallel_app
             .run_step_with_list(&system, &list, v)
             .unwrap_or_else(|e| panic!("{v} x{threads}: {e}"));
         // Forces bitwise-identical: Vec3 equality is exact f64 equality.

@@ -25,16 +25,15 @@ fn run_case(molecules: usize, seed: u64, cutoff_frac: f64, strip: usize, l: usiz
         .iter()
         .map(|f| f.norm())
         .fold(1.0f64, f64::max);
-    // Deliberately on the deprecated unchecked shims: the sampled strips
+    // Deliberately unchecked field construction: the sampled strips
     // include sizes (997) whose *full* strip would overflow the SRF, but
     // these boxes are small enough that the layout clamps every strip to
     // the available work — the run-time preflight stays green. The
     // builder's dataset-independent validation would reject them.
-    #[allow(deprecated)]
-    let app = StreamMdApp::new(MachineConfig::default())
-        .with_neighbor(params)
-        .with_strip_iterations(strip)
-        .with_block_l(l);
+    let mut app = StreamMdApp::new(MachineConfig::default());
+    app.neighbor = params;
+    app.strip_iterations = Some(strip);
+    app.block_l = l;
     for v in Variant::ALL {
         let out = app
             .run_step_with_list(&system, &list, v)
