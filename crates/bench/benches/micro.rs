@@ -14,13 +14,15 @@ use md_sim::neighbor::{NeighborList, NeighborListParams};
 use md_sim::system::WaterBox;
 use merrimac_arch::{MachineConfig, OpCosts};
 use merrimac_kernel::lower::lower_kernel;
-use merrimac_kernel::{list_schedule, modulo_schedule, Interpreter, StreamData};
+use merrimac_kernel::{list_schedule, modulo_schedule, CompiledTape, Interpreter, StreamData};
 use merrimac_sim::cache::StreamCache;
-use streammd::kernels::{expanded_kernel, kernel_params};
+use streammd::kernels::{expanded_kernel, kernel_params, variable_kernel};
 
 const SAMPLES: usize = 20;
 
-fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+/// Time `f` (warm-up pass, then median of `SAMPLES` runs) and return
+/// the median in seconds.
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> f64 {
     black_box(f());
     let mut times: Vec<f64> = (0..SAMPLES)
         .map(|_| {
@@ -34,6 +36,20 @@ fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
     println!(
         "{name:<32} {:>12.3} µs/iter (median of {SAMPLES})",
         median * 1e6
+    );
+    median
+}
+
+/// Report an interp-vs-tape pair as interactions/second plus the
+/// speedup — the numbers the CI micro smoke job archives so host
+/// functional-execution throughput is tracked across commits.
+fn engine_summary(label: &str, interactions: usize, interp_s: f64, tape_s: f64) {
+    let rate = |s: f64| interactions as f64 / s / 1e6;
+    println!(
+        "{label:<32} interp {:>8.2} Mint/s | tape {:>8.2} Mint/s | {:>5.2}x",
+        rate(interp_s),
+        rate(tape_s),
+        interp_s / tape_s
     );
 }
 
@@ -88,9 +104,44 @@ fn main() {
         )
     };
     let inputs = vec![mk(0.013), StreamData::new(9, vec![0.0; n * 9]), mk(0.017)];
-    bench("interpret_expanded_256", || {
+    let interp_s = bench("interpret_expanded_256", || {
         Interpreter::new(&kern)
             .run(&inputs, &kparams, n)
             .expect("interp")
     });
+    let tape = CompiledTape::compile(&kern);
+    let tape_s = bench("tape_expanded_256", || {
+        tape.run(&inputs, &kparams, n).expect("tape")
+    });
+
+    // `variable` exercises the general tape path (conditional centre
+    // stream): new centre every 8 iterations.
+    let vkern = variable_kernel();
+    let centres = n.div_ceil(8);
+    let vinputs = vec![
+        mk(0.013),
+        StreamData::new(
+            1,
+            (0..n).map(|i| if i % 8 == 0 { 1.0 } else { 0.0 }).collect(),
+        ),
+        StreamData::new(
+            18,
+            (0..centres * 18)
+                .map(|i| (i as f64 * 0.011).cos() + 2.0)
+                .collect(),
+        ),
+    ];
+    let vinterp_s = bench("interpret_variable_256", || {
+        Interpreter::new(&vkern)
+            .run(&vinputs, &kparams, n)
+            .expect("interp")
+    });
+    let vtape = CompiledTape::compile(&vkern);
+    let vtape_s = bench("tape_variable_256", || {
+        vtape.run(&vinputs, &kparams, n).expect("tape")
+    });
+
+    println!();
+    engine_summary("expanded (fast path)", n, interp_s, tape_s);
+    engine_summary("variable (general path)", n, vinterp_s, vtape_s);
 }

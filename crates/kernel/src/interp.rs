@@ -133,19 +133,31 @@ impl<'k> Interpreter<'k> {
             .iter()
             .map(|s| StreamData::empty(s.record_len as usize))
             .collect();
+        // Worst-case words appended per iteration per output (exact for
+        // unconditional writes), so the loop never re-grows a vector.
+        let mut words_per_iter = vec![0usize; k.outputs.len()];
+        for w in &k.writes {
+            words_per_iter[w.stream as usize] += w.values.len();
+        }
+        for (o, w) in outputs.iter_mut().zip(&words_per_iter) {
+            o.data.reserve(iterations * w);
+        }
         let mut regs = k.reg_init.clone();
         let mut cursors = vec![0usize; inputs.len()];
         let mut vals = vec![0.0f64; k.nodes.len()];
+        // Conditional streams pop at most once per iteration *per
+        // predicate node*: all `CondRead`s guarded by the same predicate
+        // share one popped record (they are the fields of a single
+        // conditional record access), while distinct predicates — e.g.
+        // the copies introduced by loop unrolling — pop independently.
+        // Allocated once and cleared per iteration.
+        let mut popped: Vec<std::collections::HashMap<u32, usize>> =
+            vec![std::collections::HashMap::new(); inputs.len()];
 
         for iter in 0..iterations {
-            // Conditional streams pop at most once per iteration *per
-            // predicate node*: all `CondRead`s guarded by the same
-            // predicate share one popped record (they are the fields of a
-            // single conditional record access), while distinct predicates
-            // — e.g. the copies introduced by loop unrolling — pop
-            // independently.
-            let mut popped: Vec<std::collections::HashMap<u32, usize>> =
-                vec![std::collections::HashMap::new(); inputs.len()];
+            for p in popped.iter_mut() {
+                p.clear();
+            }
             // Check unconditional stream availability up front.
             for (s, sig) in k.inputs.iter().enumerate() {
                 if sig.mode == StreamMode::EveryIteration && cursors[s] >= inputs[s].num_records() {

@@ -35,6 +35,7 @@ pub mod pipeline;
 pub mod render;
 pub mod schedule;
 pub mod stats;
+pub mod tape;
 pub mod unroll;
 pub mod validate;
 
@@ -44,3 +45,4 @@ pub use ir::{Kernel, Node, NodeId, OpKind, StreamMode};
 pub use pipeline::{modulo_schedule, PipelinedSchedule};
 pub use schedule::{list_schedule, Schedule};
 pub use stats::KernelStats;
+pub use tape::CompiledTape;

@@ -1,0 +1,793 @@
+//! Bytecode kernel-execution engine: compile a dataflow graph once into
+//! a flat tape, then execute the tape with no per-iteration allocation.
+//!
+//! [`crate::interp::Interpreter`] re-walks the node graph every
+//! iteration — enum dispatch over `Vec<NodeId>` argument lists, a fresh
+//! `Vec<HashMap>` of conditional-pop bookkeeping per iteration, and
+//! push-grown output vectors. That is pure host overhead on the hottest
+//! path in the simulator (every simulated interaction funnels through
+//! it). The paper's kernel story is the same one in miniature: issue
+//! rate is won by compiling once and executing a dense schedule.
+//!
+//! [`CompiledTape::compile`] runs once per kernel and produces:
+//!
+//! * a linear [`TapeOp`] array with pre-resolved operand/destination
+//!   value slots (no `Vec<NodeId>` pointer chases at run time), with
+//!   register and stream-record reads batched into a dispatch-free
+//!   per-iteration prologue so the tape itself is pure arithmetic (plus
+//!   conditional reads);
+//! * loop-invariant constants and parameters hoisted into an init plan
+//!   executed once per launch, not once per iteration;
+//! * a flat conditional-pop table with one slot per distinct
+//!   `(stream, predicate)` pair, reset by a generation counter instead
+//!   of a fresh `HashMap` per iteration;
+//! * a write plan with exact per-launch capacity reservation
+//!   (`iterations × words appended per iteration`);
+//! * a fast-path loop for kernels with no conditional input streams
+//!   (the `expanded`/`fixed`/`duplicated` StreamMD variants): stream
+//!   underrun is proven impossible up front, so the iteration body runs
+//!   with no per-iteration availability checks at all.
+//!
+//! The tape is semantically bitwise-identical to the interpreter — same
+//! `f64` operations in the same order, same pop semantics, same error
+//! values — which `tests/tape_equivalence.rs` proves differentially
+//! over random kernels. The interpreter remains the reference oracle.
+
+use crate::interp::{InterpError, InterpOutput, StreamData};
+use crate::ir::{Kernel, Node, OpKind, StreamMode};
+
+/// Sentinel for "no condition" in a [`WritePlan`].
+const NO_COND: u32 = u32::MAX;
+
+/// Tape opcodes. Plain register/stream reads never appear here: they
+/// are source nodes with no operands, so the compiler batches them into
+/// a per-iteration read prologue ([`StreamReads`]/`reg_reads`) executed
+/// without opcode dispatch. Constants and parameters are hoisted
+/// further, into the once-per-launch init plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Code {
+    /// `dst = cond_reads[a]` (see [`CondReadSlot`])
+    CondRead,
+    Add,
+    Sub,
+    Mul,
+    Madd,
+    Nmsub,
+    Div,
+    Sqrt,
+    Rsqrt,
+    SeedRecip,
+    SeedRsqrt,
+    CmpEq,
+    CmpLt,
+    CmpLe,
+    Sel,
+    And,
+    Or,
+    Not,
+    Min,
+    Max,
+    Mov,
+}
+
+/// One tape instruction: opcode plus pre-resolved value slots. `a`, `b`
+/// and `c` are operand slots for arithmetic ops; for conditional reads
+/// `a` indexes the [`CondReadSlot`] table.
+#[derive(Debug, Clone, Copy)]
+struct TapeOp {
+    code: Code,
+    dst: u32,
+    a: u32,
+    b: u32,
+    c: u32,
+}
+
+/// Iteration-prologue reads from one every-iteration input stream:
+/// `vals[dst] = current_record[field]`. Grouped per stream so the
+/// record row is sliced once and shared by all its field reads.
+#[derive(Debug, Clone)]
+struct StreamReads {
+    stream: u32,
+    /// `(value slot, field)` pairs.
+    reads: Vec<(u32, u32)>,
+}
+
+/// Pre-resolved conditional-stream read. `slot` indexes the flat pop
+/// table: all `CondRead`s guarded by the same predicate on the same
+/// stream share one popped record per iteration, while distinct
+/// predicates (e.g. the copies introduced by unrolling) pop
+/// independently — exactly the interpreter's per-predicate `HashMap`
+/// semantics, but with the slot assignment done at compile time.
+#[derive(Debug, Clone, Copy)]
+struct CondReadSlot {
+    stream: u32,
+    field: u32,
+    pred: u32,
+    fallback: u32,
+    slot: u32,
+}
+
+/// One output write per iteration: `write_values[start..start+len]`
+/// appended to `outputs[stream]` when `cond` (a value slot, or
+/// [`NO_COND`]) is non-zero.
+#[derive(Debug, Clone, Copy)]
+struct WritePlan {
+    stream: u32,
+    cond: u32,
+    start: u32,
+    len: u32,
+}
+
+/// A kernel compiled to a flat execution tape. Immutable and shareable
+/// across threads; all mutable execution state lives on the stack of
+/// [`CompiledTape::run`].
+#[derive(Debug, Clone)]
+pub struct CompiledTape {
+    name: String,
+    num_nodes: usize,
+    /// `(value slot, constant)` — loop-invariant, applied once per run.
+    const_inits: Vec<(u32, f64)>,
+    /// `(value slot, param index)` — loop-invariant.
+    param_inits: Vec<(u32, u32)>,
+    /// `(value slot, register)` — iteration prologue. Registers only
+    /// change in the iteration epilogue (`reg_updates`), so every
+    /// register read can run before the arithmetic tape.
+    reg_reads: Vec<(u32, u32)>,
+    /// Per-stream iteration-prologue reads (every-iteration streams
+    /// only; `validate_ssa` rejects plain reads of conditional streams).
+    stream_reads: Vec<StreamReads>,
+    /// The arithmetic/conditional-read tape proper.
+    ops: Vec<TapeOp>,
+    cond_reads: Vec<CondReadSlot>,
+    /// Number of distinct `(stream, predicate)` pop slots.
+    pop_slots: usize,
+    input_record_len: Vec<usize>,
+    input_every_iter: Vec<bool>,
+    num_params: usize,
+    reg_init: Vec<f64>,
+    reg_updates: Vec<(u32, u32)>,
+    writes: Vec<WritePlan>,
+    write_values: Vec<u32>,
+    out_record_len: Vec<usize>,
+    /// Worst-case words appended per iteration to each output — exact
+    /// for outputs with only unconditional writes.
+    out_words_per_iter: Vec<usize>,
+    fast_path: bool,
+}
+
+impl CompiledTape {
+    /// Compile `kernel` into a tape. Validates the kernel once here so
+    /// [`CompiledTape::run`] never re-validates.
+    pub fn compile(kernel: &Kernel) -> Self {
+        kernel.validate_ssa();
+        let mut const_inits = Vec::new();
+        let mut param_inits = Vec::new();
+        let mut reg_reads = Vec::new();
+        let mut stream_reads: Vec<StreamReads> = Vec::new();
+        let mut ops = Vec::new();
+        let mut cond_reads: Vec<CondReadSlot> = Vec::new();
+        // (stream, pred) -> pop slot. Kernels have few conditional
+        // reads, so a linear scan beats hashing at compile time too.
+        let mut slot_keys: Vec<(u32, u32)> = Vec::new();
+        for (i, node) in kernel.nodes.iter().enumerate() {
+            let dst = i as u32;
+            match node {
+                Node::Const(c) => const_inits.push((dst, *c)),
+                Node::Param(p) => param_inits.push((dst, *p)),
+                Node::ReadReg(r) => reg_reads.push((dst, *r)),
+                Node::Read { stream, field } => {
+                    let group = match stream_reads.iter_mut().find(|g| g.stream == *stream) {
+                        Some(g) => g,
+                        None => {
+                            stream_reads.push(StreamReads {
+                                stream: *stream,
+                                reads: Vec::new(),
+                            });
+                            stream_reads.last_mut().unwrap()
+                        }
+                    };
+                    group.reads.push((dst, *field));
+                }
+                Node::CondRead {
+                    stream,
+                    field,
+                    pred,
+                    fallback,
+                } => {
+                    let key = (*stream, *pred);
+                    let slot = match slot_keys.iter().position(|k| *k == key) {
+                        Some(s) => s,
+                        None => {
+                            slot_keys.push(key);
+                            slot_keys.len() - 1
+                        }
+                    };
+                    cond_reads.push(CondReadSlot {
+                        stream: *stream,
+                        field: *field,
+                        pred: *pred,
+                        fallback: *fallback,
+                        slot: slot as u32,
+                    });
+                    ops.push(TapeOp {
+                        code: Code::CondRead,
+                        dst,
+                        a: (cond_reads.len() - 1) as u32,
+                        b: 0,
+                        c: 0,
+                    });
+                }
+                Node::Op { op, args } => {
+                    let code = match op {
+                        OpKind::Add => Code::Add,
+                        OpKind::Sub => Code::Sub,
+                        OpKind::Mul => Code::Mul,
+                        OpKind::Madd => Code::Madd,
+                        OpKind::Nmsub => Code::Nmsub,
+                        OpKind::Div => Code::Div,
+                        OpKind::Sqrt => Code::Sqrt,
+                        OpKind::Rsqrt => Code::Rsqrt,
+                        OpKind::SeedRecip => Code::SeedRecip,
+                        OpKind::SeedRsqrt => Code::SeedRsqrt,
+                        OpKind::CmpEq => Code::CmpEq,
+                        OpKind::CmpLt => Code::CmpLt,
+                        OpKind::CmpLe => Code::CmpLe,
+                        OpKind::Sel => Code::Sel,
+                        OpKind::And => Code::And,
+                        OpKind::Or => Code::Or,
+                        OpKind::Not => Code::Not,
+                        OpKind::Min => Code::Min,
+                        OpKind::Max => Code::Max,
+                        OpKind::Mov => Code::Mov,
+                    };
+                    ops.push(TapeOp {
+                        code,
+                        dst,
+                        a: args[0],
+                        b: args.get(1).copied().unwrap_or(0),
+                        c: args.get(2).copied().unwrap_or(0),
+                    });
+                }
+            }
+        }
+
+        let mut write_values = Vec::new();
+        let mut writes = Vec::new();
+        let mut out_words_per_iter = vec![0usize; kernel.outputs.len()];
+        for w in &kernel.writes {
+            let start = write_values.len() as u32;
+            write_values.extend_from_slice(&w.values);
+            writes.push(WritePlan {
+                stream: w.stream,
+                cond: w.cond.unwrap_or(NO_COND),
+                start,
+                len: w.values.len() as u32,
+            });
+            out_words_per_iter[w.stream as usize] += w.values.len();
+        }
+
+        let fast_path = kernel
+            .inputs
+            .iter()
+            .all(|s| s.mode == StreamMode::EveryIteration);
+
+        Self {
+            name: kernel.name.clone(),
+            num_nodes: kernel.nodes.len(),
+            const_inits,
+            param_inits,
+            reg_reads,
+            stream_reads,
+            ops,
+            cond_reads,
+            pop_slots: slot_keys.len(),
+            input_record_len: kernel
+                .inputs
+                .iter()
+                .map(|s| s.record_len as usize)
+                .collect(),
+            input_every_iter: kernel
+                .inputs
+                .iter()
+                .map(|s| s.mode == StreamMode::EveryIteration)
+                .collect(),
+            num_params: kernel.num_params as usize,
+            reg_init: kernel.reg_init.clone(),
+            reg_updates: kernel.reg_updates.iter().map(|(r, v)| (*r, *v)).collect(),
+            writes,
+            write_values,
+            out_record_len: kernel
+                .outputs
+                .iter()
+                .map(|s| s.record_len as usize)
+                .collect(),
+            out_words_per_iter,
+            fast_path,
+        }
+    }
+
+    /// True when the kernel has no conditional input streams, so the
+    /// underrun-check-free fast loop runs.
+    pub fn is_fast_path(&self) -> bool {
+        self.fast_path
+    }
+
+    /// Instructions executed per iteration (prologue reads plus the
+    /// arithmetic tape).
+    pub fn ops_per_iteration(&self) -> usize {
+        self.reg_reads.len()
+            + self
+                .stream_reads
+                .iter()
+                .map(|g| g.reads.len())
+                .sum::<usize>()
+            + self.ops.len()
+    }
+
+    /// Copy the iteration's register and stream-record reads into their
+    /// value slots. Sources only — no dependence on tape results — so
+    /// the whole batch legally runs before the arithmetic ops.
+    #[inline(always)]
+    fn read_prologue(
+        &self,
+        inputs: &[StreamData],
+        row_base: &[usize],
+        regs: &[f64],
+        vals: &mut [f64],
+    ) {
+        for &(dst, r) in &self.reg_reads {
+            vals[dst as usize] = regs[r as usize];
+        }
+        for g in &self.stream_reads {
+            let s = g.stream as usize;
+            let base = row_base[s];
+            let row = &inputs[s].data[base..base + self.input_record_len[s]];
+            for &(dst, f) in &g.reads {
+                vals[dst as usize] = row[f as usize];
+            }
+        }
+    }
+
+    /// Execute `iterations` loop iterations over `inputs` with launch
+    /// `params`. Semantically identical to
+    /// [`crate::interp::Interpreter::run`] on the same kernel, including
+    /// error values.
+    pub fn run(
+        &self,
+        inputs: &[StreamData],
+        params: &[f64],
+        iterations: usize,
+    ) -> Result<InterpOutput, InterpError> {
+        if inputs.len() != self.input_record_len.len() {
+            return Err(InterpError::SignatureMismatch(format!(
+                "kernel {} expects {} input streams, got {}",
+                self.name,
+                self.input_record_len.len(),
+                inputs.len()
+            )));
+        }
+        for (i, (rl, data)) in self.input_record_len.iter().zip(inputs).enumerate() {
+            if *rl != data.record_len {
+                return Err(InterpError::SignatureMismatch(format!(
+                    "input {i} record length {} != kernel {}",
+                    data.record_len, rl
+                )));
+            }
+        }
+        if params.len() != self.num_params {
+            return Err(InterpError::SignatureMismatch(format!(
+                "kernel {} expects {} params, got {}",
+                self.name,
+                self.num_params,
+                params.len()
+            )));
+        }
+
+        let mut outputs: Vec<StreamData> = self
+            .out_record_len
+            .iter()
+            .zip(&self.out_words_per_iter)
+            .map(|(rl, w)| {
+                let mut s = StreamData::empty(*rl);
+                s.data.reserve_exact(iterations * w);
+                s
+            })
+            .collect();
+        let mut regs = self.reg_init.clone();
+        let mut vals = vec![0.0f64; self.num_nodes];
+        for &(slot, c) in &self.const_inits {
+            vals[slot as usize] = c;
+        }
+        for &(slot, p) in &self.param_inits {
+            vals[slot as usize] = params[p as usize];
+        }
+
+        let records_consumed = if self.fast_path {
+            self.run_fast(inputs, &mut vals, &mut regs, &mut outputs, iterations)?
+        } else {
+            self.run_general(inputs, &mut vals, &mut regs, &mut outputs, iterations)?
+        };
+
+        Ok(InterpOutput {
+            outputs,
+            records_consumed,
+            iterations,
+            final_regs: regs,
+        })
+    }
+
+    /// Fast path: every input stream pops exactly once per iteration,
+    /// so underrun is decidable before the loop and the body runs with
+    /// no per-iteration availability checks.
+    fn run_fast(
+        &self,
+        inputs: &[StreamData],
+        vals: &mut [f64],
+        regs: &mut [f64],
+        outputs: &mut [StreamData],
+        iterations: usize,
+    ) -> Result<Vec<usize>, InterpError> {
+        // First stream (in index order) to run dry loses — matching the
+        // interpreter's per-iteration check order.
+        let mut limit = iterations;
+        let mut bad = None;
+        for (s, d) in inputs.iter().enumerate() {
+            let n = d.num_records();
+            if n < limit {
+                limit = n;
+                bad = Some(s);
+            }
+        }
+        if let Some(stream) = bad {
+            return Err(InterpError::StreamUnderrun {
+                stream,
+                iteration: limit,
+            });
+        }
+
+        let mut row_base = vec![0usize; inputs.len()];
+        for _ in 0..iterations {
+            self.read_prologue(inputs, &row_base, regs, vals);
+            // Arithmetic only (conditional reads cannot occur on the
+            // fast path; plain reads live in the prologue).
+            for op in &self.ops {
+                vals[op.dst as usize] = eval_arith(op, vals);
+            }
+            self.apply_writes(vals, outputs);
+            for &(r, v) in &self.reg_updates {
+                regs[r as usize] = vals[v as usize];
+            }
+            for (base, rl) in row_base.iter_mut().zip(&self.input_record_len) {
+                *base += rl;
+            }
+        }
+        Ok(vec![iterations; inputs.len()])
+    }
+
+    /// General path: conditional streams pop on demand through the flat
+    /// pop table, reset per iteration by a generation counter.
+    fn run_general(
+        &self,
+        inputs: &[StreamData],
+        vals: &mut [f64],
+        regs: &mut [f64],
+        outputs: &mut [StreamData],
+        iterations: usize,
+    ) -> Result<Vec<usize>, InterpError> {
+        let num_records: Vec<usize> = inputs.iter().map(|d| d.num_records()).collect();
+        let mut cursors = vec![0usize; inputs.len()];
+        let mut row_base = vec![0usize; inputs.len()];
+        let mut pop_gen = vec![0u64; self.pop_slots];
+        let mut pop_base = vec![0usize; self.pop_slots];
+        let mut generation = 0u64;
+
+        for iter in 0..iterations {
+            generation += 1;
+            for (s, every) in self.input_every_iter.iter().enumerate() {
+                if *every && cursors[s] >= num_records[s] {
+                    return Err(InterpError::StreamUnderrun {
+                        stream: s,
+                        iteration: iter,
+                    });
+                }
+            }
+            self.read_prologue(inputs, &row_base, regs, vals);
+            for op in &self.ops {
+                vals[op.dst as usize] = match op.code {
+                    Code::CondRead => {
+                        let cr = &self.cond_reads[op.a as usize];
+                        if vals[cr.pred as usize] != 0.0 {
+                            let s = cr.stream as usize;
+                            let slot = cr.slot as usize;
+                            if pop_gen[slot] != generation {
+                                if cursors[s] >= num_records[s] {
+                                    return Err(InterpError::StreamUnderrun {
+                                        stream: s,
+                                        iteration: iter,
+                                    });
+                                }
+                                pop_gen[slot] = generation;
+                                pop_base[slot] = row_base[s];
+                                cursors[s] += 1;
+                                row_base[s] += self.input_record_len[s];
+                            }
+                            inputs[s].data[pop_base[slot] + cr.field as usize]
+                        } else {
+                            vals[cr.fallback as usize]
+                        }
+                    }
+                    _ => eval_arith(op, vals),
+                };
+            }
+            self.apply_writes(vals, outputs);
+            for &(r, v) in &self.reg_updates {
+                regs[r as usize] = vals[v as usize];
+            }
+            for (s, every) in self.input_every_iter.iter().enumerate() {
+                if *every {
+                    cursors[s] += 1;
+                    row_base[s] += self.input_record_len[s];
+                }
+            }
+        }
+        Ok(cursors)
+    }
+
+    /// Run the write plan for one iteration, preserving the kernel's
+    /// write order (appends to the same output stream interleave exactly
+    /// as the interpreter's).
+    #[inline]
+    fn apply_writes(&self, vals: &[f64], outputs: &mut [StreamData]) {
+        for w in &self.writes {
+            if w.cond != NO_COND && vals[w.cond as usize] == 0.0 {
+                continue;
+            }
+            let out = &mut outputs[w.stream as usize].data;
+            let range = w.start as usize..(w.start + w.len) as usize;
+            out.extend(self.write_values[range].iter().map(|&v| vals[v as usize]));
+        }
+    }
+}
+
+/// Evaluate an arithmetic/logical tape op. Bit-for-bit the same `f64`
+/// expressions as the interpreter's `Node::Op` arm.
+#[inline(always)]
+fn eval_arith(op: &TapeOp, vals: &[f64]) -> f64 {
+    let a = vals[op.a as usize];
+    match op.code {
+        Code::Add => a + vals[op.b as usize],
+        Code::Sub => a - vals[op.b as usize],
+        Code::Mul => a * vals[op.b as usize],
+        Code::Madd => a * vals[op.b as usize] + vals[op.c as usize],
+        Code::Nmsub => vals[op.c as usize] - a * vals[op.b as usize],
+        Code::Div => a / vals[op.b as usize],
+        Code::Sqrt => a.sqrt(),
+        Code::Rsqrt => 1.0 / a.sqrt(),
+        Code::SeedRecip => (1.0 / a) as f32 as f64,
+        Code::SeedRsqrt => (1.0 / a.sqrt()) as f32 as f64,
+        Code::CmpEq => mask(a == vals[op.b as usize]),
+        Code::CmpLt => mask(a < vals[op.b as usize]),
+        Code::CmpLe => mask(a <= vals[op.b as usize]),
+        Code::Sel => {
+            if a != 0.0 {
+                vals[op.b as usize]
+            } else {
+                vals[op.c as usize]
+            }
+        }
+        Code::And => mask(a != 0.0 && vals[op.b as usize] != 0.0),
+        Code::Or => mask(a != 0.0 || vals[op.b as usize] != 0.0),
+        Code::Not => mask(a == 0.0),
+        Code::Min => a.min(vals[op.b as usize]),
+        Code::Max => a.max(vals[op.b as usize]),
+        Code::Mov => a,
+        Code::CondRead => unreachable!("conditional read in eval_arith"),
+    }
+}
+
+#[inline]
+fn mask(b: bool) -> f64 {
+    if b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::interp::Interpreter;
+
+    fn assert_matches_interp(k: &Kernel, inputs: &[StreamData], params: &[f64], iterations: usize) {
+        let tape = CompiledTape::compile(k);
+        let t = tape.run(inputs, params, iterations);
+        let i = Interpreter::new(k).run(inputs, params, iterations);
+        assert_eq!(t, i, "tape vs interpreter diverged on kernel '{}'", k.name);
+    }
+
+    #[test]
+    fn scaling_kernel_matches() {
+        let mut b = KernelBuilder::new("scale");
+        let s = b.input("x", 1, StreamMode::EveryIteration);
+        let o = b.output("y", 1);
+        let p = b.param();
+        let x = b.read(s, 0);
+        let y = b.mul(x, p);
+        b.write(o, &[y]);
+        let k = b.build();
+        let tape = CompiledTape::compile(&k);
+        assert!(tape.is_fast_path());
+        let out = tape
+            .run(&[StreamData::new(1, vec![1.0, 2.0, 3.0])], &[10.0], 3)
+            .unwrap();
+        assert_eq!(out.outputs[0].data, vec![10.0, 20.0, 30.0]);
+        assert_eq!(out.records_consumed, vec![3]);
+        assert_matches_interp(&k, &[StreamData::new(1, vec![1.0, 2.0, 3.0])], &[10.0], 3);
+    }
+
+    #[test]
+    fn loop_carried_accumulator_matches() {
+        let mut b = KernelBuilder::new("sum");
+        let s = b.input("x", 1, StreamMode::EveryIteration);
+        let o = b.output("running", 1);
+        let r = b.reg(0.0);
+        let acc = b.read_reg(r);
+        let x = b.read(s, 0);
+        let sum = b.add(acc, x);
+        b.set_reg(r, sum);
+        b.write(o, &[sum]);
+        let k = b.build();
+        let out = CompiledTape::compile(&k)
+            .run(&[StreamData::new(1, vec![1.0, 2.0, 3.0, 4.0])], &[], 4)
+            .unwrap();
+        assert_eq!(out.outputs[0].data, vec![1.0, 3.0, 6.0, 10.0]);
+        assert_eq!(out.final_regs, vec![10.0]);
+        assert_matches_interp(&k, &[StreamData::new(1, vec![1.0, 2.0, 3.0, 4.0])], &[], 4);
+    }
+
+    #[test]
+    fn conditional_stream_pops_on_demand() {
+        let mut b = KernelBuilder::new("cond");
+        let s = b.input("vals", 1, StreamMode::Conditional);
+        let o = b.output("out", 1);
+        let parity = b.reg(1.0);
+        let cur = b.reg(0.0);
+        let want = b.read_reg(parity);
+        let prev = b.read_reg(cur);
+        let v = b.cond_read(s, 0, want, prev);
+        let flip = b.not(want);
+        b.set_reg(parity, flip);
+        b.set_reg(cur, v);
+        b.write(o, &[v]);
+        let k = b.build();
+        let tape = CompiledTape::compile(&k);
+        assert!(!tape.is_fast_path());
+        let out = tape
+            .run(&[StreamData::new(1, vec![10.0, 20.0, 30.0])], &[], 6)
+            .unwrap();
+        assert_eq!(
+            out.outputs[0].data,
+            vec![10.0, 10.0, 20.0, 20.0, 30.0, 30.0]
+        );
+        assert_eq!(out.records_consumed, vec![3]);
+        assert_matches_interp(&k, &[StreamData::new(1, vec![10.0, 20.0, 30.0])], &[], 6);
+    }
+
+    #[test]
+    fn shared_predicate_pops_once_distinct_preds_pop_independently() {
+        // Two CondReads with the same predicate share one pop; a third
+        // with a distinct (but equal-valued) predicate pops separately.
+        let mut b = KernelBuilder::new("pops");
+        let s = b.input("v", 2, StreamMode::Conditional);
+        let o = b.output("out", 3);
+        let one = b.constant(1.0);
+        let one2 = b.mov(one); // distinct node, same value
+        let zero = b.constant(0.0);
+        let a = b.cond_read(s, 0, one, zero);
+        let c = b.cond_read(s, 1, one, zero); // shares the pop with `a`
+        let d = b.cond_read(s, 0, one2, zero); // independent pop
+        b.write(o, &[a, c, d]);
+        let k = b.build();
+        let data = StreamData::new(2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let out = CompiledTape::compile(&k)
+            .run(std::slice::from_ref(&data), &[], 2)
+            .unwrap();
+        // iter 0: `a`/`c` pop record 0, `d` pops record 1;
+        // iter 1: `a`/`c` pop record 2, `d` pops record 3.
+        assert_eq!(out.outputs[0].data, vec![1.0, 2.0, 3.0, 5.0, 6.0, 7.0]);
+        assert_eq!(out.records_consumed, vec![4]);
+        assert_matches_interp(&k, &[data], &[], 2);
+    }
+
+    #[test]
+    fn conditional_write_filters_records() {
+        let mut b = KernelBuilder::new("filter");
+        let s = b.input("x", 1, StreamMode::EveryIteration);
+        let o = b.output("big", 1);
+        let x = b.read(s, 0);
+        let t = b.constant(5.0);
+        let big = b.cmp_lt(t, x);
+        b.write_if(o, big, &[x]);
+        let k = b.build();
+        let out = CompiledTape::compile(&k)
+            .run(&[StreamData::new(1, vec![3.0, 7.0, 4.0, 9.0])], &[], 4)
+            .unwrap();
+        assert_eq!(out.outputs[0].data, vec![7.0, 9.0]);
+        assert_matches_interp(&k, &[StreamData::new(1, vec![3.0, 7.0, 4.0, 9.0])], &[], 4);
+    }
+
+    #[test]
+    fn underrun_error_matches_interpreter() {
+        let mut b = KernelBuilder::new("u");
+        let s = b.input("x", 1, StreamMode::EveryIteration);
+        let o = b.output("y", 1);
+        let x = b.read(s, 0);
+        b.write(o, &[x]);
+        let k = b.build();
+        let err = CompiledTape::compile(&k)
+            .run(&[StreamData::new(1, vec![1.0])], &[], 2)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            InterpError::StreamUnderrun {
+                stream: 0,
+                iteration: 1
+            }
+        );
+        assert_matches_interp(&k, &[StreamData::new(1, vec![1.0])], &[], 2);
+    }
+
+    #[test]
+    fn signature_mismatch_matches_interpreter() {
+        let mut b = KernelBuilder::new("sig");
+        let _s = b.input("x", 2, StreamMode::EveryIteration);
+        let o = b.output("y", 1);
+        let c = b.constant(1.0);
+        b.write(o, &[c]);
+        let k = b.build();
+        let bad = [StreamData::new(1, vec![1.0])];
+        let t = CompiledTape::compile(&k).run(&bad, &[], 1);
+        let i = Interpreter::new(&k).run(&bad, &[], 1);
+        assert_eq!(t, i);
+        assert!(matches!(t.unwrap_err(), InterpError::SignatureMismatch(_)));
+    }
+
+    #[test]
+    fn seed_ops_are_f32_precision() {
+        let mut b = KernelBuilder::new("seed");
+        let s = b.input("x", 1, StreamMode::EveryIteration);
+        let o = b.output("y", 1);
+        let x = b.read(s, 0);
+        let y = b.seed_recip(x);
+        b.write(o, &[y]);
+        let k = b.build();
+        let out = CompiledTape::compile(&k)
+            .run(&[StreamData::new(1, vec![3.0])], &[], 1)
+            .unwrap();
+        assert_eq!(out.outputs[0].data[0], (1.0f64 / 3.0) as f32 as f64);
+    }
+
+    #[test]
+    fn output_capacity_is_reserved_exactly_for_unconditional_writes() {
+        let mut b = KernelBuilder::new("cap");
+        let s = b.input("x", 1, StreamMode::EveryIteration);
+        let o = b.output("y", 2);
+        let x = b.read(s, 0);
+        b.write(o, &[x, x]);
+        let k = b.build();
+        let n = 1000usize;
+        let out = CompiledTape::compile(&k)
+            .run(
+                &[StreamData::new(1, (0..n).map(|i| i as f64).collect())],
+                &[],
+                n,
+            )
+            .unwrap();
+        assert_eq!(out.outputs[0].data.len(), 2 * n);
+        // reserve_exact(iterations × words/iter) means no re-allocation
+        // ever grew the vector past the exact requirement.
+        assert_eq!(out.outputs[0].data.capacity(), 2 * n);
+    }
+}

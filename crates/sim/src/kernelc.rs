@@ -3,8 +3,8 @@
 
 use merrimac_arch::{MachineConfig, OpCosts};
 use merrimac_kernel::{
-    list_schedule, lower::lower_kernel, modulo_schedule, unroll::unroll, Kernel, KernelStats,
-    PipelinedSchedule, Schedule,
+    list_schedule, lower::lower_kernel, modulo_schedule, unroll::unroll, CompiledTape, Kernel,
+    KernelStats, PipelinedSchedule, Schedule,
 };
 
 /// Compilation options — the knobs Figure 10 turns.
@@ -51,6 +51,11 @@ pub struct CompiledKernel {
     /// Unrolled (if requested) high-level kernel — the form the
     /// interpreter executes.
     pub ir: Kernel,
+    /// Bytecode tape compiled from [`CompiledKernel::ir`] — the form
+    /// the default functional engine executes. Compiled once here and
+    /// shared across strips/threads through the `Arc<CompiledKernel>`
+    /// every stream program holds.
+    pub tape: CompiledTape,
     /// Lowered form the schedules refer to.
     pub lowered: Kernel,
     /// Non-pipelined schedule.
@@ -72,6 +77,7 @@ impl CompiledKernel {
         let source_lowered = lower_kernel(&kernel, costs);
         let source_stats = KernelStats::analyze(&kernel, &source_lowered);
         let ir = unroll(&kernel, opt.unroll);
+        let tape = CompiledTape::compile(&ir);
         let lowered = lower_kernel(&ir, costs);
         let schedule = list_schedule(&lowered, costs, cfg.fpus_per_cluster);
         let pipelined = if opt.software_pipeline {
@@ -83,6 +89,7 @@ impl CompiledKernel {
         Self {
             source: kernel,
             ir,
+            tape,
             lowered,
             schedule,
             pipelined,

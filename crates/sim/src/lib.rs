@@ -37,7 +37,7 @@ pub mod timeline;
 pub use cache::CacheAccessStats;
 pub use counters::{Counters, PhaseCycles};
 pub use kernelc::{CompiledKernel, KernelOpt};
-pub use machine::{RunReport, SimError, StreamProcessor};
+pub use machine::{KernelEngine, RunReport, SimError, StreamProcessor};
 pub use memsys::{MemOpCost, MemSystem};
 pub use parallel::{
     partition_program, FallbackKind, FallbackReason, PartitionReport, PartitionSummary,

@@ -140,17 +140,47 @@ pub(crate) enum ExecMode<'a> {
     Precomputed(&'a [OpRecord]),
 }
 
+/// Which functional engine executes kernel dataflow graphs.
+///
+/// The bytecode tape ([`merrimac_kernel::CompiledTape`], compiled once
+/// per kernel and cached on [`crate::kernelc::CompiledKernel`]) is the
+/// default; the graph-walking [`Interpreter`] remains as the reference
+/// oracle and as an escape hatch for bisecting
+/// (`MERRIMAC_KERNEL_ENGINE=interp`). Both produce bitwise-identical
+/// outputs, consumed counts and final registers — proven differentially
+/// by `tests/tape_equivalence.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelEngine {
+    /// Flat bytecode tape, compiled once at kernel-compile time.
+    #[default]
+    Tape,
+    /// Reference graph-walking interpreter.
+    Interp,
+}
+
+impl KernelEngine {
+    /// Resolve from the `MERRIMAC_KERNEL_ENGINE` environment variable
+    /// (`interp` or `tape`; anything else, including unset, means tape).
+    pub fn from_env() -> Self {
+        match std::env::var("MERRIMAC_KERNEL_ENGINE").as_deref() {
+            Ok("interp") => KernelEngine::Interp,
+            _ => KernelEngine::Tape,
+        }
+    }
+}
+
 /// Run a kernel op's dataflow graph: unroll check, input reshape,
-/// interpretation. Returns the output streams and the SRF words moved
-/// (inputs consumed + outputs written). Shared between the inline
-/// scoreboard and the parallel per-strip executor so the two paths
-/// cannot drift.
+/// execution on the selected engine. Returns the output streams and the
+/// SRF words moved (inputs consumed + outputs written). Shared between
+/// the inline scoreboard and the parallel per-strip executor so the two
+/// paths cannot drift.
 pub(crate) fn kernel_functional(
     label: &str,
     kernel: &crate::kernelc::CompiledKernel,
     input_data: Vec<StreamData>,
     params: &[f64],
     iterations: u64,
+    engine: KernelEngine,
 ) -> Result<(Vec<StreamData>, u64), SimError> {
     let unroll = kernel.opt.unroll as u64;
     if !iterations.is_multiple_of(unroll) {
@@ -158,23 +188,40 @@ pub(crate) fn kernel_functional(
             "kernel '{label}': {iterations} iterations not divisible by unroll {unroll}"
         )));
     }
-    // Reshape every-iteration inputs to the unrolled record length.
-    let mut shaped = Vec::with_capacity(input_data.len());
-    for (d, sig) in input_data.into_iter().zip(&kernel.ir.inputs) {
-        if sig.record_len as usize != d.record_len {
-            if d.data.len() % sig.record_len as usize != 0 {
-                return Err(SimError::Program(format!(
-                    "kernel '{label}': input not reshapeable to {} words",
-                    sig.record_len
-                )));
+    // Reshape every-iteration inputs to the unrolled record length —
+    // skipped entirely when every input already matches the unrolled
+    // signature (unroll = 1, or pre-shaped buffers), so the common case
+    // moves no stream and re-validates nothing.
+    let all_match = input_data
+        .iter()
+        .zip(&kernel.ir.inputs)
+        .all(|(d, sig)| sig.record_len as usize == d.record_len);
+    let shaped = if all_match {
+        input_data
+    } else {
+        let mut shaped = Vec::with_capacity(input_data.len());
+        for (d, sig) in input_data.into_iter().zip(&kernel.ir.inputs) {
+            if sig.record_len as usize != d.record_len {
+                if d.data.len() % sig.record_len as usize != 0 {
+                    return Err(SimError::Program(format!(
+                        "kernel '{label}': input not reshapeable to {} words",
+                        sig.record_len
+                    )));
+                }
+                shaped.push(StreamData::new(sig.record_len as usize, d.data));
+            } else {
+                shaped.push(d);
             }
-            shaped.push(StreamData::new(sig.record_len as usize, d.data));
-        } else {
-            shaped.push(d);
         }
-    }
+        shaped
+    };
     let unrolled_iters = iterations / unroll;
-    let out = Interpreter::new(&kernel.ir).run(&shaped, params, unrolled_iters as usize)?;
+    let out = match engine {
+        KernelEngine::Tape => kernel.tape.run(&shaped, params, unrolled_iters as usize)?,
+        KernelEngine::Interp => {
+            Interpreter::new(&kernel.ir).run(&shaped, params, unrolled_iters as usize)?
+        }
+    };
     let mut srf_words = 0u64;
     for (s, d) in out.records_consumed.iter().zip(&shaped) {
         srf_words += (*s * d.record_len) as u64;
@@ -202,6 +249,11 @@ pub struct StreamProcessor {
     /// Defaults from the `MERRIMAC_PARTITION_VERBOSE` environment
     /// variable.
     pub partition_verbose: bool,
+    /// Which functional engine executes kernel dataflow graphs.
+    /// Defaults from the `MERRIMAC_KERNEL_ENGINE` environment variable
+    /// (tape unless set to `interp`). Simulated results are
+    /// bitwise-identical under both; only host wall-clock differs.
+    pub kernel_engine: KernelEngine,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -221,11 +273,19 @@ impl StreamProcessor {
             partition_verbose: std::env::var("MERRIMAC_PARTITION_VERBOSE")
                 .map(|v| !v.is_empty() && v != "0")
                 .unwrap_or(false),
+            kernel_engine: KernelEngine::from_env(),
         }
     }
 
     pub fn with_policy(mut self, policy: SdrPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Select the functional kernel-execution engine (tape or the
+    /// reference interpreter) regardless of the environment default.
+    pub fn with_engine(mut self, engine: KernelEngine) -> Self {
+        self.kernel_engine = engine;
         self
     }
 
@@ -678,6 +738,7 @@ impl StreamProcessor {
                                     input_data,
                                     params,
                                     *iterations,
+                                    self.kernel_engine,
                                 )?;
                                 for (o, b) in outs.into_iter().zip(outputs) {
                                     buffers[b.0] = Some(o);

@@ -57,8 +57,8 @@ use rayon::prelude::*;
 use crate::cache::CacheAccessStats;
 use crate::counters::Counters;
 use crate::machine::{
-    buffer_capacity_words, kernel_functional, produced_buffers, ExecMode, OpRecord, RunReport,
-    SimError, StreamProcessor,
+    buffer_capacity_words, kernel_functional, produced_buffers, ExecMode, KernelEngine, OpRecord,
+    RunReport, SimError, StreamProcessor,
 };
 use crate::memsys::MemSystem;
 use crate::program::{
@@ -510,10 +510,11 @@ impl StreamProcessor {
             .map_err(|e| SimError::Program(format!("thread pool: {e}")))?;
         let shared: &Memory = memory;
         let cfg = &self.cfg;
+        let engine = self.kernel_engine;
         let outcomes: Result<Vec<StripOutcome>, SimError> = pool.install(|| {
             strips
                 .into_par_iter()
-                .map(|ops| exec_strip(cfg, shared, program, &ops))
+                .map(|ops| exec_strip(cfg, shared, program, &ops, engine))
                 .collect()
         });
         let outcomes = outcomes?;
@@ -586,6 +587,7 @@ fn exec_strip(
     memory: &Memory,
     program: &StreamProgram,
     ops: &[usize],
+    engine: KernelEngine,
 ) -> Result<StripOutcome, SimError> {
     let mut buffers: HashMap<usize, StreamData> = HashMap::new();
     let mut memsys = MemSystem::strip_shard(cfg);
@@ -664,7 +666,7 @@ fn exec_strip(
                     })
                     .collect::<Result<_, _>>()?;
                 let (outs, srf_words) =
-                    kernel_functional(&lop.label, kernel, input_data, params, *iterations)?;
+                    kernel_functional(&lop.label, kernel, input_data, params, *iterations, engine)?;
                 for (o, b) in outs.into_iter().zip(outputs) {
                     buffers.insert(b.0, o);
                 }
