@@ -1,0 +1,106 @@
+//! Structured diagnostics: what a pass found, where, and what to do
+//! about it. Rendered rustc-style by [`Diagnostic::render`].
+
+use std::fmt;
+
+use crate::lints::Lint;
+
+/// How serious a diagnostic is.
+///
+/// Ordered so `max()` picks the worst: `Info < Warn < Error`. Only
+/// `Error` diagnostics describe programs the simulator will reject
+/// (or deadlock on); `Warn` flags performance hazards — serialized
+/// overlap, serial-fallback partitions, wasted SRF traffic — that
+/// still execute correctly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    Info,
+    Warn,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding of a static analysis pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Which lint produced this diagnostic.
+    pub lint: Lint,
+    pub severity: Severity,
+    /// Where in the program/kernel the finding anchors (an op label and
+    /// strip, or a kernel name and node index).
+    pub location: String,
+    /// One-line statement of the problem.
+    pub message: String,
+    /// Supporting facts (one `= note:` line each).
+    pub notes: Vec<String>,
+    /// Suggested fix (`= help:` line), when the pass has one.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// New diagnostic at the lint's default severity.
+    pub fn new(lint: Lint, location: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            lint,
+            severity: lint.default_severity(),
+            location: location.into(),
+            message: message.into(),
+            notes: Vec::new(),
+            help: None,
+        }
+    }
+
+    /// Append a `= note:` line.
+    pub fn note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Set the `= help:` line.
+    pub fn help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Render rustc-style:
+    ///
+    /// ```text
+    /// warning[SDR_PRESSURE]: descriptor demand 3 exceeds the 2-register SDR file
+    ///   --> op 'gather 1' (strip 1)
+    ///    = note: ...
+    ///    = help: ...
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}[{}]: {}\n  --> {}",
+            self.severity,
+            self.lint.code(),
+            self.message,
+            self.location
+        );
+        for n in &self.notes {
+            out.push_str("\n   = note: ");
+            out.push_str(n);
+        }
+        if let Some(h) = &self.help {
+            out.push_str("\n   = help: ");
+            out.push_str(h);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}

@@ -1,0 +1,136 @@
+//! Kernel dataflow lints over the (pre-unroll) Kernel IR: uninitialized
+//! register reads, dead values, stream consumption imbalance, and
+//! unused outputs.
+
+use std::collections::BTreeSet;
+
+use merrimac_kernel::ir::Node;
+use merrimac_kernel::schedule::live_set;
+use merrimac_kernel::Kernel;
+
+use crate::diag::Diagnostic;
+use crate::lints::Lint;
+
+/// Run every kernel lint over one kernel.
+pub fn check(kernel: &Kernel) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let at = |node: usize| format!("kernel '{}', node {}", kernel.name, node);
+
+    // UNINIT_REG_READ: registers read but never updated keep their
+    // initial value forever — the read is a disguised constant.
+    let updated: BTreeSet<u32> = kernel.reg_updates.iter().map(|(r, _)| *r).collect();
+    for (i, n) in kernel.nodes.iter().enumerate() {
+        if let Node::ReadReg(r) = n {
+            if !updated.contains(r) {
+                diags.push(
+                    Diagnostic::new(
+                        Lint::UninitRegRead,
+                        at(i),
+                        format!("register r{r} is read but never updated"),
+                    )
+                    .note(format!(
+                        "r{r} keeps its initial value {} for every iteration",
+                        kernel.reg_init[*r as usize]
+                    ))
+                    .help(format!(
+                        "add the missing reg_updates entry for r{r}, or replace the read \
+                         with a Const node if the frozen value is intended"
+                    )),
+                );
+            }
+        }
+    }
+
+    // DEAD_VALUE: issuing (arithmetic) nodes outside the live set burn
+    // a VLIW slot on an unobservable result. Real kernels can carry
+    // hundreds of dead nodes (e.g. the duplicated variant discards the
+    // neighbour partial force), so report one aggregate diagnostic per
+    // kernel rather than one per node.
+    let live = live_set(kernel);
+    let dead: Vec<usize> = kernel
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(i, n)| n.issues() && !live[*i])
+        .map(|(i, _)| i)
+        .collect();
+    if !dead.is_empty() {
+        let sample: Vec<String> = dead.iter().take(5).map(|i| i.to_string()).collect();
+        let suffix = if dead.len() > sample.len() {
+            ", …"
+        } else {
+            ""
+        };
+        diags.push(
+            Diagnostic::new(
+                Lint::DeadValue,
+                format!("kernel '{}'", kernel.name),
+                format!(
+                    "{} value(s) are computed but never written out or consumed",
+                    dead.len()
+                ),
+            )
+            .note(format!(
+                "dead nodes feed no output write, register update, or live node \
+                 (nodes {}{suffix})",
+                sample.join(", ")
+            ))
+            .help(
+                "remove the dead computations, or wire their results into a write or \
+                 register update",
+            ),
+        );
+    }
+
+    // STREAM_IMBALANCE: an input stream pops a full record per
+    // iteration; unread fields are wasted memory and SRF traffic.
+    let mut fields_read: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); kernel.inputs.len()];
+    for n in &kernel.nodes {
+        match n {
+            Node::Read { stream, field } | Node::CondRead { stream, field, .. } => {
+                fields_read[*stream as usize].insert(*field);
+            }
+            _ => {}
+        }
+    }
+    for (s, sig) in kernel.inputs.iter().enumerate() {
+        let read = fields_read[s].len() as u32;
+        if read < sig.record_len {
+            diags.push(
+                Diagnostic::new(
+                    Lint::StreamImbalance,
+                    format!("kernel '{}', input stream '{}'", kernel.name, sig.name),
+                    format!(
+                        "only {read} of {} record words are read each iteration",
+                        sig.record_len
+                    ),
+                )
+                .note(format!(
+                    "the stream pops one {}-word record per iteration regardless; \
+                     unread words still cross the memory system and occupy SRF space",
+                    sig.record_len
+                ))
+                .help("narrow the stream's record to the fields the kernel uses"),
+            );
+        }
+    }
+
+    // UNUSED_OUTPUT: a declared output stream with no write allocates
+    // SRF space that stays empty.
+    let written: BTreeSet<u32> = kernel.writes.iter().map(|w| w.stream).collect();
+    for (s, sig) in kernel.outputs.iter().enumerate() {
+        if !written.contains(&(s as u32)) {
+            diags.push(
+                Diagnostic::new(
+                    Lint::UnusedOutput,
+                    format!("kernel '{}', output stream '{}'", kernel.name, sig.name),
+                    "output stream is declared but never written".to_string(),
+                )
+                .note("the launch allocates SRF space for a stream that stays empty".to_string())
+                .help("drop the unused output from the kernel signature, or add the write"),
+            );
+        }
+    }
+
+    diags
+}

@@ -1,0 +1,154 @@
+//! SDR/MAR pressure pass: predict where stream-descriptor-register
+//! demand exceeds the register file and memory/kernel overlap
+//! serializes (the paper's Section 5 allocation flaw, Figure 7).
+//!
+//! The model mirrors the scoreboard in `merrimac_sim::machine`: under
+//! [`SdrPolicy::Naive`] every memory op that produces an SRF stream
+//! parks its descriptor on that stream until the consuming kernel
+//! retires it, so during software-pipelined execution the descriptors
+//! of the current strip *and* every strip inside the prefetch lookahead
+//! window are held simultaneously. Ops that release at completion
+//! (stores, scatter-adds) never add steady-state demand: they become
+//! ready exactly when their strip's kernel retires, which is also the
+//! instant the kernel's input descriptors free up. Under
+//! [`SdrPolicy::Eager`] descriptors are released at op completion and
+//! the single memory pipeline can never hold more than one — the pass
+//! is silent by construction.
+
+use std::collections::BTreeMap;
+
+use merrimac_sim::machine::produced_buffers;
+use merrimac_sim::program::StreamOp;
+use merrimac_sim::SdrPolicy;
+
+use crate::diag::Diagnostic;
+use crate::lints::Lint;
+use crate::ProgramContext;
+
+/// Per-window descriptor accounting, exposed so callers (and tests) can
+/// see the prediction behind a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SdrWindow {
+    /// First and last strip id of the window (inclusive).
+    pub strips: (usize, usize),
+    /// Descriptors parked simultaneously across the window.
+    pub demand: usize,
+    /// Descriptors available.
+    pub capacity: usize,
+}
+
+impl SdrWindow {
+    /// Registers the window is short by.
+    pub fn deficit(&self) -> usize {
+        self.demand.saturating_sub(self.capacity)
+    }
+
+    /// Predicted fraction of the prefetch window that serializes
+    /// (0.0..1.0): the share of demanded descriptors that cannot be
+    /// held, each of which stalls its memory op until a stream dies.
+    pub fn predicted_overlap_loss(&self) -> f64 {
+        if self.demand == 0 {
+            0.0
+        } else {
+            self.deficit() as f64 / self.demand as f64
+        }
+    }
+}
+
+/// Descriptor demand of every lookahead window, in strip order. Empty
+/// under [`SdrPolicy::Eager`].
+pub fn sdr_windows(ctx: &ProgramContext) -> Vec<SdrWindow> {
+    if ctx.policy == SdrPolicy::Eager {
+        return Vec::new();
+    }
+    // Descriptors each strip parks: one per memory op producing an SRF
+    // stream (gathers and loads; stores and scatter-adds produce
+    // nothing and release at completion even under the naive policy).
+    let mut parked: BTreeMap<usize, usize> = BTreeMap::new();
+    for lop in &ctx.program.ops {
+        let is_mem = !matches!(lop.op, StreamOp::Kernel { .. });
+        if is_mem && !produced_buffers(&lop.op).is_empty() {
+            *parked.entry(lop.strip).or_insert(0) += 1;
+        }
+    }
+    let strips: Vec<usize> = parked.keys().copied().collect();
+    let capacity = ctx.cfg.stream_descriptor_registers;
+    let mut windows = Vec::new();
+    for (i, &s) in strips.iter().enumerate() {
+        // While strip `s` computes, the memory unit prefetches up to
+        // `strip_lookahead` strips ahead; all their descriptors are
+        // parked at once (transient-release ops add no steady-state
+        // demand — they become ready exactly when a parked descriptor
+        // frees).
+        let end = (i + ctx.strip_lookahead).min(strips.len() - 1);
+        let demand: usize = strips[i..=end].iter().map(|t| parked[t]).sum::<usize>();
+        windows.push(SdrWindow {
+            strips: (s, strips[end]),
+            demand,
+            capacity,
+        });
+    }
+    windows
+}
+
+/// Emit one diagnostic per contiguous run of over-capacity windows.
+pub fn check(ctx: &ProgramContext) -> Vec<Diagnostic> {
+    let windows = sdr_windows(ctx);
+    let mut diags = Vec::new();
+    let mut run: Option<(SdrWindow, SdrWindow)> = None; // (first, worst)
+    let flush = |run: &mut Option<(SdrWindow, SdrWindow)>, diags: &mut Vec<Diagnostic>| {
+        let Some((first, worst)) = run.take() else {
+            return;
+        };
+        let loss_pct = worst.predicted_overlap_loss() * 100.0;
+        let label = ctx
+            .program
+            .ops
+            .iter()
+            .find(|lop| lop.strip == first.strips.0 && !matches!(lop.op, StreamOp::Kernel { .. }))
+            .map(|lop| lop.label.clone())
+            .unwrap_or_else(|| format!("strip {}", first.strips.0));
+        diags.push(
+            Diagnostic::new(
+                Lint::SdrPressure,
+                format!("op '{}' (strip {})", label, first.strips.0),
+                format!(
+                    "stream-descriptor demand {} exceeds the {}-register SDR file; \
+                     memory/kernel overlap serializes (predicted overlap loss \u{2248} {:.0}%)",
+                    worst.demand, worst.capacity, loss_pct
+                ),
+            )
+            .note(format!(
+                "strips {}..={} park descriptors on their SRF streams until the \
+                 consuming kernels retire them (naive allocation policy)",
+                worst.strips.0, worst.strips.1
+            ))
+            .note(format!(
+                "the prefetch window holds {} descriptors but only {} exist; \
+                 {} memory op(s) stall per window waiting for a stream to die",
+                worst.demand,
+                worst.capacity,
+                worst.deficit()
+            ))
+            .help(
+                "release descriptors at op completion (SdrPolicy::Eager — the paper's \
+                 Section 5 fix), reduce concurrent streams per strip, or shrink \
+                 strip_lookahead",
+            ),
+        );
+    };
+    for w in windows {
+        if w.deficit() > 0 {
+            run = match run {
+                None => Some((w, w)),
+                Some((first, worst)) => {
+                    Some((first, if w.demand > worst.demand { w } else { worst }))
+                }
+            };
+        } else {
+            flush(&mut run, &mut diags);
+        }
+    }
+    flush(&mut run, &mut diags);
+    diags
+}

@@ -1,0 +1,79 @@
+//! SRF capacity preflight pass: the `StripSrfOverflow` floor check of
+//! `StreamProcessor::validate_program`, upgraded from a single opaque
+//! error to a diagnostic naming *which* buffers and how many words over
+//! capacity each offending kernel launch lands.
+//!
+//! The accounting is identical to the simulator's (per-buffer share =
+//! worst-case capacity spread across clusters; a kernel needs the sum
+//! of its distinct input/output shares at issue time), so this pass
+//! errors exactly when the simulator would refuse to run the program.
+
+use merrimac_sim::machine::{buffer_capacity_words, produced_buffers};
+use merrimac_sim::program::StreamOp;
+
+use crate::diag::Diagnostic;
+use crate::lints::Lint;
+use crate::ProgramContext;
+
+/// One Error diagnostic per kernel launch whose SRF working-set floor
+/// exceeds per-cluster capacity.
+pub fn check(ctx: &ProgramContext) -> Vec<Diagnostic> {
+    let program = ctx.program;
+    // Per-buffer words and per-cluster shares, from each producer op.
+    let mut words = vec![0usize; program.buffers.len()];
+    let mut share = vec![0usize; program.buffers.len()];
+    for lop in &program.ops {
+        for b in produced_buffers(&lop.op) {
+            words[b.0] = buffer_capacity_words(program, &lop.op, b);
+            share[b.0] = words[b.0].div_ceil(ctx.cfg.clusters);
+        }
+    }
+    let mut diags = Vec::new();
+    for lop in &program.ops {
+        let StreamOp::Kernel {
+            inputs,
+            outputs,
+            iterations,
+            ..
+        } = &lop.op
+        else {
+            continue;
+        };
+        let mut seen: Vec<usize> = Vec::new();
+        for b in inputs.iter().chain(outputs) {
+            if !seen.contains(&b.0) {
+                seen.push(b.0);
+            }
+        }
+        let needed: usize = seen.iter().map(|&b| share[b]).sum();
+        let capacity = ctx.cfg.srf_words_per_cluster;
+        if needed <= capacity {
+            continue;
+        }
+        let mut d = Diagnostic::new(
+            Lint::SrfCapacity,
+            format!("op '{}' (strip {})", lop.label, lop.strip),
+            format!(
+                "kernel working set needs {needed} SRF words/cluster but the machine \
+                 has {capacity} ({} words over); the scoreboard can never issue it",
+                needed - capacity
+            ),
+        );
+        for &b in &seen {
+            d = d.note(format!(
+                "buffer '{}': {} words total, {} words/cluster at issue time",
+                program.buffers[b].name, words[b], share[b]
+            ));
+        }
+        diags.push(
+            d.note(format!(
+                "this launch stages {iterations} iterations; the floor scales with strip size"
+            ))
+            .help(
+                "reduce strip_iterations so the strip's streams double-buffer within the SRF, \
+             or split the kernel's working set across more strips",
+            ),
+        );
+    }
+    diags
+}

@@ -6,7 +6,10 @@
 
 use std::time::Instant;
 
-use merrimac_bench::{banner, run, small_system, PerfReport, RunSpec, VariantRecord};
+use merrimac_analysis::severity_counts;
+use merrimac_bench::{
+    analyze, banner, run, small_system, LintRecord, PerfReport, RunSpec, VariantRecord,
+};
 use streammd::Variant;
 
 const MOLECULES: usize = 216;
@@ -60,6 +63,33 @@ fn main() {
                     .variants
                     .push(VariantRecord::from_error(variant.name(), &e.to_string()));
             }
+        }
+    }
+
+    println!("\nstatic analysis (merrimac-lint passes over each step program):");
+    println!(
+        "{:<12} {:>7} {:>9} {:>6}",
+        "variant", "errors", "warnings", "infos"
+    );
+    for variant in Variant::ALL {
+        match analyze(RunSpec::new(&system, &list, variant)) {
+            Ok(diags) => {
+                let (errors, warnings, infos) = severity_counts(&diags);
+                println!(
+                    "{:<12} {:>7} {:>9} {:>6}",
+                    variant.name(),
+                    errors,
+                    warnings,
+                    infos
+                );
+                report.lints.push(LintRecord {
+                    variant: variant.name().to_string(),
+                    errors,
+                    warnings,
+                    infos,
+                });
+            }
+            Err(e) => eprintln!("lint pass skipped for {variant}: {e}"),
         }
     }
 

@@ -20,7 +20,7 @@ use streammd::{StepOutcome, StreamMdApp, Variant};
 pub mod json;
 pub mod report;
 pub mod trend;
-pub use report::{PerfReport, VariantRecord, SCHEMA_VERSION};
+pub use report::{LintRecord, PerfReport, VariantRecord, SCHEMA_VERSION};
 pub use trend::{compare, render_table, Tolerances, TrendDiff};
 
 /// Default seed for the paper dataset across harnesses (deterministic
@@ -118,6 +118,23 @@ pub fn run(spec: RunSpec) -> Result<StepOutcome, VariantError> {
         .map_err(err)?
         .run_step_with_list(spec.system, spec.list, spec.variant)
         .map_err(err)
+}
+
+/// Run the static analysis pipeline over one variant's step program
+/// without executing it. Same configuration path as [`run`], so the
+/// diagnostics describe exactly the program the harnesses simulate.
+pub fn analyze(spec: RunSpec) -> Result<Vec<merrimac_analysis::Diagnostic>, VariantError> {
+    let err = |source| VariantError {
+        variant: spec.variant,
+        source,
+    };
+    let app = StreamMdApp::builder()
+        .neighbor(spec.list.params)
+        .threads(spec.threads)
+        .variants(&[spec.variant])
+        .build()
+        .map_err(err)?;
+    Ok(app.analyze_step(spec.system, spec.list, spec.variant))
 }
 
 /// Render a percentage.

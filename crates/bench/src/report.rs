@@ -31,7 +31,55 @@ use crate::json::{self, Json};
 /// object (`parallelized`, `strips`, `fallback` reason code) recording
 /// whether the strip partitioner admitted the program to the sharded
 /// parallel engine.
+///
+/// The top-level `lints` array (per-variant static analysis severity
+/// counts from `merrimac_analysis`) is an *additive, leniently parsed*
+/// field: readers treat a missing array as empty and the trend harness
+/// never diffs it, so adding it did not bump the version — committed
+/// schema-3 baselines stay valid.
 pub const SCHEMA_VERSION: u64 = 3;
+
+/// Static-analysis summary for one variant's step program: how many
+/// diagnostics `merrimac_analysis::analyze_program` produced at each
+/// severity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintRecord {
+    pub variant: String,
+    pub errors: usize,
+    pub warnings: usize,
+    pub infos: usize,
+}
+
+impl LintRecord {
+    fn to_json(&self) -> String {
+        format!(
+            "    {{\"variant\": {}, \"errors\": {}, \"warnings\": {}, \"infos\": {}}}",
+            json_str(&self.variant),
+            self.errors,
+            self.warnings,
+            self.infos
+        )
+    }
+
+    fn from_json_value(v: &Json) -> Result<Self, String> {
+        let count = |k: &str| -> Result<usize, String> {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .map(|n| n as usize)
+                .ok_or_else(|| format!("lint record missing count `{k}`"))
+        };
+        Ok(Self {
+            variant: v
+                .get("variant")
+                .and_then(Json::as_str)
+                .ok_or("lint record missing `variant`")?
+                .to_string(),
+            errors: count("errors")?,
+            warnings: count("warnings")?,
+            infos: count("infos")?,
+        })
+    }
+}
 
 /// One variant's measurements (or its failure).
 #[derive(Debug, Clone)]
@@ -248,6 +296,10 @@ pub struct PerfReport {
     /// Engine worker threads used for the functional phase.
     pub threads: usize,
     pub variants: Vec<VariantRecord>,
+    /// Per-variant static analysis severity counts. Additive field:
+    /// absent in older schema-3 files (parsed as empty) and ignored by
+    /// the trend comparator.
+    pub lints: Vec<LintRecord>,
 }
 
 impl PerfReport {
@@ -258,18 +310,21 @@ impl PerfReport {
             molecules,
             threads,
             variants: Vec::new(),
+            lints: Vec::new(),
         }
     }
 
     pub fn to_json(&self) -> String {
         let variants: Vec<String> = self.variants.iter().map(|v| v.to_json()).collect();
+        let lints: Vec<String> = self.lints.iter().map(|l| l.to_json()).collect();
         format!(
-            "{{\n  \"label\": {},\n  \"schema_version\": {},\n  \"molecules\": {},\n  \"threads\": {},\n  \"variants\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"label\": {},\n  \"schema_version\": {},\n  \"molecules\": {},\n  \"threads\": {},\n  \"variants\": [\n{}\n  ],\n  \"lints\": [\n{}\n  ]\n}}\n",
             json_str(&self.label),
             self.schema_version,
             self.molecules,
             self.threads,
-            variants.join(",\n")
+            variants.join(",\n"),
+            lints.join(",\n")
         )
     }
 
@@ -308,12 +363,22 @@ impl PerfReport {
             .iter()
             .map(VariantRecord::from_json_value)
             .collect::<Result<Vec<_>, _>>()?;
+        // Leniently parsed additive field: schema-3 files written before
+        // the lint summary existed simply have no `lints` array.
+        let lints = match v.get("lints").and_then(Json::as_arr) {
+            Some(items) => items
+                .iter()
+                .map(LintRecord::from_json_value)
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
         Ok(Self {
             label,
             schema_version: version,
             molecules,
             threads,
             variants,
+            lints,
         })
     }
 
@@ -430,6 +495,12 @@ mod tests {
         let mut failed = VariantRecord::from_error("variable", "deadlock");
         failed.phases.partition_fallback = Some(FallbackKind::RegionConflict);
         report.variants.push(failed);
+        report.lints.push(LintRecord {
+            variant: "expanded".into(),
+            errors: 0,
+            warnings: 2,
+            infos: 1,
+        });
         let parsed = PerfReport::from_json(&report.to_json()).expect("parses");
         assert_eq!(parsed.label, "rt");
         assert_eq!(parsed.schema_version, SCHEMA_VERSION);
@@ -458,6 +529,19 @@ mod tests {
             Some("deadlock"),
             "errors survive the round trip"
         );
+        assert_eq!(parsed.lints, report.lints, "lint summary round-trips");
+    }
+
+    #[test]
+    fn missing_lints_array_parses_as_empty() {
+        // Schema-3 baselines committed before the lint summary existed
+        // have no `lints` key; they must keep parsing unchanged.
+        let json = format!(
+            "{{\"label\": \"pre-lints\", \"schema_version\": {SCHEMA_VERSION}, \
+             \"molecules\": 216, \"threads\": 1, \"variants\": []}}"
+        );
+        let parsed = PerfReport::from_json(&json).expect("parses without `lints`");
+        assert!(parsed.lints.is_empty());
     }
 
     #[test]

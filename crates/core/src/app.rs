@@ -7,11 +7,13 @@ use md_sim::force::{ForceField, FLOPS_PER_INTERACTION};
 use md_sim::neighbor::{NeighborList, NeighborListParams};
 use md_sim::system::WaterBox;
 use md_sim::vec3::Vec3;
+use merrimac_analysis::{Diagnostic, ProgramContext};
 use merrimac_arch::{MachineConfig, OpCosts};
 use merrimac_sim::machine::SimError;
 use merrimac_sim::program::Memory;
 use merrimac_sim::{
-    AccessIntent, CompiledKernel, KernelOpt, ProgramBuilder, RunReport, SdrPolicy, StreamProcessor,
+    AccessIntent, CompiledKernel, KernelOpt, ProgramBuilder, RegionId, RunReport, SdrPolicy,
+    StreamProcessor, StreamProgram,
 };
 
 use crate::kernels;
@@ -71,6 +73,23 @@ pub struct StreamMdApp {
     /// engine. Forces, cycles and counters are bitwise-identical at any
     /// thread count (see `merrimac_sim::parallel`).
     pub threads: usize,
+    /// Run the Error-severity static analysis passes
+    /// (`merrimac_analysis`) over every built step program before
+    /// executing it, refusing programs with Error diagnostics. Enabled
+    /// via `SimConfigBuilder::analyze`.
+    pub analyze: bool,
+}
+
+/// A built (but not yet executed) StreamMD step: the stream program,
+/// its memory image, and the layout that produced them. This is the
+/// input the static analysis pipeline (`merrimac_analysis`) consumes;
+/// [`StreamMdApp::run_step_with_list`] builds one and runs it.
+pub struct StepProgram {
+    pub memory: Memory,
+    pub program: StreamProgram,
+    pub layout: Layout,
+    /// The force-array region (scatter-add reduction target).
+    pub forces: RegionId,
 }
 
 impl StreamMdApp {
@@ -97,6 +116,7 @@ impl StreamMdApp {
             },
             block_l: 8,
             strip_iterations: None,
+            analyze: false,
         }
     }
 
@@ -134,13 +154,16 @@ impl StreamMdApp {
         self.run_step_with_list(system, &list, variant)
     }
 
-    /// Run with a pre-built neighbour list.
-    pub fn run_step_with_list(
+    /// Build one force step's stream program without executing it —
+    /// the layout, memory image, access intents and op sequence exactly
+    /// as [`StreamMdApp::run_step_with_list`] would run them. This is
+    /// the entry point for static analysis (`merrimac-lint`).
+    pub fn build_step_program(
         &self,
         system: &WaterBox,
         list: &NeighborList,
         variant: Variant,
-    ) -> Result<StepOutcome, SimError> {
+    ) -> StepProgram {
         let strip = self
             .strip_iterations
             .unwrap_or_else(|| self.default_strip(variant));
@@ -186,7 +209,68 @@ impl StreamMdApp {
                 ),
             }
         }
-        let program = pb.build();
+        StepProgram {
+            program: pb.build(),
+            memory: mem,
+            layout,
+            forces,
+        }
+    }
+
+    /// Run the full analysis pipeline over one variant's step program
+    /// (see `merrimac_analysis`): SRF capacity preflight, SDR pressure,
+    /// per-strip ordering, and the kernel dataflow lints.
+    pub fn analyze_step(
+        &self,
+        system: &WaterBox,
+        list: &NeighborList,
+        variant: Variant,
+    ) -> Vec<Diagnostic> {
+        let step = self.build_step_program(system, list, variant);
+        merrimac_analysis::analyze_program(&ProgramContext {
+            cfg: &self.cfg,
+            policy: self.policy,
+            strip_lookahead: StreamProcessor::new(self.cfg.clone()).strip_lookahead,
+            program: &step.program,
+            memory: &step.memory,
+        })
+    }
+
+    /// Run with a pre-built neighbour list.
+    pub fn run_step_with_list(
+        &self,
+        system: &WaterBox,
+        list: &NeighborList,
+        variant: Variant,
+    ) -> Result<StepOutcome, SimError> {
+        let StepProgram {
+            memory,
+            program,
+            layout,
+            forces,
+        } = self.build_step_program(system, list, variant);
+        if self.analyze {
+            let proc = StreamProcessor::new(self.cfg.clone());
+            let diags = merrimac_analysis::analyze_program(&ProgramContext {
+                cfg: &self.cfg,
+                policy: self.policy,
+                strip_lookahead: proc.strip_lookahead,
+                program: &program,
+                memory: &memory,
+            });
+            let errors: Vec<&Diagnostic> = diags
+                .iter()
+                .filter(|d| d.severity == merrimac_analysis::Severity::Error)
+                .collect();
+            if let Some(first) = errors.first() {
+                return Err(SimError::Program(format!(
+                    "static analysis rejected the program ({} error(s)):\n{}",
+                    errors.len(),
+                    first.render()
+                )));
+            }
+        }
+        let mut mem = memory;
         let proc = StreamProcessor::new(self.cfg.clone())
             .with_costs(self.costs.clone())
             .with_policy(self.policy);

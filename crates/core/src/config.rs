@@ -57,6 +57,7 @@ pub struct SimConfigBuilder {
     strip_iterations: Option<usize>,
     threads: Option<usize>,
     variants: Vec<Variant>,
+    analyze: bool,
 }
 
 impl Default for SimConfigBuilder {
@@ -84,6 +85,7 @@ impl SimConfigBuilder {
             strip_iterations: None,
             threads: None,
             variants: Variant::ALL.to_vec(),
+            analyze: false,
         }
     }
 
@@ -142,6 +144,17 @@ impl SimConfigBuilder {
     /// strip too large for `fixed` can still be built for `variable`.
     pub fn variants(mut self, variants: &[Variant]) -> Self {
         self.variants = variants.to_vec();
+        self
+    }
+
+    /// Run the Error-severity static analysis passes
+    /// (`merrimac_analysis`) over every built step program before
+    /// executing it. Knob-level validation still happens in
+    /// [`SimConfigBuilder::build`]; the program-level passes need the
+    /// dataset and so run per step, refusing programs with Error
+    /// diagnostics before a single simulated cycle.
+    pub fn analyze(mut self) -> Self {
+        self.analyze = true;
         self
     }
 
@@ -211,6 +224,7 @@ impl SimConfigBuilder {
             neighbor: self.neighbor,
             block_l: self.block_l,
             strip_iterations: self.strip_iterations,
+            analyze: self.analyze,
         })
     }
 }

@@ -34,7 +34,7 @@ pub mod metrics;
 pub mod models;
 pub mod variant;
 
-pub use app::{PerfSummary, StepOutcome, StreamMdApp};
+pub use app::{PerfSummary, StepOutcome, StepProgram, StreamMdApp};
 pub use config::SimConfigBuilder;
 pub use driver::{DriverReport, MerrimacDriver};
 pub use merrimac_sim::machine::SimError;

@@ -37,10 +37,13 @@ pub mod timeline;
 pub use cache::CacheAccessStats;
 pub use counters::{Counters, PhaseCycles};
 pub use kernelc::{CompiledKernel, KernelOpt};
-pub use machine::{KernelEngine, RunReport, SimError, StreamProcessor};
+pub use machine::{
+    buffer_capacity_words, produced_buffers, KernelEngine, RunReport, SimError, StreamProcessor,
+};
 pub use memsys::{MemOpCost, MemSystem};
 pub use parallel::{
-    partition_program, FallbackKind, FallbackReason, PartitionReport, PartitionSummary,
+    partition_program, read_write_hazards, FallbackKind, FallbackReason, OrderingHazard,
+    PartitionReport, PartitionSummary,
 };
 pub use program::{
     AccessIntent, AccessKind, BufferId, Memory, ProgramBuilder, RegionId, StreamOp, StreamProgram,

@@ -853,7 +853,7 @@ impl StreamProcessor {
 }
 
 /// Buffers an op produces.
-pub(crate) fn produced_buffers(op: &StreamOp) -> Vec<BufferId> {
+pub fn produced_buffers(op: &StreamOp) -> Vec<BufferId> {
     match op {
         StreamOp::Gather { dst, .. } | StreamOp::Load { dst, .. } => vec![*dst],
         StreamOp::Kernel { outputs, .. } => outputs.clone(),
@@ -882,7 +882,7 @@ fn region_access(op: &StreamOp) -> (Vec<usize>, Vec<usize>) {
 }
 
 /// Worst-case SRF words a produced buffer can hold.
-pub(crate) fn buffer_capacity_words(program: &StreamProgram, op: &StreamOp, b: BufferId) -> usize {
+pub fn buffer_capacity_words(program: &StreamProgram, op: &StreamOp, b: BufferId) -> usize {
     match op {
         StreamOp::Gather {
             indices,

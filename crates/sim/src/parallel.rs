@@ -21,9 +21,14 @@
 //!   tree reduction;
 //! * regions that are **stored** (and, if declared
 //!   [`AccessIntent::WriteOwned`], also read) parallelize when each
-//!   strip owns a provably disjoint slice and every read precedes every
-//!   write in program order — the phase-A pass reads pre-state, so a
-//!   read that follows a write would observe stale data.
+//!   strip owns a provably disjoint slice and no read *overlaps* an
+//!   earlier store's word range in program order
+//!   ([`read_write_hazards`]) — the phase-A pass reads pre-state, so a
+//!   read that follows an overlapping write would observe stale data.
+//!   Reads of ranges disjoint from every earlier store compose freely,
+//!   which is what admits software-pipelined in-place update patterns
+//!   (strip *k* loads, transforms and stores back its own slice before
+//!   strip *k+1* starts).
 //!
 //! Anything else produces a typed [`FallbackReason`] and the program
 //! runs on the serial scoreboard with the shared-cache memory model
@@ -87,9 +92,9 @@ pub enum FallbackReason {
         region: RegionId,
         strips: (usize, usize),
     },
-    /// A `WriteOwned` region is read *after* it is written in program
-    /// order; the phase-A pass reads pre-state and would observe stale
-    /// data.
+    /// A `WriteOwned` region is read *after* an overlapping store in
+    /// program order; the phase-A pass reads pre-state and would
+    /// observe stale data.
     ReadAfterWrite {
         region: RegionId,
         strips: (usize, usize),
@@ -147,7 +152,7 @@ impl FallbackReason {
                 region_name(region)
             ),
             FallbackReason::ReadAfterWrite { region, strips } => format!(
-                "write-owned region {} is written by strip {} before strip {} reads it",
+                "write-owned region {} is written by strip {} before strip {} reads an overlapping range",
                 region_name(region),
                 strips.1,
                 strips.0
@@ -264,12 +269,131 @@ impl PartitionReport {
 
 /// One region access seen by the partitioner.
 struct RegionAccess {
-    op: usize,
     strip: usize,
     kind: AccessKind,
     /// Word range a store writes (upper bound via the source buffer's
     /// capacity), for the cross-strip disjointness check.
     store_range: Option<(usize, usize)>,
+}
+
+/// A read that follows an overlapping store of the same region in
+/// program order — the pair the per-strip ordering analysis flags.
+///
+/// The phase-A parallel pass reads *pre-state* (stores are buffered and
+/// applied after every strip finishes), so such a read would observe
+/// stale data under parallel execution even though the serial
+/// scoreboard handles it correctly. Word ranges are conservative upper
+/// bounds: stores via the source buffer's capacity, gathers via the
+/// bounding box of their indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderingHazard {
+    pub region: RegionId,
+    /// Op index of the earlier store.
+    pub write_op: usize,
+    pub write_strip: usize,
+    /// Word range `[start, end)` the store writes.
+    pub write_range: (usize, usize),
+    /// Op index of the later, overlapping read.
+    pub read_op: usize,
+    pub read_strip: usize,
+    /// Word range `[start, end)` the read covers.
+    pub read_range: (usize, usize),
+}
+
+/// Stores seen so far per region: `(op index, strip, word range)`.
+type StoresByRegion = BTreeMap<usize, Vec<(usize, usize, (usize, usize))>>;
+
+/// Per-strip read/write ordering analysis: every (store, later
+/// overlapping read) pair on the same region, in program order.
+///
+/// An empty result means the program is free of read-after-write
+/// hazards and `WriteOwned` regions are eligible for the parallel
+/// path (subject to the cross-strip store-disjointness check). Reads
+/// whose ranges are disjoint from every earlier store — the
+/// software-pipelined in-place update pattern — produce no hazard.
+/// Same-strip pairs count too: phase A buffers stores and reads
+/// pre-state even within one strip.
+pub fn read_write_hazards(program: &StreamProgram) -> Vec<OrderingHazard> {
+    // Producer op of each buffer, bounding store ranges by capacity.
+    let mut producer: HashMap<usize, usize> = HashMap::new();
+    for (i, lop) in program.ops.iter().enumerate() {
+        for b in produced_buffers(&lop.op) {
+            producer.entry(b.0).or_insert(i);
+        }
+    }
+    let mut writes: StoresByRegion = BTreeMap::new();
+    let mut hazards = Vec::new();
+    for (i, lop) in program.ops.iter().enumerate() {
+        match &lop.op {
+            StreamOp::Load {
+                region,
+                record_len,
+                start,
+                records,
+                ..
+            } => {
+                let r = (start * record_len, (start + records) * record_len);
+                note_read(&writes, &mut hazards, *region, i, lop.strip, r);
+            }
+            StreamOp::Gather {
+                region,
+                record_len,
+                indices,
+                ..
+            } => {
+                let (Some(min), Some(max)) = (indices.iter().min(), indices.iter().max()) else {
+                    continue; // empty gather reads nothing
+                };
+                let r = (*min as usize * record_len, (*max as usize + 1) * record_len);
+                note_read(&writes, &mut hazards, *region, i, lop.strip, r);
+            }
+            StreamOp::Store {
+                src,
+                region,
+                record_len,
+                start,
+            } => {
+                let cap = producer
+                    .get(&src.0)
+                    .map(|&p| buffer_capacity_words(program, &program.ops[p].op, *src))
+                    .unwrap_or(0);
+                let s = start * record_len;
+                writes
+                    .entry(region.0)
+                    .or_default()
+                    .push((i, lop.strip, (s, s + cap)));
+            }
+            StreamOp::Kernel { .. } | StreamOp::ScatterAdd { .. } => {}
+        }
+    }
+    hazards
+}
+
+/// Record hazards for one read against every earlier overlapping store.
+fn note_read(
+    writes: &StoresByRegion,
+    hazards: &mut Vec<OrderingHazard>,
+    region: RegionId,
+    read_op: usize,
+    read_strip: usize,
+    read_range: (usize, usize),
+) {
+    let Some(ws) = writes.get(&region.0) else {
+        return;
+    };
+    for &(write_op, write_strip, write_range) in ws {
+        if write_range.0 < read_range.1 && read_range.0 < write_range.1 {
+            hazards.push(OrderingHazard {
+                region,
+                write_op,
+                write_strip,
+                write_range,
+                read_op,
+                read_strip,
+                read_range,
+            });
+        }
+    }
 }
 
 /// Classify `program` for parallel strip execution under the declared
@@ -317,9 +441,14 @@ pub fn partition_program(program: &StreamProgram) -> PartitionReport {
         }
     }
 
+    // Per-strip ordering analysis, consumed by the `WriteOwned`
+    // admission below: only reads that *overlap* an earlier store's
+    // range are hazards.
+    let hazards = read_write_hazards(program);
+
     // Per-region access lists, in op-index order.
     let mut accesses: BTreeMap<usize, Vec<RegionAccess>> = BTreeMap::new();
-    for (i, lop) in program.ops.iter().enumerate() {
+    for lop in program.ops.iter() {
         let Some((region, kind)) = lop.op.region_use() else {
             continue;
         };
@@ -340,7 +469,6 @@ pub fn partition_program(program: &StreamProgram) -> PartitionReport {
             _ => None,
         };
         accesses.entry(region.0).or_default().push(RegionAccess {
-            op: i,
             strip: lop.strip,
             kind,
             store_range,
@@ -382,8 +510,10 @@ pub fn partition_program(program: &StreamProgram) -> PartitionReport {
         }
 
         // Reads and writes mix only under a declared `WriteOwned`
-        // intent, and only when every read precedes every write in
-        // program order (phase A reads pre-state).
+        // intent, and only when no read overlaps an earlier store's
+        // word range (phase A reads pre-state). Disjoint-range reads
+        // after a store — the software-pipelined in-place update
+        // pattern — are admitted.
         if !reads.is_empty() && !writes.is_empty() {
             if program.declared_intent(region) != Some(AccessIntent::WriteOwned) {
                 return fail(FallbackReason::RegionConflict {
@@ -392,15 +522,10 @@ pub fn partition_program(program: &StreamProgram) -> PartitionReport {
                     kinds: (AccessKind::Read, AccessKind::Write),
                 });
             }
-            let min_write = writes.iter().map(|w| w.op).min().expect("write present");
-            if let Some(late_read) = reads.iter().find(|r| r.op > min_write) {
-                let w = writes
-                    .iter()
-                    .find(|w| w.op == min_write)
-                    .expect("min write");
+            if let Some(h) = hazards.iter().find(|h| h.region == region) {
                 return fail(FallbackReason::ReadAfterWrite {
                     region,
-                    strips: (late_read.strip, w.strip),
+                    strips: (h.read_strip, h.write_strip),
                 });
             }
         }
@@ -1092,15 +1217,17 @@ mod tests {
         }
     }
 
-    #[test]
-    fn write_owned_read_after_write_falls_back() {
-        // Declared write-owned, but strip 1 reads after strip 0's store
-        // in program order: phase A would read stale data.
+    /// Software-pipelined in-place update: each strip loads, transforms
+    /// and stores back its own slice, with strips interleaved in program
+    /// order (strip 1's load *follows* strip 0's store). The ranges are
+    /// disjoint, so the per-strip ordering analysis finds no hazard and
+    /// the program partitions — previously a spurious `read_after_write`
+    /// fallback under the program-wide ordering rule.
+    fn pipelined_in_place_setup(n: usize) -> (Memory, StreamProgram) {
         let cfg = MachineConfig::default();
         let k = square_kernel(&cfg);
-        let n = 32usize;
         let mut mem = Memory::new();
-        let xs = mem.region("xs", (0..2 * n).map(|i| i as f64).collect());
+        let xs = mem.region("xs", (1..=2 * n).map(|i| i as f64).collect());
         let mut pb = ProgramBuilder::new();
         pb.intent(xs, AccessIntent::WriteOwned);
         for strip in 0..2 {
@@ -1119,7 +1246,62 @@ mod tests {
             );
             pb.store(format!("store {strip}"), by, xs, 1, strip * n);
         }
+        (mem, pb.build())
+    }
+
+    #[test]
+    fn write_owned_pipelined_in_place_update_partitions() {
+        let (mut mem, program) = pipelined_in_place_setup(32);
+        assert!(read_write_hazards(&program).is_empty());
+        let part = partition_program(&program);
+        assert!(part.is_parallel(), "{:?}", part.fallback);
+        assert_eq!(part.owned_write_regions, vec![RegionId(0)]);
+        let proc = StreamProcessor::new(MachineConfig::default());
+        let r = proc.run_parallel(&mut mem, &program, 4).expect("parallel");
+        assert!(r.partition.parallelized);
+        for (i, v) in mem.data(RegionId(0)).iter().enumerate() {
+            let x = (i + 1) as f64;
+            assert_eq!(*v, x * x);
+        }
+    }
+
+    #[test]
+    fn write_owned_read_after_write_falls_back() {
+        // Declared write-owned, but strip 1 re-reads strip 0's slice
+        // *after* strip 0's store in program order: phase A would read
+        // stale data.
+        let cfg = MachineConfig::default();
+        let k = square_kernel(&cfg);
+        let n = 32usize;
+        let mut mem = Memory::new();
+        let xs = mem.region("xs", (0..2 * n).map(|i| i as f64).collect());
+        let mut pb = ProgramBuilder::new();
+        pb.intent(xs, AccessIntent::WriteOwned);
+        for strip in 0..2 {
+            pb.strip(strip);
+            let bx = pb.buffer(&format!("x{strip}"), 1);
+            let by = pb.buffer(&format!("y{strip}"), 1);
+            // Every strip reads strip 0's slice, so strip 1's load
+            // overlaps strip 0's earlier store.
+            pb.load(format!("load {strip}"), xs, 1, 0, n, bx);
+            pb.kernel(
+                format!("kernel {strip}"),
+                k.clone(),
+                vec![bx],
+                vec![by],
+                vec![],
+                n as u64,
+                (n as u64).div_ceil(16),
+            );
+            pb.store(format!("store {strip}"), by, xs, 1, strip * n);
+        }
         let program = pb.build();
+        let hazards = read_write_hazards(&program);
+        assert_eq!(hazards.len(), 1);
+        assert_eq!(hazards[0].region, RegionId(0));
+        assert_eq!(hazards[0].write_strip, 0);
+        assert_eq!(hazards[0].read_strip, 1);
+        assert!(hazards[0].write_range.0 < hazards[0].read_range.1);
         let part = partition_program(&program);
         assert!(matches!(
             part.fallback,
@@ -1128,12 +1310,14 @@ mod tests {
                 strips: (1, 0),
             })
         ));
-        // The fallback path still computes the in-place update exactly.
+        // The fallback path still computes the update exactly: strip 1
+        // squares strip 0's already-squared slice.
         let proc = StreamProcessor::new(cfg);
         let r = proc.run_parallel(&mut mem, &program, 4).expect("fallback");
         assert!(!r.partition.parallelized);
         assert_eq!(r.partition.fallback, Some(FallbackKind::ReadAfterWrite));
         assert_eq!(mem.data(RegionId(0))[5], 25.0);
+        assert_eq!(mem.data(RegionId(0))[n + 5], 25.0 * 25.0);
     }
 
     #[test]

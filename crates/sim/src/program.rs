@@ -29,9 +29,11 @@ pub struct RegionId(pub usize);
 ///
 /// - `ReadOnly` regions may be gathered/loaded from any number of
 ///   strips concurrently (read sharing is always safe).
-/// - `WriteOwned` regions may be read and then stored, provided every
-///   read precedes every write in program order and the stored ranges
-///   of different strips are disjoint (each strip "owns" its slice).
+/// - `WriteOwned` regions may be read and stored, provided no read
+///   overlaps an earlier store's word range in program order (reads of
+///   disjoint ranges compose freely, admitting software-pipelined
+///   in-place updates) and the stored ranges of different strips are
+///   disjoint (each strip "owns" its slice).
 /// - `ReduceAdd` regions accept scatter-adds from many strips; partial
 ///   contributions are merged with the deterministic tree reduction.
 ///

@@ -1,0 +1,126 @@
+//! `merrimac-lint` — static analysis front end for StreamMD programs.
+//!
+//! Builds the step program for every shipped variant (without running
+//! it) and prints the diagnostics from `merrimac_analysis` in
+//! rustc-style format. Exit status is 1 if any diagnostic has Error
+//! severity, so CI can gate on it.
+//!
+//! ```text
+//! merrimac-lint                  # lint all four variants, 64-molecule box
+//! merrimac-lint --molecules 216  # different dataset size
+//! merrimac-lint --paper          # the paper's 900-molecule box
+//! merrimac-lint --explain SDR_PRESSURE
+//! ```
+
+use std::process::ExitCode;
+
+use merrimac_analysis::{render_all, severity_counts, Lint, ALL_LINTS};
+use merrimac_bench::{analyze, paper_system, small_system, RunSpec};
+use streammd::Variant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: merrimac-lint [--molecules N] [--paper] [--explain LINT_ID]\n\
+         \n\
+         Runs the merrimac_analysis passes (SDR pressure, per-strip\n\
+         ordering, SRF capacity preflight, kernel dataflow lints) over\n\
+         the step program of every StreamMD variant and prints the\n\
+         diagnostics. Exits 1 if any diagnostic is an error.\n\
+         \n\
+         options:\n\
+         \x20 --molecules N      dataset size (default 64)\n\
+         \x20 --paper            use the paper's 900-molecule dataset\n\
+         \x20 --explain LINT_ID  print the long explanation for one lint"
+    );
+    std::process::exit(2)
+}
+
+fn explain(code: &str) -> ExitCode {
+    match Lint::from_code(code) {
+        Some(lint) => {
+            println!(
+                "{}[{}]: {}",
+                lint.default_severity(),
+                lint.code(),
+                lint.summary()
+            );
+            println!();
+            println!("{}", lint.explain());
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("unknown lint `{code}`; known lints:");
+            for lint in ALL_LINTS {
+                eprintln!("  {:<16} {}", lint.code(), lint.summary());
+            }
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut molecules = 64usize;
+    let mut paper = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--molecules" => {
+                molecules = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--paper" => paper = true,
+            "--explain" => {
+                let code = args.next().unwrap_or_else(|| usage());
+                return explain(&code);
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage()
+            }
+        }
+    }
+
+    let (system, list) = if paper {
+        paper_system()
+    } else {
+        small_system(molecules)
+    };
+    println!(
+        "linting {} molecules, {} neighbour pairs",
+        system.num_molecules(),
+        list.num_pairs()
+    );
+
+    let mut total_errors = 0;
+    for variant in Variant::ALL {
+        println!("\n== variant `{}` ==", variant.name());
+        match analyze(RunSpec::new(&system, &list, variant)) {
+            Ok(diags) => {
+                let (errors, warnings, infos) = severity_counts(&diags);
+                total_errors += errors;
+                if diags.is_empty() {
+                    println!("clean: no diagnostics");
+                } else {
+                    println!("{}", render_all(&diags));
+                }
+                println!("summary: {errors} error(s), {warnings} warning(s), {infos} info(s)");
+            }
+            Err(e) => {
+                // A config-level rejection is as fatal as a lint error.
+                eprintln!("cannot build step program: {e}");
+                total_errors += 1;
+            }
+        }
+    }
+
+    if total_errors > 0 {
+        eprintln!("\nmerrimac-lint: {total_errors} error(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("\nmerrimac-lint: all variants clean of errors");
+        ExitCode::SUCCESS
+    }
+}

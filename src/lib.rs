@@ -18,6 +18,10 @@
 //! * [`sim`] — the stream-level simulator: SRF, stream descriptor
 //!   registers, memory system, scatter-add, timeline and locality counters
 //!   (Figures 7–9, Table 4).
+//! * [`analysis`] — static analysis over kernel IR and stream programs:
+//!   SDR-pressure overlap checker, per-strip ordering admission, SRF
+//!   capacity preflight and kernel dataflow lints (see the
+//!   `merrimac-lint` binary).
 //! * [`streammd`] — the paper's contribution: the four StreamMD variants
 //!   (`expanded`, `fixed`, `variable`, `duplicated`) end to end.
 //! * [`baseline`] — the GROMACS-on-Pentium-4 comparison point.
@@ -49,6 +53,7 @@
 
 pub use blocking_model as blocking;
 pub use md_sim as md;
+pub use merrimac_analysis as analysis;
 pub use merrimac_arch as arch;
 pub use merrimac_kernel as kernel;
 pub use merrimac_net as net;

@@ -1,0 +1,425 @@
+//! Fixtures and properties for the `merrimac_analysis` lint pipeline.
+//!
+//! * One minimal fixture per lint, each triggering its lint exactly
+//!   once (and nothing else).
+//! * The seeded SDR-pressure fixture reproduces the paper's Section 5
+//!   allocation flaw: the analysis predicts an overlap loss, and the
+//!   simulator confirms it (naive policy stalls on SDRs, eager does
+//!   not).
+//! * Every lint documents itself: non-empty summary and `--explain`
+//!   text, and a code that round-trips through `Lint::from_code`.
+//! * Property: on any program the simulator actually runs, the
+//!   analysis never reports an Error — errors are reserved for
+//!   programs the machine would reject.
+
+use std::sync::Arc;
+
+use md_sim::neighbor::{NeighborList, NeighborListParams};
+use md_sim::system::WaterBox;
+use merrimac_analysis::{
+    analyze_kernel, analyze_program, Lint, ProgramContext, Severity, ALL_LINTS,
+};
+use merrimac_arch::{MachineConfig, OpCosts};
+use merrimac_kernel::ir::StreamMode;
+use merrimac_kernel::{Kernel, KernelBuilder};
+use merrimac_sim::{
+    AccessIntent, CompiledKernel, KernelOpt, Memory, ProgramBuilder, SdrPolicy, StreamProcessor,
+    StreamProgram,
+};
+use proptest::prelude::*;
+use streammd::{StreamMdApp, Variant};
+
+fn compile(kernel: Kernel, cfg: &MachineConfig) -> Arc<CompiledKernel> {
+    Arc::new(CompiledKernel::compile(
+        kernel,
+        cfg,
+        &OpCosts::default(),
+        KernelOpt::default(),
+    ))
+}
+
+fn square_kernel(cfg: &MachineConfig) -> Arc<CompiledKernel> {
+    let mut b = KernelBuilder::new("square");
+    let s = b.input("x", 1, StreamMode::EveryIteration);
+    let o = b.output("y", 1);
+    let x = b.read(s, 0);
+    let y = b.mul(x, x);
+    b.write(o, &[y]);
+    compile(b.build(), cfg)
+}
+
+fn count(diags: &[merrimac_analysis::Diagnostic], lint: Lint) -> usize {
+    diags.iter().filter(|d| d.lint == lint).count()
+}
+
+/// Assert the fixture fired `lint` exactly once and nothing else.
+fn assert_only(diags: &[merrimac_analysis::Diagnostic], lint: Lint) {
+    assert_eq!(
+        count(diags, lint),
+        1,
+        "{} must fire exactly once, got: {diags:#?}",
+        lint.code()
+    );
+    assert_eq!(
+        diags.len(),
+        1,
+        "fixture for {} must trigger nothing else, got: {diags:#?}",
+        lint.code()
+    );
+}
+
+/// The Section 5 fixture: 2 SDRs, 6 software-pipelined strips that
+/// each gather *two* input streams. Under the naive retirement policy
+/// both descriptors stay parked while the strip's kernel runs, so no
+/// descriptor is ever free to prefetch the next strip — exactly the
+/// allocation flaw behind Figure 7's 'original' bar.
+fn sdr_fixture(cfg: &MachineConfig) -> (Memory, StreamProgram) {
+    let k = {
+        let mut b = KernelBuilder::new("mul2");
+        let s1 = b.input("x", 1, StreamMode::EveryIteration);
+        let s2 = b.input("y", 1, StreamMode::EveryIteration);
+        let o = b.output("z", 1);
+        let x = b.read(s1, 0);
+        let y = b.read(s2, 0);
+        let z = b.mul(x, y);
+        b.write(o, &[z]);
+        compile(b.build(), cfg)
+    };
+    let n = 1024usize;
+    let strips = 6;
+    let mut mem = Memory::new();
+    let xs = mem.region("xs", (0..strips * n).map(|i| 1.0 + i as f64).collect());
+    let out = mem.region("out", vec![0.0; strips * n]);
+    let mut pb = ProgramBuilder::new();
+    pb.intent(xs, AccessIntent::ReadOnly)
+        .intent(out, AccessIntent::WriteOwned);
+    for strip in 0..strips {
+        pb.strip(strip);
+        let bx = pb.buffer(&format!("x{strip}"), 1);
+        let bx2 = pb.buffer(&format!("x2_{strip}"), 1);
+        let by = pb.buffer(&format!("y{strip}"), 1);
+        let idx: Vec<u32> = (0..n as u32)
+            .map(|i| i + (strip as u32) * n as u32)
+            .collect();
+        pb.gather(format!("gather {strip}"), xs, 1, Arc::new(idx.clone()), bx);
+        pb.gather(format!("gather2 {strip}"), xs, 1, Arc::new(idx), bx2);
+        pb.kernel(
+            format!("kernel {strip}"),
+            k.clone(),
+            vec![bx, bx2],
+            vec![by],
+            vec![],
+            n as u64,
+            (n as u64).div_ceil(16),
+        );
+        pb.store(format!("store {strip}"), by, out, 1, strip * n);
+    }
+    (mem, pb.build())
+}
+
+#[test]
+fn sdr_pressure_fixture_predicts_loss_and_simulator_confirms() {
+    let cfg = MachineConfig {
+        stream_descriptor_registers: 2,
+        ..MachineConfig::default()
+    };
+    let (mem, program) = sdr_fixture(&cfg);
+
+    // Analysis: the naive policy over-subscribes the 2 SDRs.
+    let diags = analyze_program(&ProgramContext {
+        cfg: &cfg,
+        policy: SdrPolicy::Naive,
+        strip_lookahead: 1,
+        program: &program,
+        memory: &mem,
+    });
+    assert_only(&diags, Lint::SdrPressure);
+    let d = &diags[0];
+    assert_eq!(d.severity, Severity::Warn);
+    assert!(
+        d.message.contains("predicted overlap loss"),
+        "must quantify the Figure 7 loss: {}",
+        d.message
+    );
+
+    // The eager policy releases descriptors at completion: silent.
+    let eager_diags = analyze_program(&ProgramContext {
+        cfg: &cfg,
+        policy: SdrPolicy::Eager,
+        strip_lookahead: 1,
+        program: &program,
+        memory: &mem,
+    });
+    assert!(
+        eager_diags.is_empty(),
+        "eager policy must be clean: {eager_diags:#?}"
+    );
+
+    // Simulator confirmation: the predicted stall is real.
+    let (mut m1, p1) = sdr_fixture(&cfg);
+    let naive = StreamProcessor::new(cfg.clone())
+        .with_policy(SdrPolicy::Naive)
+        .run(&mut m1, &p1)
+        .expect("naive runs");
+    let (mut m2, p2) = sdr_fixture(&cfg);
+    let eager = StreamProcessor::new(cfg)
+        .with_policy(SdrPolicy::Eager)
+        .run(&mut m2, &p2)
+        .expect("eager runs");
+    assert!(
+        naive.sdr_stall_cycles > 0,
+        "naive policy must stall the memory unit on SDRs"
+    );
+    assert!(
+        eager.cycles < naive.cycles,
+        "eager ({}) must beat naive ({}) when the analysis flags pressure",
+        eager.cycles,
+        naive.cycles
+    );
+}
+
+#[test]
+fn strip_ordering_fixture_fires_once() {
+    let cfg = MachineConfig::default();
+    let k = square_kernel(&cfg);
+    let n = 64;
+    let mut mem = Memory::new();
+    let xs = mem.region("xs", vec![3.0; 2 * n]);
+    let mut pb = ProgramBuilder::new();
+    pb.intent(xs, AccessIntent::WriteOwned);
+    // Strip 1 re-reads the range strip 0 stored: a real ordering hazard.
+    for strip in 0..2 {
+        pb.strip(strip);
+        let bx = pb.buffer(&format!("x{strip}"), 1);
+        let by = pb.buffer(&format!("y{strip}"), 1);
+        pb.load(format!("load {strip}"), xs, 1, 0, n, bx);
+        pb.kernel(
+            format!("kernel {strip}"),
+            k.clone(),
+            vec![bx],
+            vec![by],
+            vec![],
+            n as u64,
+            (n as u64).div_ceil(16),
+        );
+        pb.store(format!("store {strip}"), by, xs, 1, strip * n);
+    }
+    let program = pb.build();
+    let diags = analyze_program(&ProgramContext {
+        cfg: &cfg,
+        policy: SdrPolicy::Eager,
+        strip_lookahead: 1,
+        program: &program,
+        memory: &mem,
+    });
+    assert_only(&diags, Lint::StripOrdering);
+    assert_eq!(diags[0].severity, Severity::Warn);
+}
+
+#[test]
+fn srf_capacity_fixture_fires_once_as_error() {
+    // Shrink the SRF so a modest kernel working set cannot
+    // double-buffer: 1024-record input + output shares (64 + 64 words
+    // per cluster) against a 64-word SRF.
+    let cfg = MachineConfig {
+        srf_words_per_cluster: 64,
+        ..MachineConfig::default()
+    };
+    let k = square_kernel(&cfg);
+    let n = 1024usize;
+    let mut mem = Memory::new();
+    let xs = mem.region("xs", (0..n).map(|i| i as f64).collect());
+    let out = mem.region("out", vec![0.0; n]);
+    let mut pb = ProgramBuilder::new();
+    pb.intent(xs, AccessIntent::ReadOnly)
+        .intent(out, AccessIntent::WriteOwned);
+    pb.strip(0);
+    let bx = pb.buffer("x", 1);
+    let by = pb.buffer("y", 1);
+    pb.load("load", xs, 1, 0, n, bx);
+    pb.kernel(
+        "kernel",
+        k,
+        vec![bx],
+        vec![by],
+        vec![],
+        n as u64,
+        (n as u64).div_ceil(16),
+    );
+    pb.store("store", by, out, 1, 0);
+    let program = pb.build();
+    let diags = analyze_program(&ProgramContext {
+        cfg: &cfg,
+        policy: SdrPolicy::Eager,
+        strip_lookahead: 1,
+        program: &program,
+        memory: &mem,
+    });
+    assert_only(&diags, Lint::SrfCapacity);
+    let d = &diags[0];
+    assert_eq!(d.severity, Severity::Error);
+    assert!(
+        d.message.contains("words over") || d.message.contains("SRF"),
+        "must report the overflow size: {}",
+        d.message
+    );
+
+    // The error is not a false positive: the simulator rejects the
+    // same program.
+    let proc = StreamProcessor::new(MachineConfig {
+        srf_words_per_cluster: 64,
+        ..MachineConfig::default()
+    });
+    assert!(proc.run(&mut mem, &program).is_err());
+}
+
+#[test]
+fn uninit_reg_read_fixture_fires_once() {
+    let mut b = KernelBuilder::new("frozen_reg");
+    let s = b.input("x", 1, StreamMode::EveryIteration);
+    let o = b.output("y", 1);
+    let r = b.reg(2.5);
+    let x = b.read(s, 0);
+    let rr = b.read_reg(r);
+    let y = b.add(x, rr);
+    b.write(o, &[y]);
+    let diags = analyze_kernel(&b.build());
+    assert_only(&diags, Lint::UninitRegRead);
+    assert!(diags[0].message.contains("never updated"));
+}
+
+#[test]
+fn dead_value_fixture_fires_once() {
+    let mut b = KernelBuilder::new("dead_mul");
+    let s = b.input("x", 1, StreamMode::EveryIteration);
+    let o = b.output("y", 1);
+    let x = b.read(s, 0);
+    let _dead = b.mul(x, x);
+    b.write(o, &[x]);
+    let diags = analyze_kernel(&b.build());
+    assert_only(&diags, Lint::DeadValue);
+}
+
+#[test]
+fn stream_imbalance_fixture_fires_once() {
+    let mut b = KernelBuilder::new("half_record");
+    let s = b.input("xy", 2, StreamMode::EveryIteration);
+    let o = b.output("z", 1);
+    let x = b.read(s, 0); // field 1 never read
+    let z = b.mul(x, x);
+    b.write(o, &[z]);
+    let diags = analyze_kernel(&b.build());
+    assert_only(&diags, Lint::StreamImbalance);
+    assert!(diags[0].message.contains("1 of 2"));
+}
+
+#[test]
+fn unused_output_fixture_fires_once() {
+    let mut b = KernelBuilder::new("spare_output");
+    let s = b.input("x", 1, StreamMode::EveryIteration);
+    let o = b.output("y", 1);
+    let _unused = b.output("spare", 1);
+    let x = b.read(s, 0);
+    let y = b.mul(x, x);
+    b.write(o, &[y]);
+    let diags = analyze_kernel(&b.build());
+    assert_only(&diags, Lint::UnusedOutput);
+    assert!(diags[0].location.contains("spare"));
+}
+
+#[test]
+fn every_lint_documents_itself() {
+    for lint in ALL_LINTS {
+        assert!(!lint.code().is_empty());
+        assert!(
+            !lint.summary().trim().is_empty(),
+            "{} has no summary",
+            lint.code()
+        );
+        assert!(
+            lint.explain().trim().len() > 80,
+            "{} has no real --explain text",
+            lint.code()
+        );
+        assert_eq!(Lint::from_code(lint.code()), Some(lint));
+        assert_eq!(
+            Lint::from_code(&lint.code().to_lowercase()),
+            Some(lint),
+            "codes must match case-insensitively"
+        );
+    }
+    assert_eq!(Lint::from_code("NOT_A_LINT"), None);
+}
+
+#[test]
+fn analyze_hook_passes_clean_programs_through() {
+    // `SimConfigBuilder::analyze()` arms a pre-run gate on
+    // Error-severity diagnostics; a clean shipped variant must run
+    // unchanged with the gate armed.
+    let system = WaterBox::builder().molecules(27).seed(7).build();
+    let params = NeighborListParams {
+        cutoff: (0.45 * system.pbc().side()).min(1.0),
+        skin: 0.0,
+        rebuild_interval: 10,
+    };
+    let list = NeighborList::build(&system, params);
+    let gated = StreamMdApp::builder()
+        .neighbor(params)
+        .analyze()
+        .build()
+        .expect("valid configuration");
+    let plain = StreamMdApp::builder()
+        .neighbor(params)
+        .build()
+        .expect("valid configuration");
+    for v in Variant::ALL {
+        let a = gated
+            .run_step_with_list(&system, &list, v)
+            .unwrap_or_else(|e| panic!("{v} must pass the analyze gate: {e}"));
+        let b = plain.run_step_with_list(&system, &list, v).unwrap();
+        assert_eq!(a.forces, b.forces, "{v}: gate must not perturb results");
+        assert_eq!(
+            a.perf.cycles, b.perf.cycles,
+            "{v}: gate must not perturb timing"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Errors are reserved for programs the machine rejects: any
+    /// StreamMD step program the simulator runs serially must analyze
+    /// with zero Error diagnostics.
+    #[test]
+    fn prop_no_errors_on_runnable_programs(
+        molecules in prop::sample::select(vec![27usize, 48, 64]),
+        seed in 0u64..10_000,
+    ) {
+        let system = WaterBox::builder().molecules(molecules).seed(seed).build();
+        let params = NeighborListParams {
+            cutoff: (0.45 * system.pbc().side()).min(1.0),
+            skin: 0.0,
+            rebuild_interval: 10,
+        };
+        let list = NeighborList::build(&system, params);
+        let app = StreamMdApp::builder()
+            .neighbor(params)
+            .build()
+            .expect("valid configuration");
+        for v in Variant::ALL {
+            app.run_step_with_list(&system, &list, v)
+                .unwrap_or_else(|e| panic!("{v} must run serially: {e}"));
+            let diags = app.analyze_step(&system, &list, v);
+            let errors: Vec<_> = diags
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .collect();
+            prop_assert!(
+                errors.is_empty(),
+                "{v} molecules={molecules} seed={seed}: runnable program \
+                 reported errors: {errors:#?}"
+            );
+        }
+    }
+}
