@@ -11,6 +11,11 @@
 //! * `TREND_DATASET=900` — run the paper's 900-molecule dataset (label
 //!   `trend_900`, looser wall-clock tolerance) instead of the default
 //!   216-molecule box (label `trend_216`).
+//! * `TREND_DATASET=multinode` — run the 216-molecule box through the
+//!   end-to-end multi-node runner at several node counts (label
+//!   `trend_multinode`, records like `variable@n8`); `cycles` is the
+//!   simulated barrier-to-barrier multi-node step, so the gate guards
+//!   the halo-exchange comm model as well as the compute path.
 //! * `TREND_THREADS` — engine worker threads for the functional phase
 //!   (default: host parallelism capped at 8). Simulated metrics are
 //!   bitwise-identical at any count; only wall-clock moves.
@@ -32,10 +37,26 @@ use std::time::Instant;
 use md_sim::neighbor::NeighborList;
 use md_sim::system::WaterBox;
 use merrimac_bench::{
-    banner, paper_system, render_table, run, small_system, trend, PerfReport, RunSpec, Tolerances,
-    VariantRecord,
+    banner, paper_system, render_table, run, run_multinode, small_system, trend, PerfReport,
+    RunSpec, Tolerances, VariantRecord,
 };
 use streammd::Variant;
+
+/// What one gate run executes: every variant on one processor, or
+/// selected variants decomposed over several simulated node counts.
+enum Mode {
+    Variants,
+    MultiNode(&'static [(Variant, usize)]),
+}
+
+/// The multi-node sweep: the conditional-stream variant across the
+/// acceptance node counts plus one block variant for coverage.
+const MULTINODE_POINTS: &[(Variant, usize)] = &[
+    (Variant::Variable, 1),
+    (Variant::Variable, 2),
+    (Variant::Variable, 8),
+    (Variant::Fixed, 8),
+];
 
 /// The dataset the gate runs, selected by `TREND_DATASET`.
 struct Dataset {
@@ -44,6 +65,7 @@ struct Dataset {
     system: WaterBox,
     list: NeighborList,
     tolerance_defaults: Tolerances,
+    mode: Mode,
 }
 
 fn dataset_from_env() -> Dataset {
@@ -56,6 +78,18 @@ fn dataset_from_env() -> Dataset {
                 system,
                 list,
                 tolerance_defaults: Tolerances::paper_scale(),
+                mode: Mode::Variants,
+            }
+        }
+        Ok("multinode") => {
+            let (system, list) = small_system(216);
+            Dataset {
+                label: "trend_multinode",
+                molecules: 216,
+                system,
+                list,
+                tolerance_defaults: Tolerances::default(),
+                mode: Mode::MultiNode(MULTINODE_POINTS),
             }
         }
         _ => {
@@ -66,6 +100,7 @@ fn dataset_from_env() -> Dataset {
                 system,
                 list,
                 tolerance_defaults: Tolerances::default(),
+                mode: Mode::Variants,
             }
         }
     }
@@ -95,20 +130,59 @@ fn main() {
         ds.molecules, ds.label
     );
     let mut current = PerfReport::new(ds.label, ds.molecules, threads);
-    for variant in Variant::ALL {
-        let t0 = Instant::now();
-        match run(RunSpec::new(&ds.system, &ds.list, variant).threads(threads)) {
-            Ok(out) => {
-                let wall = t0.elapsed().as_secs_f64();
-                current
-                    .variants
-                    .push(VariantRecord::from_outcome(variant.name(), &out, wall));
+    match ds.mode {
+        Mode::Variants => {
+            for variant in Variant::ALL {
+                let t0 = Instant::now();
+                match run(RunSpec::new(&ds.system, &ds.list, variant).threads(threads)) {
+                    Ok(out) => {
+                        let wall = t0.elapsed().as_secs_f64();
+                        current.variants.push(VariantRecord::from_outcome(
+                            variant.name(),
+                            &out,
+                            wall,
+                        ));
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        current
+                            .variants
+                            .push(VariantRecord::from_error(variant.name(), &e.to_string()));
+                    }
+                }
             }
-            Err(e) => {
-                eprintln!("{e}");
-                current
-                    .variants
-                    .push(VariantRecord::from_error(variant.name(), &e.to_string()));
+        }
+        Mode::MultiNode(points) => {
+            for &(variant, nodes) in points {
+                let name = format!("{}@n{nodes}", variant.name());
+                let t0 = Instant::now();
+                match run_multinode(
+                    RunSpec::new(&ds.system, &ds.list, variant).threads(threads),
+                    nodes,
+                ) {
+                    Ok(m) => {
+                        let wall = t0.elapsed().as_secs_f64();
+                        let mn = m.breakdown;
+                        println!(
+                            "  {name}: step {} cycles (compute max {}, comm max {}, \
+                             imbalance {:.2}, halo {} words)",
+                            mn.step_cycles,
+                            mn.compute_cycles_max,
+                            mn.comm_cycles_max,
+                            mn.imbalance(),
+                            mn.halo_in_words
+                        );
+                        current
+                            .variants
+                            .push(VariantRecord::from_outcome(&name, &m.outcome, wall));
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        current
+                            .variants
+                            .push(VariantRecord::from_error(&name, &e.to_string()));
+                    }
+                }
             }
         }
     }

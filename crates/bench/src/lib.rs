@@ -15,7 +15,7 @@
 use md_sim::neighbor::{NeighborList, NeighborListParams};
 use md_sim::system::WaterBox;
 use merrimac_sim::machine::SimError;
-use streammd::{StepOutcome, StreamMdApp, Variant};
+use streammd::{MultiNodeOutcome, StepOutcome, StreamMdApp, Variant};
 
 pub mod json;
 pub mod report;
@@ -117,6 +117,26 @@ pub fn run(spec: RunSpec) -> Result<StepOutcome, VariantError> {
         .build()
         .map_err(err)?
         .run_step_with_list(spec.system, spec.list, spec.variant)
+        .map_err(err)
+}
+
+/// Run one fully-specified variant decomposed over `nodes` simulated
+/// Merrimac nodes (the end-to-end multi-node runner). Same validated
+/// configuration path as [`run`], with the node count checked against
+/// the modeled network at build time.
+pub fn run_multinode(spec: RunSpec, nodes: usize) -> Result<MultiNodeOutcome, VariantError> {
+    let err = |source| VariantError {
+        variant: spec.variant,
+        source,
+    };
+    StreamMdApp::builder()
+        .neighbor(spec.list.params)
+        .threads(spec.threads)
+        .variants(&[spec.variant])
+        .nodes(nodes)
+        .build()
+        .map_err(err)?
+        .run_step_multinode(spec.system, spec.list, spec.variant)
         .map_err(err)
 }
 

@@ -17,7 +17,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use merrimac_sim::FallbackKind;
-use streammd::{PhaseBreakdown, StepOutcome};
+use streammd::{MultiNodeBreakdown, PhaseBreakdown, StepOutcome};
 
 use crate::json::{self, Json};
 
@@ -188,6 +188,24 @@ impl VariantRecord {
             ),
             format!("\"wall_seconds\": {}", json_f64(self.wall_seconds)),
         ];
+        // Additive, schema-lenient like the `lints` array: only written
+        // for multi-node steps, ignored-if-missing by the reader, never
+        // diffed by the trend harness (the gated metrics carry it via
+        // `cycles`), so adding it did not bump the schema version.
+        if let Some(mn) = p.multinode {
+            fields.push(format!(
+                "\"multinode\": {{\"nodes\": {}, \"compute_cycles_max\": {}, \
+                 \"compute_cycles_mean\": {}, \"comm_cycles_max\": {}, \"step_cycles\": {}, \
+                 \"halo_in_words\": {}, \"force_out_words\": {}}}",
+                mn.nodes,
+                mn.compute_cycles_max,
+                mn.compute_cycles_mean,
+                mn.comm_cycles_max,
+                mn.step_cycles,
+                mn.halo_in_words,
+                mn.force_out_words
+            ));
+        }
         match &self.error {
             Some(e) => fields.push(format!("\"error\": {}", json_str(e))),
             None => fields.push("\"error\": null".to_string()),
@@ -255,6 +273,20 @@ impl VariantRecord {
             Some(Json::Str(s)) => Some(s.clone()),
             _ => None,
         };
+        // Additive multi-node block: absent (or malformed, in foreign
+        // files) reads as None, mirroring the lenient `lints` handling.
+        let multinode = v.get("multinode").and_then(|mn| {
+            let field = |k: &str| mn.get(k).and_then(Json::as_u64);
+            Some(MultiNodeBreakdown {
+                nodes: field("nodes")? as u32,
+                compute_cycles_max: field("compute_cycles_max")?,
+                compute_cycles_mean: field("compute_cycles_mean")?,
+                comm_cycles_max: field("comm_cycles_max")?,
+                step_cycles: field("step_cycles")?,
+                halo_in_words: field("halo_in_words")?,
+                force_out_words: field("force_out_words")?,
+            })
+        });
         Ok(Self {
             variant: str_field("variant")?,
             cycles: u64_field("cycles")?,
@@ -277,6 +309,7 @@ impl VariantRecord {
                 partition_parallelized,
                 partition_strips,
                 partition_fallback,
+                multinode,
             },
             wall_seconds: f64_field("wall_seconds")?,
             error,
@@ -482,6 +515,15 @@ mod tests {
                 partition_parallelized: true,
                 partition_strips: 4,
                 partition_fallback: None,
+                multinode: Some(MultiNodeBreakdown {
+                    nodes: 8,
+                    compute_cycles_max: 1_200,
+                    compute_cycles_mean: 1_000,
+                    comm_cycles_max: 150,
+                    step_cycles: 1_350,
+                    halo_in_words: 4_000,
+                    force_out_words: 3_600,
+                }),
             },
             wall_seconds: 0.75,
             error: None,

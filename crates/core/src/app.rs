@@ -8,7 +8,7 @@ use md_sim::neighbor::{NeighborList, NeighborListParams};
 use md_sim::system::WaterBox;
 use md_sim::vec3::Vec3;
 use merrimac_analysis::{Diagnostic, ProgramContext};
-use merrimac_arch::{MachineConfig, OpCosts};
+use merrimac_arch::{MachineConfig, NetworkConfig, OpCosts};
 use merrimac_sim::machine::SimError;
 use merrimac_sim::program::Memory;
 use merrimac_sim::{
@@ -78,6 +78,12 @@ pub struct StreamMdApp {
     /// executing it, refusing programs with Error diagnostics. Enabled
     /// via `SimConfigBuilder::analyze`.
     pub analyze: bool,
+    /// The interconnection network the multi-node runner prices
+    /// messages over (paper Section 2.3 folded Clos).
+    pub network: NetworkConfig,
+    /// Simulated node count for [`crate::multinode::run_multinode`]
+    /// (validated against `network` at build time; 1 = single node).
+    pub nodes: usize,
 }
 
 /// A built (but not yet executed) StreamMD step: the stream program,
@@ -117,6 +123,8 @@ impl StreamMdApp {
             block_l: 8,
             strip_iterations: None,
             analyze: false,
+            network: NetworkConfig::default(),
+            nodes: 1,
         }
     }
 

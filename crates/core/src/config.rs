@@ -37,7 +37,8 @@
 //! ```
 
 use md_sim::neighbor::NeighborListParams;
-use merrimac_arch::{MachineConfig, OpCosts};
+use merrimac_arch::{MachineConfig, NetworkConfig, OpCosts};
+use merrimac_net::topology::{NetError, Topology};
 use merrimac_sim::machine::SimError;
 use merrimac_sim::{KernelOpt, SdrPolicy};
 
@@ -58,6 +59,8 @@ pub struct SimConfigBuilder {
     threads: Option<usize>,
     variants: Vec<Variant>,
     analyze: bool,
+    network: NetworkConfig,
+    nodes: usize,
 }
 
 impl Default for SimConfigBuilder {
@@ -86,6 +89,8 @@ impl SimConfigBuilder {
             threads: None,
             variants: Variant::ALL.to_vec(),
             analyze: false,
+            network: NetworkConfig::default(),
+            nodes: 1,
         }
     }
 
@@ -144,6 +149,22 @@ impl SimConfigBuilder {
     /// strip too large for `fixed` can still be built for `variable`.
     pub fn variants(mut self, variants: &[Variant]) -> Self {
         self.variants = variants.to_vec();
+        self
+    }
+
+    /// The interconnection network multi-node steps are priced over
+    /// (paper Section 2.3; Table defaults give the 8,192-node system).
+    pub fn network(mut self, network: NetworkConfig) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Simulated node count for the multi-node runner
+    /// (`streammd::multinode`). Validated at build time against the
+    /// network size — an out-of-range count is a typed preflight error,
+    /// not a mid-run panic.
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
         self
     }
 
@@ -214,6 +235,24 @@ impl SimConfigBuilder {
                 }
             }
         }
+        if self.network.nodes_per_board == 0
+            || self.network.boards_per_backplane == 0
+            || self.network.backplanes == 0
+        {
+            return Err(SimError::Config(
+                "network needs at least one node per board, board and backplane".into(),
+            ));
+        }
+        // The multi-node preflight: reject node counts the modeled
+        // network cannot hold, via the same `Topology::worst_level`
+        // helper the runner and the analytic estimator use.
+        let topo = Topology::new(self.network.clone());
+        topo.worst_level(self.nodes).map_err(|e| match e {
+            NetError::NodeCountOutOfRange { nodes, total } => {
+                SimError::NodesOutOfRange { nodes, total }
+            }
+            other => SimError::Config(other.to_string()),
+        })?;
         let threads = self.threads.unwrap_or(self.cfg.host_threads.max(1));
         Ok(StreamMdApp {
             threads,
@@ -225,6 +264,8 @@ impl SimConfigBuilder {
             block_l: self.block_l,
             strip_iterations: self.strip_iterations,
             analyze: self.analyze,
+            network: self.network,
+            nodes: self.nodes,
         })
     }
 }
@@ -361,6 +402,32 @@ mod tests {
         let w = strip_working_set_per_cluster(Variant::Fixed, 8, 997, 16);
         assert_eq!(w, 10657);
         assert!(w > MachineConfig::default().srf_words_per_cluster);
+    }
+
+    #[test]
+    fn node_count_validated_against_the_network() {
+        // In range: the default network holds 8192 nodes.
+        SimConfigBuilder::new().nodes(8192).build().unwrap();
+        // Out of range is the typed multi-node preflight error.
+        for nodes in [0usize, 8193] {
+            let err = SimConfigBuilder::new().nodes(nodes).build().unwrap_err();
+            match err {
+                SimError::NodesOutOfRange { nodes: n, total } => {
+                    assert_eq!(n, nodes);
+                    assert_eq!(total, 8192);
+                }
+                other => panic!("expected NodesOutOfRange, got {other}"),
+            }
+        }
+        // A degenerate network is rejected before building a topology.
+        let err = SimConfigBuilder::new()
+            .network(NetworkConfig {
+                backplanes: 0,
+                ..NetworkConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SimError::Config(_)), "{err}");
     }
 
     #[test]

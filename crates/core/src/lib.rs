@@ -32,6 +32,7 @@ pub mod kernels;
 pub mod layout;
 pub mod metrics;
 pub mod models;
+pub mod multinode;
 pub mod variant;
 
 pub use app::{PerfSummary, StepOutcome, StepProgram, StreamMdApp};
@@ -39,5 +40,6 @@ pub use config::SimConfigBuilder;
 pub use driver::{DriverReport, MerrimacDriver};
 pub use merrimac_sim::machine::SimError;
 pub use merrimac_sim::{AccessIntent, FallbackKind, PartitionSummary};
-pub use metrics::{AnalyticModel, PhaseBreakdown};
+pub use metrics::{AnalyticModel, MultiNodeBreakdown, PhaseBreakdown};
+pub use multinode::{run_multinode, MultiNodeOutcome, NodeRun};
 pub use variant::{DatasetStats, Variant};

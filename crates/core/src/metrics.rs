@@ -40,6 +40,46 @@ pub struct PhaseBreakdown {
     pub partition_strips: u32,
     /// Why the program fell back to the serial scoreboard, if it did.
     pub partition_fallback: Option<FallbackKind>,
+    /// Multi-node step breakdown, when the step ran through the
+    /// multi-node runner (`streammd::multinode`). `None` for plain
+    /// single-processor steps; serialized additively (schema-lenient,
+    /// like the lints block) so old baselines stay readable.
+    pub multinode: Option<MultiNodeBreakdown>,
+}
+
+/// Per-step summary of a simulated multi-node execution: compute on the
+/// busiest and average node, halo-exchange communication, and the
+/// resulting barrier-to-barrier step. All fields are integer cycle /
+/// word counts so [`PhaseBreakdown`] stays `Copy + Eq`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiNodeBreakdown {
+    /// Simulated node count.
+    pub nodes: u32,
+    /// Compute cycles on the busiest node (critical path).
+    pub compute_cycles_max: u64,
+    /// Mean per-node compute cycles (rounded).
+    pub compute_cycles_mean: u64,
+    /// Worst per-node communication cycles (halo import + force
+    /// return, two dependent phases).
+    pub comm_cycles_max: u64,
+    /// Barrier-to-barrier step cycles: max over nodes of
+    /// import + compute + return.
+    pub step_cycles: u64,
+    /// Total halo position words imported across all nodes.
+    pub halo_in_words: u64,
+    /// Total remote partial-force words returned across all nodes.
+    pub force_out_words: u64,
+}
+
+impl MultiNodeBreakdown {
+    /// Compute load imbalance: busiest node over the mean, minus one
+    /// (0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        if self.compute_cycles_mean == 0 {
+            return 0.0;
+        }
+        self.compute_cycles_max as f64 / self.compute_cycles_mean as f64 - 1.0
+    }
 }
 
 impl PhaseBreakdown {
@@ -54,6 +94,7 @@ impl PhaseBreakdown {
             partition_parallelized: report.partition.parallelized,
             partition_strips: report.partition.strips,
             partition_fallback: report.partition.fallback,
+            multinode: None,
         }
     }
 

@@ -1,0 +1,309 @@
+//! End-to-end simulated multi-node execution (paper Section 2.2).
+//!
+//! The water box is spatially decomposed over N simulated Merrimac
+//! nodes ([`merrimac_net::NodeGrid`]); every strip of the canonical
+//! step program runs on the node that owns its first centre molecule,
+//! and the step is timed as three dependent phases over the folded-Clos
+//! [`Topology`]:
+//!
+//! 1. **halo import** — each node pulls the position records (10 words:
+//!    9 coordinates + index) of every remote molecule its strips
+//!    reference, one message per owning peer, priced at the
+//!    peer-pair's [`Topology::level`] bandwidth/latency;
+//! 2. **local compute** — the node's strips run through the existing
+//!    deterministic parallel engine (`merrimac_sim::parallel`) on a
+//!    private memory shard;
+//! 3. **force return** — accumulated partial forces for remote
+//!    molecules (9 words each) return to their owners as network
+//!    scatter-add messages.
+//!
+//! ## Deterministic cross-node reduction
+//!
+//! Forces are **bitwise-identical at any node count and any host
+//! thread count**. The strip structure is canonical — built once from
+//! the global system, independent of N — and the cross-node force
+//! reduction merges per-strip scatter overlays in canonical global
+//! strip order with the engine's fixed-shape pairwise tree (whose shape
+//! depends only on the strip count). A hierarchical per-node merge
+//! would re-associate the floating-point sums and make the result drift
+//! with N; replaying the reduction in canonical order makes the strip →
+//! node assignment invisible to the arithmetic, exactly like the thread
+//! count already is. The per-node runs produce the *timing* (and their
+//! partial forces are checked against the canonical total in tests).
+
+use std::collections::BTreeMap;
+
+use md_sim::neighbor::NeighborList;
+use md_sim::system::WaterBox;
+use merrimac_net::multinode::{
+    phase_cycles, MultiNodeTiming, NodeGrid, NodeLoad, PhaseMessage, HALO_FORCE_WORDS,
+    HALO_POSITION_WORDS,
+};
+use merrimac_net::topology::{NetError, Topology};
+use merrimac_sim::machine::SimError;
+use merrimac_sim::{StreamProcessor, StreamProgram};
+
+use crate::app::{StepOutcome, StreamMdApp};
+use crate::layout::Strip;
+use crate::metrics::MultiNodeBreakdown;
+use crate::variant::Variant;
+
+/// One node's share of the step: its strips, its simulated run, and the
+/// traffic it exchanged.
+#[derive(Debug, Clone)]
+pub struct NodeRun {
+    pub node: usize,
+    /// Canonical strip ids this node executed.
+    pub strips: Vec<usize>,
+    /// Molecules whose force records this node owns.
+    pub owned_molecules: usize,
+    /// Cycles the node's sub-program took on its stream processor.
+    pub compute_cycles: u64,
+    /// This node's force-region image after running its strips — its
+    /// partial contribution to the global reduction (`(n + 2) × 9`
+    /// words). Summed over nodes this matches the canonical forces up
+    /// to floating-point association.
+    pub forces: Vec<f64>,
+}
+
+/// Result of one simulated multi-node force step.
+#[derive(Debug, Clone)]
+pub struct MultiNodeOutcome {
+    pub nodes: usize,
+    /// The canonical step outcome. `forces` come from the canonical
+    /// global reduction (bitwise N-independent); `perf` is rewritten to
+    /// the multi-node step: `cycles`/`seconds` are barrier-to-barrier,
+    /// `solution_gflops` is the aggregate rate, and
+    /// `perf.phases.multinode` carries the breakdown.
+    pub outcome: StepOutcome,
+    /// Per-node three-phase timing over the topology.
+    pub timing: MultiNodeTiming,
+    pub per_node: Vec<NodeRun>,
+    pub breakdown: MultiNodeBreakdown,
+}
+
+impl MultiNodeOutcome {
+    /// Parallel efficiency vs running the whole step on one node:
+    /// `t₁ / (N · t_N)` in cycles. The single-node step equals the
+    /// canonical run by construction.
+    pub fn efficiency(&self) -> f64 {
+        self.outcome.report.cycles as f64
+            / (self.nodes as f64 * self.breakdown.step_cycles.max(1) as f64)
+    }
+}
+
+fn net_err(e: NetError) -> SimError {
+    match e {
+        NetError::NodeCountOutOfRange { nodes, total } => {
+            SimError::NodesOutOfRange { nodes, total }
+        }
+        other => SimError::Config(other.to_string()),
+    }
+}
+
+/// The node that executes a strip: the owner of its first real centre
+/// molecule (`i_central` for the gather variants, the first real
+/// `c_scatter` target for `variable`, whose centres travel embedded in
+/// the strip's centre records).
+fn strip_owner(s: &Strip, owner: &[usize], n_real: usize) -> usize {
+    if let Some(&c) = s.i_central.iter().find(|&&c| (c as usize) < n_real) {
+        return owner[c as usize];
+    }
+    s.c_scatter
+        .iter()
+        .find(|&&c| (c as usize) < n_real)
+        .map(|&c| owner[c as usize])
+        .unwrap_or(0)
+}
+
+impl StreamMdApp {
+    /// Run one force step of `variant` spatially decomposed over
+    /// `self.nodes` simulated nodes (set via
+    /// [`crate::SimConfigBuilder::nodes`], validated at build time).
+    pub fn run_step_multinode(
+        &self,
+        system: &WaterBox,
+        list: &NeighborList,
+        variant: Variant,
+    ) -> Result<MultiNodeOutcome, SimError> {
+        run_multinode(self, system, list, variant, self.nodes)
+    }
+}
+
+/// Run one force step decomposed over `nodes` simulated nodes. See the
+/// module docs for the execution and timing model.
+pub fn run_multinode(
+    app: &StreamMdApp,
+    system: &WaterBox,
+    list: &NeighborList,
+    variant: Variant,
+    nodes: usize,
+) -> Result<MultiNodeOutcome, SimError> {
+    let topo = Topology::new(app.network.clone());
+    topo.worst_level(nodes).map_err(net_err)?;
+
+    // Canonical run: the N-independent strip structure and the global
+    // fixed-shape reduction. This *is* the deterministic cross-node
+    // force merge (module docs); it also prices the single-node step.
+    let canonical = app.run_step_with_list(system, list, variant)?;
+    let step = app.build_step_program(system, list, variant);
+    let n_real = system.num_molecules();
+
+    // Spatial decomposition: molecules → nodes by wrapped oxygen
+    // position (word 0..3 of each canonical position record).
+    let grid = NodeGrid::new(nodes, system.pbc().side()).map_err(net_err)?;
+    let owner: Vec<usize> = (0..n_real)
+        .map(|m| {
+            grid.node_of([
+                step.layout.positions[m * 9],
+                step.layout.positions[m * 9 + 1],
+                step.layout.positions[m * 9 + 2],
+            ])
+        })
+        .collect();
+    let strip_node: Vec<usize> = step
+        .layout
+        .strips
+        .iter()
+        .map(|s| strip_owner(s, &owner, n_real))
+        .collect();
+
+    let proc = StreamProcessor::new(app.cfg.clone())
+        .with_costs(app.costs.clone())
+        .with_policy(app.policy);
+
+    let mut per_node = Vec::with_capacity(nodes);
+    let mut loads = Vec::with_capacity(nodes);
+    for node in 0..nodes {
+        let strips: Vec<usize> = (0..step.layout.strips.len())
+            .filter(|&sid| strip_node[sid] == node)
+            .collect();
+
+        // The node's sub-program: the canonical ops of its strips over
+        // the shared buffer/intent declarations, run on a private
+        // memory shard (its halo arrives by message, so the shard
+        // simply starts with the imported positions in place).
+        let (compute_cycles, forces) = if strips.is_empty() {
+            (0, vec![0.0; step.layout.force_records * 9])
+        } else {
+            let sub = StreamProgram {
+                buffers: step.program.buffers.clone(),
+                ops: step
+                    .program
+                    .ops
+                    .iter()
+                    .filter(|op| strip_node[op.strip] == node)
+                    .cloned()
+                    .collect(),
+                intents: step.program.intents.clone(),
+            };
+            let mut mem = step.memory.clone();
+            let report = proc.run_parallel(&mut mem, &sub, app.threads)?;
+            (report.cycles, mem.data(step.forces).to_vec())
+        };
+
+        // Halo traffic: positions referenced but not owned come in;
+        // scatter targets not owned go back out. Distinct molecules per
+        // peer — the node accumulates locally and exchanges one record
+        // per remote molecule, as Section 2.2's network scatter-add.
+        let mut referenced = vec![false; n_real];
+        let mut scattered = vec![false; n_real];
+        let mark = |v: &mut Vec<bool>, idx: u32| {
+            if (idx as usize) < n_real {
+                v[idx as usize] = true;
+            }
+        };
+        for &sid in &strips {
+            let s = &step.layout.strips[sid];
+            for &i in s.i_central.iter().chain(&s.i_neighbor) {
+                mark(&mut referenced, i);
+            }
+            if variant == Variant::Variable {
+                // Centre positions travel inside the strip's centre
+                // records rather than through a gather, but they are
+                // remote data all the same.
+                for &c in &s.c_scatter {
+                    mark(&mut referenced, c);
+                }
+            }
+            for &t in s.c_scatter.iter().chain(&s.n_scatter) {
+                mark(&mut scattered, t);
+            }
+        }
+        let mut halo_by_peer: BTreeMap<usize, u64> = BTreeMap::new();
+        let mut force_by_peer: BTreeMap<usize, u64> = BTreeMap::new();
+        for m in 0..n_real {
+            if owner[m] != node {
+                if referenced[m] {
+                    *halo_by_peer.entry(owner[m]).or_default() += 1;
+                }
+                if scattered[m] {
+                    *force_by_peer.entry(owner[m]).or_default() += 1;
+                }
+            }
+        }
+        let imports: Vec<PhaseMessage> = halo_by_peer
+            .iter()
+            .map(|(&peer, &count)| PhaseMessage {
+                src: peer,
+                dst: node,
+                words: count * HALO_POSITION_WORDS,
+            })
+            .collect();
+        let returns: Vec<PhaseMessage> = force_by_peer
+            .iter()
+            .map(|(&peer, &count)| PhaseMessage {
+                src: node,
+                dst: peer,
+                words: count * HALO_FORCE_WORDS,
+            })
+            .collect();
+        let import_cycles = phase_cycles(&topo, &app.cfg, &imports).map_err(net_err)?;
+        let return_cycles = phase_cycles(&topo, &app.cfg, &returns).map_err(net_err)?;
+
+        loads.push(NodeLoad {
+            node,
+            compute_cycles,
+            import_cycles,
+            return_cycles,
+            halo_in_words: imports.iter().map(|m| m.words).sum(),
+            force_out_words: returns.iter().map(|m| m.words).sum(),
+        });
+        per_node.push(NodeRun {
+            node,
+            strips,
+            owned_molecules: owner.iter().filter(|&&o| o == node).count(),
+            compute_cycles,
+            forces,
+        });
+    }
+
+    let timing = MultiNodeTiming { nodes: loads };
+    let breakdown = MultiNodeBreakdown {
+        nodes: nodes as u32,
+        compute_cycles_max: timing.compute_cycles_max(),
+        compute_cycles_mean: timing.compute_cycles_mean().round() as u64,
+        comm_cycles_max: timing.comm_cycles_max(),
+        step_cycles: timing.step_cycles(),
+        halo_in_words: timing.total_halo_in_words(),
+        force_out_words: timing.total_force_out_words(),
+    };
+
+    // Rewrite the summary to the multi-node step: barrier-to-barrier
+    // cycles and the aggregate solution rate over them.
+    let mut outcome = canonical;
+    let step_cycles = breakdown.step_cycles;
+    outcome.perf.cycles = step_cycles;
+    outcome.perf.seconds = app.cfg.cycles_to_seconds(step_cycles);
+    outcome.perf.solution_gflops =
+        outcome.perf.solution_flops as f64 / outcome.perf.seconds.max(f64::MIN_POSITIVE) / 1e9;
+    outcome.perf.phases.multinode = Some(breakdown);
+
+    Ok(MultiNodeOutcome {
+        nodes,
+        outcome,
+        timing,
+        per_node,
+        breakdown,
+    })
+}

@@ -17,8 +17,15 @@
 //! positions are exchanged and remote partial forces are scatter-added
 //! across the network.
 
+//! The [`multinode`] module upgrades X1 from a closed form to an
+//! executed model: it prices real per-node message lists (halo imports,
+//! partial-force returns) over the same topology, for the end-to-end
+//! multi-node runner in `merrimac-core`.
+
+pub mod multinode;
 pub mod scaling;
 pub mod topology;
 
+pub use multinode::{phase_cycles, MultiNodeTiming, NodeGrid, NodeLoad, PhaseMessage};
 pub use scaling::{scaling_sweep, ScalingPoint};
-pub use topology::{NetLevel, Topology};
+pub use topology::{NetError, NetLevel, Topology};

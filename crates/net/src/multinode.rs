@@ -1,0 +1,343 @@
+//! Executed multi-node timing model: spatial node grid, per-phase halo
+//! messages, and barrier-to-barrier step composition.
+//!
+//! This module is the network half of the end-to-end multi-node runner
+//! (the application half lives in `merrimac-core`): it knows nothing
+//! about strips or molecules, only about *messages* — who sends how many
+//! words to whom — and prices them over the folded-Clos [`Topology`]
+//! with per-pair [`Topology::level`] bandwidth and latency.
+//!
+//! A step is three dependent phases per node:
+//!
+//! 1. **halo import** — position records arrive from peer nodes before
+//!    compute can start;
+//! 2. **local compute** — the node's strips run on its own stream
+//!    processor (cycles supplied by the caller);
+//! 3. **force return** — accumulated remote partial forces are sent back
+//!    to their owners as network scatter-add messages.
+//!
+//! The phases do not overlap (positions gate compute, forces require
+//! compute), so a node's step is their sum and the *system* step is the
+//! max over nodes — the barrier the next integration step waits on.
+
+use merrimac_arch::MachineConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::topology::{NetError, Topology};
+
+/// Words per imported halo position record (9 coordinates + index).
+pub const HALO_POSITION_WORDS: u64 = 10;
+/// Words per returned partial-force record (3 sites × 3 components).
+pub const HALO_FORCE_WORDS: u64 = 9;
+
+/// A spatial decomposition of the (cubic, periodic) box into a
+/// gx × gy × gz grid of sub-volumes, one per node.
+///
+/// Node counts are factored into three near-equal dimensions (largest
+/// prime factors placed on the smallest dimension first), so N = 8 is a
+/// 2×2×2 grid and N = 2 splits only the x axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeGrid {
+    pub dims: [usize; 3],
+    side: f64,
+}
+
+impl NodeGrid {
+    pub fn new(nodes: usize, side: f64) -> Result<Self, NetError> {
+        if nodes == 0 || side <= 0.0 || side.is_nan() {
+            return Err(NetError::InvalidGrid { nodes, side });
+        }
+        Ok(Self {
+            dims: Self::balanced_dims(nodes),
+            side,
+        })
+    }
+
+    /// Total nodes (product of the grid dimensions).
+    pub fn nodes(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    fn balanced_dims(nodes: usize) -> [usize; 3] {
+        let mut primes = Vec::new();
+        let mut rem = nodes;
+        let mut f = 2usize;
+        while f * f <= rem {
+            while rem.is_multiple_of(f) {
+                primes.push(f);
+                rem /= f;
+            }
+            f += 1;
+        }
+        if rem > 1 {
+            primes.push(rem);
+        }
+        // Largest factors first, each onto the currently smallest dim.
+        primes.sort_unstable_by(|a, b| b.cmp(a));
+        let mut dims = [1usize; 3];
+        for p in primes {
+            let i = (0..3).min_by_key(|&i| dims[i]).unwrap();
+            dims[i] *= p;
+        }
+        dims
+    }
+
+    /// Owning node of a position (wrapped into the periodic box).
+    pub fn node_of(&self, pos: [f64; 3]) -> usize {
+        let cell = |x: f64, g: usize| {
+            let mut w = x / self.side;
+            w -= w.floor();
+            ((w * g as f64) as usize).min(g - 1)
+        };
+        let ix = cell(pos[0], self.dims[0]);
+        let iy = cell(pos[1], self.dims[1]);
+        let iz = cell(pos[2], self.dims[2]);
+        (ix * self.dims[1] + iy) * self.dims[2] + iz
+    }
+}
+
+/// One point-to-point message inside an exchange phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseMessage {
+    pub src: usize,
+    pub dst: usize,
+    pub words: u64,
+}
+
+/// Cycles a node spends in one exchange phase: serialization of every
+/// message at its level's per-node bandwidth (the node's injection /
+/// ejection port is the shared resource, so message bytes sum) plus the
+/// worst single-message latency (messages to different peers are in
+/// flight concurrently, so latencies take the max, not the sum).
+pub fn phase_cycles(
+    topo: &Topology,
+    machine: &MachineConfig,
+    msgs: &[PhaseMessage],
+) -> Result<u64, NetError> {
+    let mut serialization = 0.0f64;
+    let mut latency = 0u64;
+    for m in msgs {
+        let level = topo.level(m.src, m.dst)?;
+        let gbps = topo.node_bandwidth_gbps(level);
+        if gbps.is_finite() && m.words > 0 {
+            serialization += m.words as f64 * 8.0 / (gbps * 1e9) * machine.clock_hz;
+        }
+        latency = latency.max(topo.latency_cycles(level));
+    }
+    Ok(serialization.ceil() as u64 + latency)
+}
+
+/// Per-node step timing: the three dependent phases plus traffic totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeLoad {
+    pub node: usize,
+    /// Cycles this node's strips took on its own stream processor.
+    pub compute_cycles: u64,
+    /// Phase-1 cycles: halo position import.
+    pub import_cycles: u64,
+    /// Phase-3 cycles: remote partial-force return.
+    pub return_cycles: u64,
+    /// Halo position words imported this step.
+    pub halo_in_words: u64,
+    /// Partial-force words returned to remote owners this step.
+    pub force_out_words: u64,
+}
+
+impl NodeLoad {
+    /// Barrier-to-barrier cycles for this node (dependent phases sum).
+    pub fn step_cycles(&self) -> u64 {
+        self.import_cycles + self.compute_cycles + self.return_cycles
+    }
+
+    pub fn comm_cycles(&self) -> u64 {
+        self.import_cycles + self.return_cycles
+    }
+}
+
+/// The whole system's step timing: one [`NodeLoad`] per node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiNodeTiming {
+    pub nodes: Vec<NodeLoad>,
+}
+
+impl MultiNodeTiming {
+    /// System step: the slowest node holds the barrier.
+    pub fn step_cycles(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(NodeLoad::step_cycles)
+            .max()
+            .unwrap_or(0)
+    }
+
+    pub fn compute_cycles_max(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.compute_cycles)
+            .max()
+            .unwrap_or(0)
+    }
+
+    pub fn compute_cycles_mean(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        self.nodes
+            .iter()
+            .map(|n| n.compute_cycles as f64)
+            .sum::<f64>()
+            / self.nodes.len() as f64
+    }
+
+    pub fn comm_cycles_max(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(NodeLoad::comm_cycles)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Load imbalance: busiest node's compute over the mean, minus one.
+    /// Zero means perfectly balanced; 1.0 means the busiest node does
+    /// twice the average work.
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.compute_cycles_mean();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        self.compute_cycles_max() as f64 / mean - 1.0
+    }
+
+    pub fn total_halo_in_words(&self) -> u64 {
+        self.nodes.iter().map(|n| n.halo_in_words).sum()
+    }
+
+    pub fn total_force_out_words(&self) -> u64 {
+        self.nodes.iter().map(|n| n.force_out_words).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merrimac_arch::NetworkConfig;
+
+    #[test]
+    fn grid_dims_are_balanced() {
+        assert_eq!(NodeGrid::new(1, 1.0).unwrap().dims, [1, 1, 1]);
+        assert_eq!(NodeGrid::new(2, 1.0).unwrap().dims, [2, 1, 1]);
+        assert_eq!(NodeGrid::new(8, 1.0).unwrap().dims, [2, 2, 2]);
+        assert_eq!(NodeGrid::new(12, 1.0).unwrap().dims, [3, 2, 2]);
+        let g = NodeGrid::new(64, 1.0).unwrap();
+        assert_eq!(g.dims, [4, 4, 4]);
+        assert_eq!(g.nodes(), 64);
+    }
+
+    #[test]
+    fn grid_rejects_degenerate_inputs() {
+        assert!(NodeGrid::new(0, 1.0).is_err());
+        assert!(NodeGrid::new(4, 0.0).is_err());
+        assert!(NodeGrid::new(4, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn node_of_partitions_the_box() {
+        let g = NodeGrid::new(8, 2.0).unwrap();
+        assert_eq!(g.node_of([0.1, 0.1, 0.1]), 0);
+        assert_eq!(g.node_of([1.9, 1.9, 1.9]), 7);
+        // Positions outside [0, side) wrap periodically.
+        assert_eq!(g.node_of([2.1, 0.1, 0.1]), g.node_of([0.1, 0.1, 0.1]));
+        assert_eq!(g.node_of([-0.1, 0.1, 0.1]), g.node_of([1.9, 0.1, 0.1]));
+        // Every node id is reachable and in range.
+        let mut seen = [false; 8];
+        for i in 0..8 {
+            let x = 0.25 + 0.5 * (i & 1) as f64;
+            let y = 0.25 + 0.5 * ((i >> 1) & 1) as f64;
+            let z = 0.25 + 0.5 * ((i >> 2) & 1) as f64;
+            seen[g.node_of([x * 2.0, y * 2.0, z * 2.0])] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn phase_cycles_prices_bandwidth_and_latency() {
+        let topo = Topology::new(NetworkConfig::default());
+        let machine = MachineConfig::default();
+        assert_eq!(phase_cycles(&topo, &machine, &[]).unwrap(), 0);
+        let small = phase_cycles(
+            &topo,
+            &machine,
+            &[PhaseMessage {
+                src: 0,
+                dst: 1,
+                words: 100,
+            }],
+        )
+        .unwrap();
+        let big = phase_cycles(
+            &topo,
+            &machine,
+            &[PhaseMessage {
+                src: 0,
+                dst: 1,
+                words: 100_000,
+            }],
+        )
+        .unwrap();
+        assert!(small >= topo.latency_cycles(crate::topology::NetLevel::Board));
+        assert!(big > small, "more words must cost more cycles");
+        // A farther destination costs more for the same words.
+        let far = phase_cycles(
+            &topo,
+            &machine,
+            &[PhaseMessage {
+                src: 0,
+                dst: 16 * 32,
+                words: 100_000,
+            }],
+        )
+        .unwrap();
+        assert!(far > big, "system-level traffic must cost more than board");
+        // Out-of-range endpoints are typed errors.
+        assert!(phase_cycles(
+            &topo,
+            &machine,
+            &[PhaseMessage {
+                src: 0,
+                dst: 1_000_000,
+                words: 1,
+            }]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn timing_composes_phases_and_imbalance() {
+        let t = MultiNodeTiming {
+            nodes: vec![
+                NodeLoad {
+                    node: 0,
+                    compute_cycles: 300,
+                    import_cycles: 10,
+                    return_cycles: 5,
+                    halo_in_words: 100,
+                    force_out_words: 90,
+                },
+                NodeLoad {
+                    node: 1,
+                    compute_cycles: 100,
+                    import_cycles: 50,
+                    return_cycles: 40,
+                    halo_in_words: 200,
+                    force_out_words: 180,
+                },
+            ],
+        };
+        assert_eq!(t.step_cycles(), 315);
+        assert_eq!(t.compute_cycles_max(), 300);
+        assert_eq!(t.comm_cycles_max(), 90);
+        assert!((t.imbalance() - 0.5).abs() < 1e-12);
+        assert_eq!(t.total_halo_in_words(), 300);
+        assert_eq!(t.total_force_out_words(), 270);
+    }
+}

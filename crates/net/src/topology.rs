@@ -1,5 +1,7 @@
 //! Folded-Clos topology model.
 
+use std::fmt;
+
 use merrimac_arch::NetworkConfig;
 use serde::{Deserialize, Serialize};
 
@@ -15,6 +17,47 @@ pub enum NetLevel {
     /// Across the system-level switch (optical).
     System,
 }
+
+/// Typed preflight errors for the network model.
+///
+/// These replace the former `assert!`s so callers (in particular the
+/// `SimConfigBuilder` validation path in `merrimac-core`) can surface
+/// bad multi-node configurations the same way `StripSrfOverflow`-style
+/// preflight errors are surfaced, instead of panicking mid-run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NetError {
+    /// A node id addressed a node outside the modeled system.
+    NodeOutOfRange { node: usize, total: usize },
+    /// A node *count* (for contiguous packing) outside `1..=total`.
+    NodeCountOutOfRange { nodes: usize, total: usize },
+    /// A spatial decomposition that cannot be built (zero nodes or a
+    /// degenerate box).
+    InvalidGrid { nodes: usize, side: f64 },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NodeOutOfRange { node, total } => {
+                write!(f, "node id {node} outside the modeled network (0..{total})")
+            }
+            NetError::NodeCountOutOfRange { nodes, total } => {
+                write!(
+                    f,
+                    "node count {nodes} outside the modeled network (1..={total})"
+                )
+            }
+            NetError::InvalidGrid { nodes, side } => {
+                write!(
+                    f,
+                    "cannot build a {nodes}-node spatial grid over a box of side {side}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
 
 /// A concrete folded-Clos instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -34,20 +77,39 @@ impl Topology {
     }
 
     /// Which level connects nodes `a` and `b`?
-    pub fn level(&self, a: usize, b: usize) -> NetLevel {
-        assert!(a < self.nodes() && b < self.nodes());
+    pub fn level(&self, a: usize, b: usize) -> Result<NetLevel, NetError> {
+        let total = self.nodes();
+        for node in [a, b] {
+            if node >= total {
+                return Err(NetError::NodeOutOfRange { node, total });
+            }
+        }
         if a == b {
-            return NetLevel::Local;
+            return Ok(NetLevel::Local);
         }
         let per_board = self.cfg.nodes_per_board;
         let per_backplane = per_board * self.cfg.boards_per_backplane;
-        if a / per_board == b / per_board {
+        Ok(if a / per_board == b / per_board {
             NetLevel::Board
         } else if a / per_backplane == b / per_backplane {
             NetLevel::Backplane
         } else {
             NetLevel::System
+        })
+    }
+
+    /// The worst (farthest) level any pair inside a contiguously packed
+    /// block of `nodes` nodes has to cross. Single source of truth for
+    /// "what level does an N-node job pay?" — used by both the analytic
+    /// estimator and the multi-node runner so they cannot diverge.
+    pub fn worst_level(&self, nodes: usize) -> Result<NetLevel, NetError> {
+        if nodes == 0 || nodes > self.nodes() {
+            return Err(NetError::NodeCountOutOfRange {
+                nodes,
+                total: self.nodes(),
+            });
         }
+        self.level(0, nodes - 1)
     }
 
     /// Router hops between two nodes (for latency estimates).
@@ -120,10 +182,22 @@ mod tests {
     #[test]
     fn levels_classified() {
         let t = topo();
-        assert_eq!(t.level(0, 0), NetLevel::Local);
-        assert_eq!(t.level(0, 1), NetLevel::Board);
-        assert_eq!(t.level(0, 16), NetLevel::Backplane);
-        assert_eq!(t.level(0, 16 * 32), NetLevel::System);
+        assert_eq!(t.level(0, 0).unwrap(), NetLevel::Local);
+        assert_eq!(t.level(0, 1).unwrap(), NetLevel::Board);
+        assert_eq!(t.level(0, 16).unwrap(), NetLevel::Backplane);
+        assert_eq!(t.level(0, 16 * 32).unwrap(), NetLevel::System);
+    }
+
+    #[test]
+    fn worst_level_tracks_contiguous_packing() {
+        let t = topo();
+        assert_eq!(t.worst_level(1).unwrap(), NetLevel::Local);
+        assert_eq!(t.worst_level(2).unwrap(), NetLevel::Board);
+        assert_eq!(t.worst_level(16).unwrap(), NetLevel::Board);
+        assert_eq!(t.worst_level(17).unwrap(), NetLevel::Backplane);
+        assert_eq!(t.worst_level(512).unwrap(), NetLevel::Backplane);
+        assert_eq!(t.worst_level(513).unwrap(), NetLevel::System);
+        assert_eq!(t.worst_level(8192).unwrap(), NetLevel::System);
     }
 
     #[test]
@@ -133,6 +207,32 @@ mod tests {
         assert!(l(NetLevel::Local) < l(NetLevel::Board));
         assert!(l(NetLevel::Board) < l(NetLevel::Backplane));
         assert!(l(NetLevel::Backplane) < l(NetLevel::System));
+    }
+
+    #[test]
+    fn latency_monotone_for_nondefault_wire_costs() {
+        // Monotonicity must hold for any positive hop/wire costs, not
+        // just the defaults: hops and wire crossings both strictly
+        // increase with level.
+        for (hop, board_wire, system_wire) in [(1, 1, 1), (5, 200, 100), (100, 1, 2000)] {
+            let cfg = NetworkConfig {
+                hop_latency_cycles: hop,
+                board_wire_latency_cycles: board_wire,
+                system_wire_latency_cycles: system_wire,
+                ..NetworkConfig::default()
+            };
+            let t = Topology::new(cfg);
+            let l = |lvl| t.latency_cycles(lvl);
+            assert!(l(NetLevel::Local) < l(NetLevel::Board));
+            assert!(
+                l(NetLevel::Board) < l(NetLevel::Backplane),
+                "hop={hop} board={board_wire}"
+            );
+            assert!(
+                l(NetLevel::Backplane) < l(NetLevel::System),
+                "hop={hop} system={system_wire}"
+            );
+        }
     }
 
     #[test]
@@ -161,9 +261,59 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn out_of_range_node_panics() {
+    fn bisection_consistent_with_backplane_node_bandwidth() {
+        // Both quantities derive from the same `NetworkConfig` link
+        // counts. Algebraically:
+        //   node_bw(Backplane) = R·U·C / nodes_per_board
+        //   bisection          = (BP/2)·Bpb·R·C
+        // so  bisection · U == node_bw(Backplane) · nodes_per_board ·
+        //                      Bpb · BP / 2.
+        for cfg in [
+            NetworkConfig::default(),
+            NetworkConfig {
+                uplinks_per_router: 4,
+                boards_per_backplane: 16,
+                backplanes: 8,
+                ..NetworkConfig::default()
+            },
+        ] {
+            let t = Topology::new(cfg.clone());
+            let lhs = t.bisection_gbps() * cfg.uplinks_per_router as f64;
+            let rhs = t.node_bandwidth_gbps(NetLevel::Backplane)
+                * cfg.nodes_per_board as f64
+                * cfg.boards_per_backplane as f64
+                * cfg.backplanes as f64
+                / 2.0;
+            assert!(
+                (lhs - rhs).abs() < 1e-6 * lhs.abs().max(1.0),
+                "lhs {lhs} rhs {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_node_is_a_typed_error() {
         let t = topo();
-        t.level(0, 1_000_000);
+        assert_eq!(
+            t.level(0, 1_000_000),
+            Err(NetError::NodeOutOfRange {
+                node: 1_000_000,
+                total: 8192
+            })
+        );
+        assert_eq!(
+            t.worst_level(0),
+            Err(NetError::NodeCountOutOfRange {
+                nodes: 0,
+                total: 8192
+            })
+        );
+        assert_eq!(
+            t.worst_level(8193),
+            Err(NetError::NodeCountOutOfRange {
+                nodes: 8193,
+                total: 8192
+            })
+        );
     }
 }

@@ -44,6 +44,12 @@ pub enum SimError {
     },
     /// Invalid configuration rejected before any simulation ran.
     Config(String),
+    /// A multi-node configuration outside the modeled network, rejected
+    /// at build time like the other preflight errors.
+    NodesOutOfRange {
+        nodes: usize,
+        total: usize,
+    },
     /// The scoreboard wedged (a bug or an impossible program).
     Deadlock(String),
     /// Program shape error (e.g. iterations not divisible by unroll).
@@ -67,6 +73,11 @@ impl std::fmt::Display for SimError {
                  machine has {capacity_words_per_cluster}; reduce strip_iterations"
             ),
             SimError::Config(s) => write!(f, "invalid configuration: {s}"),
+            SimError::NodesOutOfRange { nodes, total } => write!(
+                f,
+                "multi-node preflight: {nodes} node(s) requested but the modeled network \
+                 supports 1..={total}"
+            ),
             SimError::Deadlock(s) => write!(f, "scoreboard deadlock: {s}"),
             SimError::Program(s) => write!(f, "malformed program: {s}"),
         }

@@ -44,7 +44,7 @@ fn main() {
         "{:>7} {:>12} {:>11} {:>10} {:>10}",
         "nodes", "step (us)", "speedup", "eff", "TFLOPS"
     );
-    let pts = scaling_sweep(&machine, &net, &w, max_nodes);
+    let pts = scaling_sweep(&machine, &net, &w, max_nodes).expect("modeled node counts");
     let t1 = pts[0].step_seconds;
     for p in &pts {
         println!(
