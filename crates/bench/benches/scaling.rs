@@ -13,10 +13,10 @@
 use std::time::Instant;
 
 use merrimac_arch::{MachineConfig, NetworkConfig};
-use merrimac_bench::{banner, paper_system, run, run_multinode, RunSpec};
+use merrimac_bench::{banner, paper_system, run, RunSpec};
 use merrimac_net::scaling::{estimate, scaling_sweep, ScalingWorkload};
 use merrimac_net::topology::Topology;
-use streammd::Variant;
+use streammd::{MultiNodeBreakdown, Variant};
 
 fn main() {
     banner(
@@ -131,13 +131,25 @@ fn simulated_vs_analytic(
     let mut n = 1usize;
     while n <= max_nodes {
         let t0 = Instant::now();
-        let sim = match run_multinode(RunSpec::new(system, list, Variant::Variable), n) {
-            Ok(m) => m,
+        let sim = match run(RunSpec::new(system, list, Variant::Variable).nodes(n)) {
+            Ok(out) => out,
             Err(e) => {
                 eprintln!("{e}");
                 std::process::exit(1);
             }
         };
+        // n = 1 takes the plain single-node path (no breakdown block);
+        // its step is the canonical run with no communication at all.
+        let mn = sim.perf.phases.multinode.unwrap_or(MultiNodeBreakdown {
+            nodes: 1,
+            compute_cycles_max: sim.perf.cycles,
+            compute_cycles_mean: sim.perf.cycles,
+            comm_cycles_max: 0,
+            step_cycles: sim.perf.cycles,
+            halo_in_words: 0,
+            force_out_words: 0,
+        });
+        let sim_efficiency = sim.report.cycles as f64 / (n as f64 * mn.step_cycles.max(1) as f64);
         let ana = estimate(machine, &topo, &workload, n).expect("in-range node count");
         // What the estimator said before the two-phase latency fix:
         // identical bandwidth cycles, one latency charge instead of two.
@@ -147,20 +159,19 @@ fn simulated_vs_analytic(
             ana.compute_cycles.max(prefix_comm) + 0.05 * prefix_comm.min(ana.compute_cycles);
         let single = workload.molecules * workload.cycles_per_molecule;
         let prefix_eff = single / (n as f64 * prefix_step);
-        let mn = sim.breakdown;
         println!(
             "{:>7} {:>12} {:>12} {:>9.0}% {:>9.2} {:>10} {:>11.2}% {:>11.2}% ({:.1}s)",
             n,
             mn.step_cycles,
             mn.comm_cycles_max,
-            sim.efficiency() * 100.0,
+            sim_efficiency * 100.0,
             mn.imbalance(),
             mn.halo_in_words,
             ana.efficiency * 100.0,
             prefix_eff * 100.0,
             t0.elapsed().as_secs_f64()
         );
-        assert!(sim.efficiency() > 0.0 && sim.efficiency() <= 1.0 + 1e-9);
+        assert!(sim_efficiency > 0.0 && sim_efficiency <= 1.0 + 1e-9);
         assert!(
             ana.efficiency <= prefix_eff + 1e-12,
             "two latency charges cannot make the analytic curve faster"

@@ -37,8 +37,8 @@ use std::time::Instant;
 use md_sim::neighbor::NeighborList;
 use md_sim::system::WaterBox;
 use merrimac_bench::{
-    banner, paper_system, render_table, run, run_multinode, small_system, trend, PerfReport,
-    RunSpec, Tolerances, VariantRecord,
+    banner, paper_system, render_table, run, small_system, trend, PerfReport, RunSpec, Tolerances,
+    VariantRecord,
 };
 use streammd::Variant;
 
@@ -156,25 +156,30 @@ fn main() {
             for &(variant, nodes) in points {
                 let name = format!("{}@n{nodes}", variant.name());
                 let t0 = Instant::now();
-                match run_multinode(
-                    RunSpec::new(&ds.system, &ds.list, variant).threads(threads),
-                    nodes,
-                ) {
-                    Ok(m) => {
+                let spec = RunSpec::new(&ds.system, &ds.list, variant)
+                    .threads(threads)
+                    .nodes(nodes);
+                match run(spec) {
+                    Ok(out) => {
                         let wall = t0.elapsed().as_secs_f64();
-                        let mn = m.breakdown;
-                        println!(
-                            "  {name}: step {} cycles (compute max {}, comm max {}, \
-                             imbalance {:.2}, halo {} words)",
-                            mn.step_cycles,
-                            mn.compute_cycles_max,
-                            mn.comm_cycles_max,
-                            mn.imbalance(),
-                            mn.halo_in_words
-                        );
+                        // n = 1 runs the plain single-node step and has
+                        // no breakdown block to print.
+                        if let Some(mn) = out.perf.phases.multinode {
+                            println!(
+                                "  {name}: step {} cycles (compute max {}, comm max {}, \
+                                 imbalance {:.2}, halo {} words)",
+                                mn.step_cycles,
+                                mn.compute_cycles_max,
+                                mn.comm_cycles_max,
+                                mn.imbalance(),
+                                mn.halo_in_words
+                            );
+                        } else {
+                            println!("  {name}: step {} cycles (single node)", out.perf.cycles);
+                        }
                         current
                             .variants
-                            .push(VariantRecord::from_outcome(&name, &m.outcome, wall));
+                            .push(VariantRecord::from_outcome(&name, &out, wall));
                     }
                     Err(e) => {
                         eprintln!("{e}");

@@ -6,21 +6,27 @@
 //! and consistent.
 //!
 //! Variant execution goes through one entry point: describe the run
-//! with a [`RunSpec`] and pass it to [`run`]. The configuration is
-//! validated by `StreamMdApp::builder()`, so un-runnable setups (e.g. a
-//! strip too large to double-buffer in the SRF) surface as a
-//! [`VariantError`] naming the offending knob instead of wedging the
-//! simulated scoreboard.
+//! with a [`RunSpec`] — dataset, variant, engine threads, simulated
+//! node count, kernel engine — and pass it to [`run`]. The
+//! configuration is validated by `StreamMdApp::builder()`, so
+//! un-runnable setups (e.g. a strip too large to double-buffer in the
+//! SRF, or a node count outside the modeled network) surface as a
+//! typed [`RunError`] naming the offending knob instead of wedging the
+//! simulated scoreboard. `MERRIMAC_*` environment overrides are parsed
+//! in exactly one place, [`RunSpec::from_env_overrides`], and malformed
+//! values are a typed [`RunError::Env`] instead of a silent fallback.
 
 use md_sim::neighbor::{NeighborList, NeighborListParams};
 use md_sim::system::WaterBox;
+use merrimac_analysis::{Diagnostic, Severity};
 use merrimac_sim::machine::SimError;
+use merrimac_sim::KernelEngine;
 use streammd::{MultiNodeOutcome, StepOutcome, StreamMdApp, Variant};
 
 pub mod json;
 pub mod report;
 pub mod trend;
-pub use report::{LintRecord, PerfReport, VariantRecord, SCHEMA_VERSION};
+pub use report::{CampaignRecord, LintRecord, PerfReport, VariantRecord, SCHEMA_VERSION};
 pub use trend::{compare, render_table, Tolerances, TrendDiff};
 
 /// Default seed for the paper dataset across harnesses (deterministic
@@ -74,9 +80,187 @@ impl std::error::Error for VariantError {
     }
 }
 
-/// One variant execution, fully described: the dataset, its neighbour
-/// list, the variant and the engine thread count. Extend with
-/// [`RunSpec::threads`]; execute with [`run`].
+/// A malformed `MERRIMAC_*` environment override, rejected by
+/// [`RunSpec::from_env_overrides`] with the variable, the offending
+/// value and what was expected — instead of the silent fall-back the
+/// scattered ad-hoc parsers used to apply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvOverrideError {
+    pub var: &'static str,
+    pub value: String,
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for EnvOverrideError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "environment override {}={:?} is malformed: expected {}",
+            self.var, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for EnvOverrideError {}
+
+/// The one failure type a run — one-shot [`run`] call or campaign job —
+/// can produce. `bench::VariantError` (simulator/configuration
+/// failures), static-analysis admission rejections and malformed
+/// environment overrides all unify here, so `JobResult` in
+/// `merrimac_campaign` carries a single typed failure and a
+/// `NodesOutOfRange`-style preflight renders identically from the
+/// binary and the service.
+#[derive(Debug)]
+pub enum RunError {
+    /// The simulator (or its configuration preflight) failed.
+    Variant(VariantError),
+    /// The static-analysis admission gate refused the program. The
+    /// structured diagnostics are the same `merrimac_analysis` output
+    /// `merrimac-lint` renders.
+    Admission {
+        variant: Variant,
+        diagnostics: Vec<Diagnostic>,
+    },
+    /// A `MERRIMAC_*` environment override did not parse.
+    Env(EnvOverrideError),
+}
+
+impl RunError {
+    fn sim(variant: Variant, source: SimError) -> Self {
+        RunError::Variant(VariantError { variant, source })
+    }
+
+    /// Error-severity diagnostics of an [`RunError::Admission`]; empty
+    /// for the other variants.
+    pub fn admission_errors(&self) -> Vec<&Diagnostic> {
+        match self {
+            RunError::Admission { diagnostics, .. } => diagnostics
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Variant(e) => e.fmt(f),
+            RunError::Admission {
+                variant,
+                diagnostics,
+            } => {
+                let errors: Vec<&Diagnostic> = diagnostics
+                    .iter()
+                    .filter(|d| d.severity == Severity::Error)
+                    .collect();
+                write!(
+                    f,
+                    "variant {variant} rejected by static-analysis admission ({} error(s))",
+                    errors.len()
+                )?;
+                if let Some(first) = errors.first() {
+                    write!(f, ":\n{}", first.render())?;
+                }
+                Ok(())
+            }
+            RunError::Env(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Variant(e) => Some(e),
+            RunError::Env(e) => Some(e),
+            RunError::Admission { .. } => None,
+        }
+    }
+}
+
+impl From<VariantError> for RunError {
+    fn from(e: VariantError) -> Self {
+        RunError::Variant(e)
+    }
+}
+
+impl From<EnvOverrideError> for RunError {
+    fn from(e: EnvOverrideError) -> Self {
+        RunError::Env(e)
+    }
+}
+
+/// A named dataset a [`RunSpec`] can run over — the cacheable identity
+/// the campaign service keys its artifact cache on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DatasetId {
+    /// The paper's 900-molecule box ([`paper_system`], seed [`SEED`]).
+    Paper,
+    /// A jittered-lattice box of `n` molecules ([`small_system`]).
+    Small(usize),
+}
+
+impl DatasetId {
+    pub fn molecules(self) -> usize {
+        match self {
+            DatasetId::Paper => 900,
+            DatasetId::Small(n) => n,
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetId::Paper => write!(f, "paper-900"),
+            DatasetId::Small(n) => write!(f, "small-{n}"),
+        }
+    }
+}
+
+/// A materialized dataset: the water box and its neighbour list, tagged
+/// with the [`DatasetId`] that reproduces them. One-shot harnesses
+/// borrow from it via [`Dataset::spec`]; the campaign service shares it
+/// across jobs behind an `Arc` and keys compiled artifacts on `id`.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    pub id: DatasetId,
+    pub system: WaterBox,
+    pub list: NeighborList,
+}
+
+impl Dataset {
+    /// Materialize a dataset from its id (deterministic: same id, same
+    /// box, same list).
+    pub fn materialize(id: DatasetId) -> Self {
+        let (system, list) = match id {
+            DatasetId::Paper => paper_system(),
+            DatasetId::Small(n) => small_system(n),
+        };
+        Self { id, system, list }
+    }
+
+    pub fn paper() -> Self {
+        Self::materialize(DatasetId::Paper)
+    }
+
+    pub fn small(molecules: usize) -> Self {
+        Self::materialize(DatasetId::Small(molecules))
+    }
+
+    /// A default run over this dataset.
+    pub fn spec(&self, variant: Variant) -> RunSpec<'_> {
+        RunSpec::new(&self.system, &self.list, variant)
+    }
+}
+
+/// One execution, fully described: the dataset, its neighbour list, the
+/// variant, the engine thread count, the simulated node count and the
+/// kernel engine. Both the one-shot path ([`run`]) and the campaign
+/// service go through this one description. Extend with the builder
+/// methods; execute with [`run`].
 #[derive(Debug, Clone, Copy)]
 pub struct RunSpec<'a> {
     pub system: &'a WaterBox,
@@ -85,6 +269,15 @@ pub struct RunSpec<'a> {
     /// Host worker threads for the functional phase (simulated results
     /// are identical at any count).
     pub threads: usize,
+    /// Simulated Merrimac nodes; `1` runs the single-node step, larger
+    /// counts the end-to-end multi-node runner (validated against the
+    /// modeled network at build time).
+    pub nodes: usize,
+    /// Functional kernel-execution engine. `None` leaves the
+    /// `SimConfigBuilder` default (the legacy lenient
+    /// `MERRIMAC_KERNEL_ENGINE` fallback); set it explicitly — or via
+    /// [`RunSpec::from_env_overrides`], which rejects malformed values.
+    pub engine: Option<KernelEngine>,
 }
 
 impl<'a> RunSpec<'a> {
@@ -94,6 +287,8 @@ impl<'a> RunSpec<'a> {
             list,
             variant,
             threads: 1,
+            nodes: 1,
+            engine: None,
         }
     }
 
@@ -101,59 +296,112 @@ impl<'a> RunSpec<'a> {
         self.threads = threads;
         self
     }
+
+    /// Simulated node count (default 1). Replaces the deprecated
+    /// [`run_multinode`] second argument.
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    pub fn engine(mut self, engine: KernelEngine) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Apply the `MERRIMAC_HOST_THREADS`, `MERRIMAC_NODES` and
+    /// `MERRIMAC_KERNEL_ENGINE` environment overrides to this spec —
+    /// the single place those variables are parsed. Unset variables
+    /// leave the spec untouched; a set-but-malformed value is a typed
+    /// [`RunError::Env`] naming the variable, instead of the silent
+    /// fall-back the legacy defaults apply.
+    pub fn from_env_overrides(mut self) -> Result<Self, RunError> {
+        if let Some(threads) = env_usize("MERRIMAC_HOST_THREADS")? {
+            self.threads = threads;
+        }
+        if let Some(nodes) = env_usize("MERRIMAC_NODES")? {
+            self.nodes = nodes;
+        }
+        if let Some(value) = env_value("MERRIMAC_KERNEL_ENGINE") {
+            self.engine = Some(KernelEngine::parse(&value).ok_or(EnvOverrideError {
+                var: "MERRIMAC_KERNEL_ENGINE",
+                value,
+                expected: "`tape` or `interp`",
+            })?);
+        }
+        Ok(self)
+    }
+
+    /// The validated application this spec describes.
+    fn build_app(&self) -> Result<StreamMdApp, RunError> {
+        let mut b = StreamMdApp::builder()
+            .neighbor(self.list.params)
+            .threads(self.threads)
+            .variants(&[self.variant])
+            .nodes(self.nodes);
+        if let Some(engine) = self.engine {
+            b = b.engine(engine);
+        }
+        b.build().map_err(|e| RunError::sim(self.variant, e))
+    }
 }
 
-/// Run one fully-specified variant — the single execution entry point
-/// behind every harness.
-pub fn run(spec: RunSpec) -> Result<StepOutcome, VariantError> {
-    let err = |source| VariantError {
-        variant: spec.variant,
-        source,
+fn env_value(var: &str) -> Option<String> {
+    std::env::var(var).ok()
+}
+
+fn env_usize(var: &'static str) -> Result<Option<usize>, EnvOverrideError> {
+    let Some(value) = env_value(var) else {
+        return Ok(None);
     };
-    StreamMdApp::builder()
-        .neighbor(spec.list.params)
-        .threads(spec.threads)
-        .variants(&[spec.variant])
-        .build()
-        .map_err(err)?
-        .run_step_with_list(spec.system, spec.list, spec.variant)
-        .map_err(err)
+    match value.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(Some(n)),
+        _ => Err(EnvOverrideError {
+            var,
+            value,
+            expected: "a positive integer",
+        }),
+    }
+}
+
+/// Run one fully-specified step — the single execution entry point
+/// behind every harness and the campaign service. `spec.nodes == 1`
+/// runs the single-node step; larger counts run the end-to-end
+/// multi-node runner and return its canonical [`StepOutcome`] (forces
+/// bitwise node-count-independent, `perf` rewritten to the
+/// barrier-to-barrier step, the breakdown in
+/// `perf.phases.multinode`).
+pub fn run(spec: RunSpec) -> Result<StepOutcome, RunError> {
+    let app = spec.build_app()?;
+    if spec.nodes > 1 {
+        app.run_step_multinode(spec.system, spec.list, spec.variant)
+            .map(|m| m.outcome)
+            .map_err(|e| RunError::sim(spec.variant, e))
+    } else {
+        app.run_step_with_list(spec.system, spec.list, spec.variant)
+            .map_err(|e| RunError::sim(spec.variant, e))
+    }
 }
 
 /// Run one fully-specified variant decomposed over `nodes` simulated
-/// Merrimac nodes (the end-to-end multi-node runner). Same validated
-/// configuration path as [`run`], with the node count checked against
-/// the modeled network at build time.
-pub fn run_multinode(spec: RunSpec, nodes: usize) -> Result<MultiNodeOutcome, VariantError> {
-    let err = |source| VariantError {
-        variant: spec.variant,
-        source,
-    };
-    StreamMdApp::builder()
-        .neighbor(spec.list.params)
-        .threads(spec.threads)
-        .variants(&[spec.variant])
-        .nodes(nodes)
-        .build()
-        .map_err(err)?
+/// Merrimac nodes, returning the full per-node detail.
+#[deprecated(
+    since = "0.1.0",
+    note = "set `RunSpec::nodes` and call `run` (the multi-node breakdown is in \
+            `StepOutcome::perf.phases.multinode`); this shim lasts one release"
+)]
+pub fn run_multinode(spec: RunSpec, nodes: usize) -> Result<MultiNodeOutcome, RunError> {
+    let spec = spec.nodes(nodes);
+    spec.build_app()?
         .run_step_multinode(spec.system, spec.list, spec.variant)
-        .map_err(err)
+        .map_err(|e| RunError::sim(spec.variant, e))
 }
 
 /// Run the static analysis pipeline over one variant's step program
 /// without executing it. Same configuration path as [`run`], so the
 /// diagnostics describe exactly the program the harnesses simulate.
-pub fn analyze(spec: RunSpec) -> Result<Vec<merrimac_analysis::Diagnostic>, VariantError> {
-    let err = |source| VariantError {
-        variant: spec.variant,
-        source,
-    };
-    let app = StreamMdApp::builder()
-        .neighbor(spec.list.params)
-        .threads(spec.threads)
-        .variants(&[spec.variant])
-        .build()
-        .map_err(err)?;
+pub fn analyze(spec: RunSpec) -> Result<Vec<Diagnostic>, RunError> {
+    let app = spec.build_app()?;
     Ok(app.analyze_step(spec.system, spec.list, spec.variant))
 }
 

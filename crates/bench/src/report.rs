@@ -81,6 +81,93 @@ impl LintRecord {
     }
 }
 
+/// Campaign-level rate metrics from `merrimac_campaign`: how many jobs
+/// ran, how the cross-job artifact cache behaved, and the aggregate
+/// throughput. Additive, leniently parsed top-level block like `lints`:
+/// absent in one-shot reports, never diffed by the trend harness, so it
+/// did not bump [`SCHEMA_VERSION`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignRecord {
+    /// Jobs submitted to the service.
+    pub jobs: usize,
+    /// Jobs that produced a `StepOutcome`.
+    pub completed: usize,
+    /// Jobs that failed (admission rejections and simulator errors).
+    pub failed: usize,
+    /// Service worker threads the campaign was scheduled across.
+    pub workers: usize,
+    /// Jobs served compiled artifacts from the cross-job cache.
+    pub cache_hits: usize,
+    /// Jobs that built (and populated) their artifact slot.
+    pub cache_misses: usize,
+    /// Jobs that skipped the cache (multi-node specs).
+    pub cache_bypass: usize,
+    /// Distinct `(dataset, variant, machine)` keys seen.
+    pub distinct_keys: usize,
+    /// Host wall-clock seconds from first submit to drain.
+    pub wall_seconds: f64,
+    /// Completed jobs per host wall-clock second.
+    pub jobs_per_sec: f64,
+    /// Aggregate simulated pair interactions per host wall-clock second
+    /// across all completed jobs.
+    pub interactions_per_sec: f64,
+}
+
+impl CampaignRecord {
+    /// Fraction of cacheable jobs served from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let cacheable = self.cache_hits + self.cache_misses;
+        if cacheable == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / cacheable as f64
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n    \"jobs\": {}, \"completed\": {}, \"failed\": {}, \"workers\": {},\n    \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_bypass\": {}, \
+             \"distinct_keys\": {},\n    \"wall_seconds\": {}, \"jobs_per_sec\": {}, \
+             \"interactions_per_sec\": {}\n  }}",
+            self.jobs,
+            self.completed,
+            self.failed,
+            self.workers,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_bypass,
+            self.distinct_keys,
+            json_f64(self.wall_seconds),
+            json_f64(self.jobs_per_sec),
+            json_f64(self.interactions_per_sec)
+        )
+    }
+
+    fn from_json_value(v: &Json) -> Option<Self> {
+        let count = |k: &str| v.get(k).and_then(Json::as_u64).map(|n| n as usize);
+        // `json_f64` writes non-finite values as null; read them as 0.
+        let num = |k: &str| match v.get(k) {
+            Some(Json::Null) => Some(0.0),
+            Some(j) => j.as_f64(),
+            None => None,
+        };
+        Some(Self {
+            jobs: count("jobs")?,
+            completed: count("completed")?,
+            failed: count("failed")?,
+            workers: count("workers")?,
+            cache_hits: count("cache_hits")?,
+            cache_misses: count("cache_misses")?,
+            cache_bypass: count("cache_bypass")?,
+            distinct_keys: count("distinct_keys")?,
+            wall_seconds: num("wall_seconds")?,
+            jobs_per_sec: num("jobs_per_sec")?,
+            interactions_per_sec: num("interactions_per_sec")?,
+        })
+    }
+}
+
 /// One variant's measurements (or its failure).
 #[derive(Debug, Clone)]
 pub struct VariantRecord {
@@ -333,6 +420,10 @@ pub struct PerfReport {
     /// absent in older schema-3 files (parsed as empty) and ignored by
     /// the trend comparator.
     pub lints: Vec<LintRecord>,
+    /// Campaign-service rate metrics. Additive field: absent in
+    /// one-shot reports (parsed as `None`) and ignored by the trend
+    /// comparator.
+    pub campaign: Option<CampaignRecord>,
 }
 
 impl PerfReport {
@@ -344,20 +435,26 @@ impl PerfReport {
             threads,
             variants: Vec::new(),
             lints: Vec::new(),
+            campaign: None,
         }
     }
 
     pub fn to_json(&self) -> String {
         let variants: Vec<String> = self.variants.iter().map(|v| v.to_json()).collect();
         let lints: Vec<String> = self.lints.iter().map(|l| l.to_json()).collect();
+        let campaign = match &self.campaign {
+            Some(c) => format!(",\n  \"campaign\": {}", c.to_json()),
+            None => String::new(),
+        };
         format!(
-            "{{\n  \"label\": {},\n  \"schema_version\": {},\n  \"molecules\": {},\n  \"threads\": {},\n  \"variants\": [\n{}\n  ],\n  \"lints\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"label\": {},\n  \"schema_version\": {},\n  \"molecules\": {},\n  \"threads\": {},\n  \"variants\": [\n{}\n  ],\n  \"lints\": [\n{}\n  ]{}\n}}\n",
             json_str(&self.label),
             self.schema_version,
             self.molecules,
             self.threads,
             variants.join(",\n"),
-            lints.join(",\n")
+            lints.join(",\n"),
+            campaign
         )
     }
 
@@ -405,6 +502,9 @@ impl PerfReport {
                 .collect::<Result<Vec<_>, _>>()?,
             None => Vec::new(),
         };
+        // Additive campaign block: absent (or malformed, in foreign
+        // files) reads as None, mirroring the lenient `multinode` block.
+        let campaign = v.get("campaign").and_then(CampaignRecord::from_json_value);
         Ok(Self {
             label,
             schema_version: version,
@@ -412,6 +512,7 @@ impl PerfReport {
             threads,
             variants,
             lints,
+            campaign,
         })
     }
 
@@ -572,6 +673,33 @@ mod tests {
             "errors survive the round trip"
         );
         assert_eq!(parsed.lints, report.lints, "lint summary round-trips");
+    }
+
+    #[test]
+    fn campaign_block_round_trips_and_is_optional() {
+        // Absent block (every pre-campaign schema-3 file) parses as None.
+        let mut report = PerfReport::new("camp", 64, 2);
+        let parsed = PerfReport::from_json(&report.to_json()).expect("parses");
+        assert!(parsed.campaign.is_none());
+        assert!(!report.to_json().contains("campaign"));
+
+        report.campaign = Some(CampaignRecord {
+            jobs: 8,
+            completed: 8,
+            failed: 0,
+            workers: 2,
+            cache_hits: 4,
+            cache_misses: 4,
+            cache_bypass: 0,
+            distinct_keys: 4,
+            wall_seconds: 1.5,
+            jobs_per_sec: 5.25,
+            interactions_per_sec: 1.0e6,
+        });
+        let parsed = PerfReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(parsed.campaign, report.campaign, "campaign round-trips");
+        let c = parsed.campaign.unwrap();
+        assert!((c.cache_hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

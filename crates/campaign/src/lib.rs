@@ -1,0 +1,51 @@
+//! Batch campaign service over the StreamMD harness.
+//!
+//! The one-shot entry point (`merrimac_bench::run`) rebuilds and
+//! re-analyzes the step program on every call. A parameter sweep — the
+//! kind behind the paper's Tables 3–5 and the scaling study — runs the
+//! *same* `(dataset, variant, machine)` combination many times over
+//! while only the execution knobs (threads, kernel engine, node count)
+//! vary, so the expensive build work is pure duplication.
+//!
+//! This crate turns those sweeps into **campaigns**: a bounded pool of
+//! host worker threads drains a priority queue of [`Job`]s, each job is
+//! admitted through the static-analysis pipeline (rejections surface as
+//! the same structured `Diagnostics` that `merrimac-lint` prints),
+//! compiled artifacts — the built `StepProgram` plus its analysis
+//! verdict — are shared across jobs through a keyed [`ArtifactCache`],
+//! and structured [`JobResult`]s stream back as they complete.
+//! [`CampaignMetrics`] summarizes the run (jobs/s, aggregate kernel
+//! iterations/s, cache hit rate) and converts into the additive
+//! `campaign` block of `BENCH_*.json` via
+//! [`CampaignMetrics::to_record`].
+//!
+//! Determinism is inherited, not re-proven: execution works on a clone
+//! of the cached memory image (`StreamMdApp::run_step_program`), so a
+//! cache hit is bitwise-identical — forces and cycles — to a fresh
+//! one-shot `bench::run` of the same spec, at any worker/thread count.
+//! `tests/campaign_cache.rs` holds the property test.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use merrimac_bench::Dataset;
+//! use merrimac_campaign::{CampaignService, Job, JobSpec};
+//! use streammd::Variant;
+//!
+//! let ds = Arc::new(Dataset::small(27));
+//! let mut svc = CampaignService::new(2);
+//! for variant in [Variant::Variable, Variant::Fixed] {
+//!     for _ in 0..2 {
+//!         svc.submit(Job::new(JobSpec::new(ds.clone(), variant)));
+//!     }
+//! }
+//! let outcome = svc.finish();
+//! assert_eq!(outcome.metrics.cache.hits, 2);
+//! ```
+
+pub mod cache;
+pub mod service;
+
+pub use cache::{ArtifactCache, CacheKey, CacheStats, CacheStatus, StepArtifact};
+pub use service::{
+    run_campaign, CampaignMetrics, CampaignOutcome, CampaignService, Job, JobId, JobResult, JobSpec,
+};

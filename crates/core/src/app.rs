@@ -12,8 +12,8 @@ use merrimac_arch::{MachineConfig, NetworkConfig, OpCosts};
 use merrimac_sim::machine::SimError;
 use merrimac_sim::program::Memory;
 use merrimac_sim::{
-    AccessIntent, CompiledKernel, KernelOpt, ProgramBuilder, RegionId, RunReport, SdrPolicy,
-    StreamProcessor, StreamProgram,
+    AccessIntent, CompiledKernel, KernelEngine, KernelOpt, ProgramBuilder, RegionId, RunReport,
+    SdrPolicy, StreamProcessor, StreamProgram,
 };
 
 use crate::kernels;
@@ -84,6 +84,13 @@ pub struct StreamMdApp {
     /// Simulated node count for [`crate::multinode::run_multinode`]
     /// (validated against `network` at build time; 1 = single node).
     pub nodes: usize,
+    /// Functional kernel-execution engine (bytecode tape or the
+    /// reference interpreter). Simulated results are bitwise-identical
+    /// under both; only host wall-clock differs. First-class
+    /// configuration state: set it via [`crate::SimConfigBuilder::engine`]
+    /// (or the checked `RunSpec::from_env_overrides` in `merrimac_bench`)
+    /// instead of exporting `MERRIMAC_KERNEL_ENGINE` ad hoc.
+    pub engine: KernelEngine,
 }
 
 /// A built (but not yet executed) StreamMD step: the stream program,
@@ -125,6 +132,7 @@ impl StreamMdApp {
             analyze: false,
             network: NetworkConfig::default(),
             nodes: 1,
+            engine: KernelEngine::from_env(),
         }
     }
 
@@ -235,6 +243,14 @@ impl StreamMdApp {
         variant: Variant,
     ) -> Vec<Diagnostic> {
         let step = self.build_step_program(system, list, variant);
+        self.analyze_built(&step)
+    }
+
+    /// Run the full analysis pipeline over an already-built step
+    /// program. Compile-once callers (the campaign service's artifact
+    /// cache) use this so one `build_step_program` serves both the
+    /// admission verdict and every execution of the same key.
+    pub fn analyze_built(&self, step: &StepProgram) -> Vec<Diagnostic> {
         merrimac_analysis::analyze_program(&ProgramContext {
             cfg: &self.cfg,
             policy: self.policy,
@@ -251,21 +267,9 @@ impl StreamMdApp {
         list: &NeighborList,
         variant: Variant,
     ) -> Result<StepOutcome, SimError> {
-        let StepProgram {
-            memory,
-            program,
-            layout,
-            forces,
-        } = self.build_step_program(system, list, variant);
+        let step = self.build_step_program(system, list, variant);
         if self.analyze {
-            let proc = StreamProcessor::new(self.cfg.clone());
-            let diags = merrimac_analysis::analyze_program(&ProgramContext {
-                cfg: &self.cfg,
-                policy: self.policy,
-                strip_lookahead: proc.strip_lookahead,
-                program: &program,
-                memory: &memory,
-            });
+            let diags = self.analyze_built(&step);
             let errors: Vec<&Diagnostic> = diags
                 .iter()
                 .filter(|d| d.severity == merrimac_analysis::Severity::Error)
@@ -278,15 +282,30 @@ impl StreamMdApp {
                 )));
             }
         }
-        let mut mem = memory;
+        self.run_step_program(system, &step)
+    }
+
+    /// Execute an already-built step program — the per-run half of the
+    /// compile-once / run-many split. The cached [`StepProgram`] stays
+    /// pristine: execution works on a clone of its memory image, so the
+    /// same build can be run any number of times (across jobs, threads
+    /// or engines) with bitwise-identical results to a fresh
+    /// [`StreamMdApp::run_step_with_list`] build.
+    pub fn run_step_program(
+        &self,
+        system: &WaterBox,
+        step: &StepProgram,
+    ) -> Result<StepOutcome, SimError> {
+        let mut mem = step.memory.clone();
         let proc = StreamProcessor::new(self.cfg.clone())
             .with_costs(self.costs.clone())
-            .with_policy(self.policy);
-        let report = proc.run_parallel(&mut mem, &program, self.threads)?;
+            .with_policy(self.policy)
+            .with_engine(self.engine);
+        let report = proc.run_parallel(&mut mem, &step.program, self.threads)?;
 
         // Extract forces for the real molecules.
         let n = system.num_molecules();
-        let raw = mem.data(forces);
+        let raw = mem.data(step.forces);
         let mut out = Vec::with_capacity(n * 3);
         for site in 0..n * 3 {
             out.push(Vec3::new(
@@ -296,8 +315,9 @@ impl StreamMdApp {
             ));
         }
 
+        let layout = &step.layout;
         let real = layout.total_real_interactions();
-        let computed = computed_interactions(&layout);
+        let computed = computed_interactions(layout);
         let solution_flops = real * FLOPS_PER_INTERACTION;
         let seconds = report.seconds(&self.cfg);
         let perf = PerfSummary {

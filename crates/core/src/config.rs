@@ -40,7 +40,7 @@ use md_sim::neighbor::NeighborListParams;
 use merrimac_arch::{MachineConfig, NetworkConfig, OpCosts};
 use merrimac_net::topology::{NetError, Topology};
 use merrimac_sim::machine::SimError;
-use merrimac_sim::{KernelOpt, SdrPolicy};
+use merrimac_sim::{KernelEngine, KernelOpt, SdrPolicy};
 
 use crate::app::StreamMdApp;
 use crate::variant::Variant;
@@ -61,6 +61,7 @@ pub struct SimConfigBuilder {
     analyze: bool,
     network: NetworkConfig,
     nodes: usize,
+    engine: Option<KernelEngine>,
 }
 
 impl Default for SimConfigBuilder {
@@ -91,6 +92,7 @@ impl SimConfigBuilder {
             analyze: false,
             network: NetworkConfig::default(),
             nodes: 1,
+            engine: None,
         }
     }
 
@@ -165,6 +167,16 @@ impl SimConfigBuilder {
     /// not a mid-run panic.
     pub fn nodes(mut self, nodes: usize) -> Self {
         self.nodes = nodes;
+        self
+    }
+
+    /// Functional kernel-execution engine (bytecode tape or the
+    /// reference interpreter). Unset, the legacy
+    /// `MERRIMAC_KERNEL_ENGINE` default applies; prefer setting it here
+    /// (or via `RunSpec::from_env_overrides` in `merrimac_bench`, which
+    /// rejects malformed values with a typed error).
+    pub fn engine(mut self, engine: KernelEngine) -> Self {
+        self.engine = Some(engine);
         self
     }
 
@@ -266,6 +278,7 @@ impl SimConfigBuilder {
             analyze: self.analyze,
             network: self.network,
             nodes: self.nodes,
+            engine: self.engine.unwrap_or_else(KernelEngine::from_env),
         })
     }
 }

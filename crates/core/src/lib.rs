@@ -39,7 +39,7 @@ pub use app::{PerfSummary, StepOutcome, StepProgram, StreamMdApp};
 pub use config::SimConfigBuilder;
 pub use driver::{DriverReport, MerrimacDriver};
 pub use merrimac_sim::machine::SimError;
-pub use merrimac_sim::{AccessIntent, FallbackKind, PartitionSummary};
+pub use merrimac_sim::{AccessIntent, FallbackKind, KernelEngine, PartitionSummary};
 pub use metrics::{AnalyticModel, MultiNodeBreakdown, PhaseBreakdown};
 pub use multinode::{run_multinode, MultiNodeOutcome, NodeRun};
 pub use variant::{DatasetStats, Variant};

@@ -170,7 +170,8 @@ pub fn run_multinode(
 
     let proc = StreamProcessor::new(app.cfg.clone())
         .with_costs(app.costs.clone())
-        .with_policy(app.policy);
+        .with_policy(app.policy)
+        .with_engine(app.engine);
 
     let mut per_node = Vec::with_capacity(nodes);
     let mut loads = Vec::with_capacity(nodes);

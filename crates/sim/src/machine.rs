@@ -170,13 +170,41 @@ pub enum KernelEngine {
 }
 
 impl KernelEngine {
+    /// The engine a value of `MERRIMAC_KERNEL_ENGINE` names, if any.
+    /// This is the single place the value grammar lives; typed rejection
+    /// of malformed values happens in `merrimac_bench`'s
+    /// `RunSpec::from_env_overrides`, which calls this.
+    pub fn parse(value: &str) -> Option<Self> {
+        match value {
+            "tape" => Some(KernelEngine::Tape),
+            "interp" => Some(KernelEngine::Interp),
+            _ => None,
+        }
+    }
+
     /// Resolve from the `MERRIMAC_KERNEL_ENGINE` environment variable
     /// (`interp` or `tape`; anything else, including unset, means tape).
+    /// Lenient legacy default for a raw [`StreamProcessor`]; the
+    /// validated front doors (`SimConfigBuilder::engine`,
+    /// `RunSpec::from_env_overrides`) reject malformed values instead.
     pub fn from_env() -> Self {
-        match std::env::var("MERRIMAC_KERNEL_ENGINE").as_deref() {
-            Ok("interp") => KernelEngine::Interp,
-            _ => KernelEngine::Tape,
+        std::env::var("MERRIMAC_KERNEL_ENGINE")
+            .ok()
+            .and_then(|v| Self::parse(&v))
+            .unwrap_or_default()
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelEngine::Tape => "tape",
+            KernelEngine::Interp => "interp",
         }
+    }
+}
+
+impl std::fmt::Display for KernelEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 

@@ -11,6 +11,7 @@
 
 use md_sim::neighbor::{NeighborList, NeighborListParams};
 use md_sim::system::WaterBox;
+use merrimac_bench::RunSpec;
 use streammd::multinode::MultiNodeOutcome;
 use streammd::{SimConfigBuilder, SimError, Variant};
 
@@ -50,13 +51,14 @@ fn run_nodes(
 fn forces_bitwise_identical_across_nodes_and_threads() {
     let (system, list) = setup(64);
     let mut node_counts = vec![1usize, 2, 8];
-    if let Some(n) = std::env::var("MERRIMAC_NODES")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-    {
-        if !node_counts.contains(&n) {
-            node_counts.push(n);
-        }
+    // `MERRIMAC_NODES` is parsed through the one checked front door
+    // (`RunSpec::from_env_overrides`), so a malformed matrix entry fails
+    // loudly here instead of being silently ignored.
+    let overridden = RunSpec::new(&system, &list, Variant::Variable)
+        .from_env_overrides()
+        .expect("MERRIMAC_* overrides must parse");
+    if !node_counts.contains(&overridden.nodes) {
+        node_counts.push(overridden.nodes);
     }
     for variant in [Variant::Variable, Variant::Fixed] {
         let reference = run_nodes(&system, &list, variant, 1, 2);
