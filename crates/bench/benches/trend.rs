@@ -16,6 +16,11 @@
 //!   `trend_multinode`, records like `variable@n8`); `cycles` is the
 //!   simulated barrier-to-barrier multi-node step, so the gate guards
 //!   the halo-exchange comm model as well as the compute path.
+//! * `TREND_DATASET=lj` — run every variant on a 512-particle
+//!   Lennard-Jones atomic fluid (label `trend_lj`), guarding the
+//!   single-site workload path end to end.
+//! * `TREND_DATASET=charged` — the same box with the charged-particle
+//!   (LJ + Coulomb) model (label `trend_charged`).
 //! * `TREND_THREADS` — engine worker threads for the functional phase
 //!   (default: host parallelism capped at 8). Simulated metrics are
 //!   bitwise-identical at any count; only wall-clock moves.
@@ -37,8 +42,8 @@ use std::time::Instant;
 use md_sim::neighbor::NeighborList;
 use md_sim::system::WaterBox;
 use merrimac_bench::{
-    banner, paper_system, render_table, run, small_system, trend, PerfReport, RunSpec, Tolerances,
-    VariantRecord,
+    atomic_system, banner, paper_system, render_table, run, small_system, trend, PerfReport,
+    RunSpec, Tolerances, VariantRecord,
 };
 use streammd::Variant;
 
@@ -78,6 +83,28 @@ fn dataset_from_env() -> Dataset {
                 system,
                 list,
                 tolerance_defaults: Tolerances::paper_scale(),
+                mode: Mode::Variants,
+            }
+        }
+        Ok("lj") => {
+            let (system, list) = atomic_system(md_sim::water::WaterModel::lj_atom(), 512);
+            Dataset {
+                label: "trend_lj",
+                molecules: 512,
+                system,
+                list,
+                tolerance_defaults: Tolerances::default(),
+                mode: Mode::Variants,
+            }
+        }
+        Ok("charged") => {
+            let (system, list) = atomic_system(md_sim::water::WaterModel::charged_atom(), 512);
+            Dataset {
+                label: "trend_charged",
+                molecules: 512,
+                system,
+                list,
+                tolerance_defaults: Tolerances::default(),
                 mode: Mode::Variants,
             }
         }

@@ -18,10 +18,11 @@
 
 use md_sim::neighbor::{NeighborList, NeighborListParams};
 use md_sim::system::WaterBox;
+use md_sim::water::WaterModel;
 use merrimac_analysis::{Diagnostic, Severity};
 use merrimac_sim::machine::SimError;
 use merrimac_sim::KernelEngine;
-use streammd::{MultiNodeOutcome, StepOutcome, StreamMdApp, Variant};
+use streammd::{StepOutcome, StreamMdApp, Variant, Workload};
 
 pub mod json;
 pub mod report;
@@ -52,6 +53,26 @@ pub fn paper_system() -> (WaterBox, NeighborList) {
 /// A smaller dataset for fast sanity harnesses.
 pub fn small_system(molecules: usize) -> (WaterBox, NeighborList) {
     let system = WaterBox::builder().molecules(molecules).seed(SEED).build();
+    let params = NeighborListParams {
+        cutoff: (0.45 * system.pbc().side()).min(1.0),
+        skin: 0.0,
+        rebuild_interval: 10,
+    };
+    let list = NeighborList::build(&system, params);
+    (system, list)
+}
+
+/// A single-site atomic dataset (LJ fluid or charged particles) of `n`
+/// particles at liquid-argon-like number density, with the same
+/// cutoff policy as [`small_system`]. The size knob sweeps 10⁴–10⁵
+/// particles for scaling studies; small counts serve sanity harnesses.
+pub fn atomic_system(model: WaterModel, particles: usize) -> (WaterBox, NeighborList) {
+    let system = WaterBox::builder()
+        .molecules(particles)
+        .model(model)
+        .density(21.0)
+        .seed(SEED)
+        .build();
     let params = NeighborListParams {
         cutoff: (0.45 * system.pbc().side()).min(1.0),
         skin: 0.0,
@@ -198,15 +219,31 @@ impl From<EnvOverrideError> for RunError {
 pub enum DatasetId {
     /// The paper's 900-molecule box ([`paper_system`], seed [`SEED`]).
     Paper,
-    /// A jittered-lattice box of `n` molecules ([`small_system`]).
+    /// A jittered-lattice box of `n` water molecules ([`small_system`]).
     Small(usize),
+    /// A plain Lennard-Jones atomic fluid of `n` particles
+    /// ([`atomic_system`] with [`WaterModel::lj_atom`]).
+    Lj(usize),
+    /// A charged-particle LJ+Coulomb box of `n` particles
+    /// ([`atomic_system`] with [`WaterModel::charged_atom`]).
+    Charged(usize),
 }
 
 impl DatasetId {
     pub fn molecules(self) -> usize {
         match self {
             DatasetId::Paper => 900,
-            DatasetId::Small(n) => n,
+            DatasetId::Small(n) | DatasetId::Lj(n) | DatasetId::Charged(n) => n,
+        }
+    }
+
+    /// The workload this dataset exercises — part of the cacheable
+    /// identity, so artifact caches and baselines are workload-aware.
+    pub fn workload(self) -> Workload {
+        match self {
+            DatasetId::Paper | DatasetId::Small(_) => Workload::Water,
+            DatasetId::Lj(_) => Workload::LjFluid,
+            DatasetId::Charged(_) => Workload::Charged,
         }
     }
 }
@@ -216,6 +253,8 @@ impl std::fmt::Display for DatasetId {
         match self {
             DatasetId::Paper => write!(f, "paper-900"),
             DatasetId::Small(n) => write!(f, "small-{n}"),
+            DatasetId::Lj(n) => write!(f, "lj-{n}"),
+            DatasetId::Charged(n) => write!(f, "charged-{n}"),
         }
     }
 }
@@ -238,6 +277,8 @@ impl Dataset {
         let (system, list) = match id {
             DatasetId::Paper => paper_system(),
             DatasetId::Small(n) => small_system(n),
+            DatasetId::Lj(n) => atomic_system(WaterModel::lj_atom(), n),
+            DatasetId::Charged(n) => atomic_system(WaterModel::charged_atom(), n),
         };
         Self { id, system, list }
     }
@@ -248,6 +289,21 @@ impl Dataset {
 
     pub fn small(molecules: usize) -> Self {
         Self::materialize(DatasetId::Small(molecules))
+    }
+
+    /// A Lennard-Jones atomic fluid of `particles` single-site atoms.
+    pub fn lj(particles: usize) -> Self {
+        Self::materialize(DatasetId::Lj(particles))
+    }
+
+    /// A charged-particle (LJ + Coulomb) box of `particles` atoms.
+    pub fn charged(particles: usize) -> Self {
+        Self::materialize(DatasetId::Charged(particles))
+    }
+
+    /// The workload this dataset exercises.
+    pub fn workload(&self) -> Workload {
+        self.id.workload()
     }
 
     /// A default run over this dataset.
@@ -297,8 +353,7 @@ impl<'a> RunSpec<'a> {
         self
     }
 
-    /// Simulated node count (default 1). Replaces the deprecated
-    /// [`run_multinode`] second argument.
+    /// Simulated node count (default 1).
     pub fn nodes(mut self, nodes: usize) -> Self {
         self.nodes = nodes;
         self
@@ -383,20 +438,6 @@ pub fn run(spec: RunSpec) -> Result<StepOutcome, RunError> {
     }
 }
 
-/// Run one fully-specified variant decomposed over `nodes` simulated
-/// Merrimac nodes, returning the full per-node detail.
-#[deprecated(
-    since = "0.1.0",
-    note = "set `RunSpec::nodes` and call `run` (the multi-node breakdown is in \
-            `StepOutcome::perf.phases.multinode`); this shim lasts one release"
-)]
-pub fn run_multinode(spec: RunSpec, nodes: usize) -> Result<MultiNodeOutcome, RunError> {
-    let spec = spec.nodes(nodes);
-    spec.build_app()?
-        .run_step_multinode(spec.system, spec.list, spec.variant)
-        .map_err(|e| RunError::sim(spec.variant, e))
-}
-
 /// Run the static analysis pipeline over one variant's step program
 /// without executing it. Same configuration path as [`run`], so the
 /// diagnostics describe exactly the program the harnesses simulate.
@@ -428,6 +469,30 @@ mod tests {
             let out = run(RunSpec::new(&system, &list, v)).unwrap_or_else(|e| panic!("{e}"));
             assert!(out.perf.cycles > 0, "{v} produced no cycles");
         }
+    }
+
+    #[test]
+    fn atomic_datasets_run_every_variant() {
+        for ds in [Dataset::lj(64), Dataset::charged(64)] {
+            for v in Variant::ALL {
+                let out = run(ds.spec(v)).unwrap_or_else(|e| panic!("{} {v}: {e}", ds.id));
+                assert!(out.perf.cycles > 0, "{} {v} produced no cycles", ds.id);
+                assert_eq!(out.forces.len(), 64);
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_ids_are_workload_aware() {
+        assert_eq!(DatasetId::Paper.workload(), Workload::Water);
+        assert_eq!(DatasetId::Small(27).workload(), Workload::Water);
+        assert_eq!(DatasetId::Lj(100).workload(), Workload::LjFluid);
+        assert_eq!(DatasetId::Charged(100).workload(), Workload::Charged);
+        assert_eq!(DatasetId::Lj(100).to_string(), "lj-100");
+        assert_eq!(DatasetId::Charged(100).to_string(), "charged-100");
+        assert_eq!(DatasetId::Charged(100).molecules(), 100);
+        // Distinct workloads at the same size are distinct cache keys.
+        assert_ne!(DatasetId::Lj(100), DatasetId::Charged(100));
     }
 
     #[test]

@@ -97,8 +97,10 @@ pub enum CacheStatus {
     Hit,
     /// This job built (and populated) the slot.
     Miss,
-    /// The job skipped the cache (multi-node specs go through the
-    /// end-to-end runner, which builds its own decomposition).
+    /// The job deliberately skipped the cache. No current job class
+    /// does (multi-node specs now decompose the cached canonical
+    /// build); the status and its metrics field remain for report
+    /// schema stability.
     Bypass,
 }
 

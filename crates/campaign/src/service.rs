@@ -16,10 +16,9 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use merrimac_analysis::Severity;
 use merrimac_bench::{CampaignRecord, Dataset, RunError, RunSpec, VariantError};
 use merrimac_sim::KernelEngine;
-use streammd::{StepOutcome, StreamMdApp, Variant};
+use streammd::{run_multinode_program, StepOutcome, StreamMdApp, Variant};
 
 use crate::cache::{ArtifactCache, CacheKey, CacheStats, CacheStatus, StepArtifact};
 
@@ -397,57 +396,38 @@ fn execute(shared: &Shared, q: Queued) -> JobResult {
     let (cache, result) = match spec.build_app() {
         Err(e) => (None, Err(e)),
         Ok(app) => {
-            if spec.nodes > 1 {
-                // Multi-node jobs bypass the artifact cache: the
-                // end-to-end runner builds its own decomposition. The
-                // admission gate still applies, per job.
-                shared.cache.note_bypass();
-                let diagnostics =
-                    app.analyze_step(&spec.dataset.system, &spec.dataset.list, spec.variant);
-                if diagnostics.iter().any(|d| d.severity == Severity::Error) {
-                    (
-                        Some(CacheStatus::Bypass),
-                        Err(RunError::Admission {
-                            variant: spec.variant,
-                            diagnostics,
-                        }),
-                    )
-                } else {
-                    let run = app
-                        .run_step_multinode(&spec.dataset.system, &spec.dataset.list, spec.variant)
-                        .map(|m| m.outcome)
-                        .map_err(|source| {
-                            RunError::from(VariantError {
-                                variant: spec.variant,
-                                source,
-                            })
-                        });
-                    (Some(CacheStatus::Bypass), run)
-                }
+            // Single- and multi-node jobs share one cached artifact per
+            // `(dataset, variant, machine)` key: the canonical step
+            // program is node-count-independent, so the multi-node
+            // runner decomposes the same build a single-node job runs.
+            let key = CacheKey::for_app(&app, spec.dataset.id, spec.variant);
+            let (artifact, status) = shared.cache.get_or_build(key, || {
+                StepArtifact::build(&app, &spec.dataset, spec.variant)
+            });
+            if !artifact.admitted() {
+                (
+                    Some(status),
+                    Err(RunError::Admission {
+                        variant: spec.variant,
+                        diagnostics: artifact.diagnostics.clone(),
+                    }),
+                )
             } else {
-                let key = CacheKey::for_app(&app, spec.dataset.id, spec.variant);
-                let (artifact, status) = shared.cache.get_or_build(key, || {
-                    StepArtifact::build(&app, &spec.dataset, spec.variant)
-                });
-                if !artifact.admitted() {
-                    (
-                        Some(status),
-                        Err(RunError::Admission {
-                            variant: spec.variant,
-                            diagnostics: artifact.diagnostics.clone(),
-                        }),
-                    )
+                let sim_err = |source| {
+                    RunError::from(VariantError {
+                        variant: spec.variant,
+                        source,
+                    })
+                };
+                let run = if spec.nodes > 1 {
+                    run_multinode_program(&app, &spec.dataset.system, &artifact.step, spec.nodes)
+                        .map(|m| m.outcome)
+                        .map_err(sim_err)
                 } else {
-                    let run = app
-                        .run_step_program(&spec.dataset.system, &artifact.step)
-                        .map_err(|source| {
-                            RunError::from(VariantError {
-                                variant: spec.variant,
-                                source,
-                            })
-                        });
-                    (Some(status), run)
-                }
+                    app.run_step_program(&spec.dataset.system, &artifact.step)
+                        .map_err(sim_err)
+                };
+                (Some(status), run)
             }
         }
     };
@@ -518,23 +498,57 @@ mod tests {
     }
 
     #[test]
-    fn multinode_jobs_bypass_the_cache_and_still_run() {
+    fn multinode_jobs_share_the_cached_step_program() {
         let ds = Arc::new(Dataset::small(64));
+        // Same (dataset, variant, machine) at three node counts: one
+        // build serves all three — the canonical step program is
+        // node-count-independent, so nothing bypasses the cache.
         let jobs = vec![
             Job::new(JobSpec::new(ds.clone(), Variant::Variable).nodes(2)),
             Job::new(JobSpec::new(ds.clone(), Variant::Variable)),
+            Job::new(JobSpec::new(ds.clone(), Variant::Variable).nodes(8)),
+        ];
+        let out = run_campaign(jobs, 2);
+        assert_eq!(out.metrics.completed, 3);
+        assert_eq!(out.metrics.cache.bypass, 0);
+        assert_eq!(out.metrics.cache.misses, 1, "one build per distinct key");
+        assert_eq!(out.metrics.cache.hits, 2);
+        assert_eq!(out.metrics.cache.distinct_keys, 1);
+        let single = out
+            .results
+            .iter()
+            .find(|r| r.label.ends_with("@n1"))
+            .expect("single-node result present");
+        let single_forces = &single.result.as_ref().expect("runs").forces;
+        for r in &out.results {
+            let step = r.result.as_ref().expect("job completes");
+            if r.label.ends_with("@n1") {
+                assert!(step.perf.phases.multinode.is_none());
+            } else {
+                assert!(step.perf.phases.multinode.is_some());
+            }
+            // Forces are bitwise node-count-independent off the shared build.
+            assert_eq!(&step.forces, single_forces);
+        }
+    }
+
+    #[test]
+    fn multinode_atomic_jobs_run_through_the_cache() {
+        let ds = Arc::new(Dataset::charged(64));
+        let jobs = vec![
+            Job::new(JobSpec::new(ds.clone(), Variant::Fixed).nodes(2)),
+            Job::new(JobSpec::new(ds.clone(), Variant::Fixed)),
         ];
         let out = run_campaign(jobs, 2);
         assert_eq!(out.metrics.completed, 2);
-        assert_eq!(out.metrics.cache.bypass, 1);
-        assert_eq!(out.metrics.cache.misses, 1);
-        let multi = out
+        assert_eq!(out.metrics.cache.bypass, 0);
+        assert_eq!(out.metrics.cache.distinct_keys, 1);
+        let forces: Vec<_> = out
             .results
             .iter()
-            .find(|r| r.cache == Some(CacheStatus::Bypass))
-            .expect("bypass result present");
-        let step = multi.result.as_ref().expect("multi-node job completes");
-        assert!(step.perf.phases.multinode.is_some());
+            .map(|r| r.result.as_ref().expect("runs").forces.clone())
+            .collect();
+        assert_eq!(forces[0], forces[1]);
     }
 
     #[test]

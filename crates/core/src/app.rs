@@ -3,7 +3,6 @@
 
 use std::sync::Arc;
 
-use md_sim::force::{ForceField, FLOPS_PER_INTERACTION};
 use md_sim::neighbor::{NeighborList, NeighborListParams};
 use md_sim::system::WaterBox;
 use md_sim::vec3::Vec3;
@@ -20,13 +19,15 @@ use crate::kernels;
 use crate::layout::{build_layout, Layout, Strip};
 use crate::metrics::PhaseBreakdown;
 use crate::variant::{DatasetStats, Variant};
+use crate::workload::Workload;
 
 /// Figure 9-style performance summary of one force step.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PerfSummary {
     pub cycles: u64,
     pub seconds: f64,
-    /// Useful flops (234 × real interactions).
+    /// Useful flops (workload flops/interaction × real interactions;
+    /// 234 for water, 35 for the LJ fluid, 41 for charged particles).
     pub solution_flops: u64,
     pub solution_gflops: f64,
     /// All executed hardware flops (including dummies/duplicates).
@@ -48,7 +49,8 @@ pub struct PerfSummary {
 /// Output of one StreamMD force step.
 #[derive(Debug, Clone)]
 pub struct StepOutcome {
-    /// Per-site forces (kJ·mol⁻¹·nm⁻¹), `3 × molecules` entries.
+    /// Per-site forces (kJ·mol⁻¹·nm⁻¹), `sites × molecules` entries
+    /// (3 per molecule for water, 1 for atomic workloads).
     pub forces: Vec<Vec3>,
     pub perf: PerfSummary,
     pub report: RunReport,
@@ -137,25 +139,25 @@ impl StreamMdApp {
     }
 
     /// Default strip size: fill roughly a third of the SRF with live
-    /// strip state so double buffering fits.
-    fn default_strip(&self, variant: Variant) -> usize {
+    /// strip state so double buffering fits. `width` is the molecule
+    /// record width in words (9 for water, 3 for atomic workloads).
+    fn default_strip(&self, variant: Variant, width: usize) -> usize {
         let budget = self.cfg.srf_words_per_cluster * self.cfg.clusters / 3;
+        let w = width;
+        // Live SRF words per kernel iteration: position/shift/force
+        // records plus index and flag words (width 9 reproduces the
+        // water sizes 48, 29+19L, 29+10L, 20).
         let words_per_iter = match variant {
-            Variant::Expanded => 48,
-            Variant::Fixed => 29 + 19 * self.block_l,
-            Variant::Duplicated => 29 + 10 * self.block_l,
-            Variant::Variable => 20,
+            Variant::Expanded => 5 * w + 3,
+            Variant::Fixed => (3 * w + 2) + (2 * w + 1) * self.block_l,
+            Variant::Duplicated => (3 * w + 2) + (w + 1) * self.block_l,
+            Variant::Variable => 2 * w + 2,
         };
         (budget / words_per_iter).clamp(16, 4096)
     }
 
-    fn compile(&self, variant: Variant) -> Arc<CompiledKernel> {
-        let k = match variant {
-            Variant::Expanded => kernels::expanded_kernel(),
-            Variant::Fixed => kernels::block_kernel(self.block_l, true),
-            Variant::Duplicated => kernels::block_kernel(self.block_l, false),
-            Variant::Variable => kernels::variable_kernel(),
-        };
+    fn compile(&self, workload: Workload, variant: Variant) -> Arc<CompiledKernel> {
+        let k = kernels::workload_kernel(workload, variant, self.block_l);
         Arc::new(CompiledKernel::compile(
             k,
             &self.cfg,
@@ -180,18 +182,19 @@ impl StreamMdApp {
         list: &NeighborList,
         variant: Variant,
     ) -> StepProgram {
+        let workload = Workload::of_model(system.model());
+        let w = workload.width();
         let strip = self
             .strip_iterations
-            .unwrap_or_else(|| self.default_strip(variant));
+            .unwrap_or_else(|| self.default_strip(variant, w));
         let layout = build_layout(system, list, variant, self.block_l, strip);
-        let kernel = self.compile(variant);
-        let ff = ForceField::from_model(system.model());
-        let params = kernels::kernel_params(&ff);
+        let kernel = self.compile(workload, variant);
+        let params = kernels::workload_params(workload, system.model());
 
         let mut mem = Memory::new();
         let positions = mem.region("positions", layout.positions.clone());
         let shifts = mem.region("shift_table", layout.shift_table.clone());
-        let forces = mem.region("forces", vec![0.0; layout.force_records * 9]);
+        let forces = mem.region("forces", vec![0.0; layout.force_records * w]);
 
         let mut pb = ProgramBuilder::new();
         // Access intents: the positions table and shift table are
@@ -206,13 +209,14 @@ impl StreamMdApp {
             pb.strip(sid);
             match variant {
                 Variant::Expanded => self.emit_expanded(
-                    &mut pb, &mut mem, sid, s, &kernel, &params, positions, shifts, forces,
+                    &mut pb, &mut mem, sid, s, w, &kernel, &params, positions, shifts, forces,
                 ),
                 Variant::Fixed | Variant::Duplicated => self.emit_blocks(
                     &mut pb,
                     &mut mem,
                     sid,
                     s,
+                    w,
                     &kernel,
                     &params,
                     positions,
@@ -221,7 +225,7 @@ impl StreamMdApp {
                     variant == Variant::Fixed,
                 ),
                 Variant::Variable => self.emit_variable(
-                    &mut pb, &mut mem, sid, s, &kernel, &params, positions, forces,
+                    &mut pb, &mut mem, sid, s, w, &kernel, &params, positions, forces,
                 ),
             }
         }
@@ -269,20 +273,27 @@ impl StreamMdApp {
     ) -> Result<StepOutcome, SimError> {
         let step = self.build_step_program(system, list, variant);
         if self.analyze {
-            let diags = self.analyze_built(&step);
-            let errors: Vec<&Diagnostic> = diags
-                .iter()
-                .filter(|d| d.severity == merrimac_analysis::Severity::Error)
-                .collect();
-            if let Some(first) = errors.first() {
-                return Err(SimError::Program(format!(
-                    "static analysis rejected the program ({} error(s)):\n{}",
-                    errors.len(),
-                    first.render()
-                )));
-            }
+            self.admit_built(&step)?;
         }
         self.run_step_program(system, &step)
+    }
+
+    /// Admission gate over an already-built step program: run the static
+    /// analysis pipeline and reject on any `Error`-severity diagnostic.
+    pub fn admit_built(&self, step: &StepProgram) -> Result<(), SimError> {
+        let diags = self.analyze_built(step);
+        let errors: Vec<&Diagnostic> = diags
+            .iter()
+            .filter(|d| d.severity == merrimac_analysis::Severity::Error)
+            .collect();
+        if let Some(first) = errors.first() {
+            return Err(SimError::Program(format!(
+                "static analysis rejected the program ({} error(s)):\n{}",
+                errors.len(),
+                first.render()
+            )));
+        }
+        Ok(())
     }
 
     /// Execute an already-built step program — the per-run half of the
@@ -303,11 +314,13 @@ impl StreamMdApp {
             .with_engine(self.engine);
         let report = proc.run_parallel(&mut mem, &step.program, self.threads)?;
 
-        // Extract forces for the real molecules.
+        // Extract forces for the real molecules (one Vec3 per site).
+        let layout = &step.layout;
         let n = system.num_molecules();
+        let sites = layout.width / 3;
         let raw = mem.data(step.forces);
-        let mut out = Vec::with_capacity(n * 3);
-        for site in 0..n * 3 {
+        let mut out = Vec::with_capacity(n * sites);
+        for site in 0..n * sites {
             out.push(Vec3::new(
                 raw[site * 3],
                 raw[site * 3 + 1],
@@ -315,10 +328,10 @@ impl StreamMdApp {
             ));
         }
 
-        let layout = &step.layout;
+        let flops_per = layout.workload.flops_per_interaction();
         let real = layout.total_real_interactions();
         let computed = computed_interactions(layout);
-        let solution_flops = real * FLOPS_PER_INTERACTION;
+        let solution_flops = real * flops_per;
         let seconds = report.seconds(&self.cfg);
         let perf = PerfSummary {
             cycles: report.cycles,
@@ -329,9 +342,7 @@ impl StreamMdApp {
                 .cfg
                 .gflops(report.counters.hardware_flops, report.cycles),
             mem_refs: report.counters.mem_refs,
-            intensity_measured: report
-                .counters
-                .arithmetic_intensity(computed * FLOPS_PER_INTERACTION),
+            intensity_measured: report.counters.arithmetic_intensity(computed * flops_per),
             locality: report.counters.locality_split(),
             overlap: report.timeline.overlap_fraction(),
             phases: PhaseBreakdown::from_report(&report),
@@ -352,6 +363,7 @@ impl StreamMdApp {
         mem: &mut Memory,
         sid: usize,
         s: &Strip,
+        w: usize,
         kernel: &Arc<CompiledKernel>,
         params: &[f64],
         positions: merrimac_sim::RegionId,
@@ -374,29 +386,29 @@ impl StreamMdApp {
             let buf = pb.buffer(&format!("{name}.{sid}"), 1);
             pb.load(format!("load {name} {sid}"), r, 1, 0, idx.len(), buf);
         }
-        let b_cpos = pb.buffer(&format!("c_pos.{sid}"), 9);
-        let b_shift = pb.buffer(&format!("c_shift.{sid}"), 9);
-        let b_npos = pb.buffer(&format!("n_pos.{sid}"), 9);
-        let b_cf = pb.buffer(&format!("c_partial.{sid}"), 9);
-        let b_nf = pb.buffer(&format!("n_partial.{sid}"), 9);
+        let b_cpos = pb.buffer(&format!("c_pos.{sid}"), w);
+        let b_shift = pb.buffer(&format!("c_shift.{sid}"), w);
+        let b_npos = pb.buffer(&format!("n_pos.{sid}"), w);
+        let b_cf = pb.buffer(&format!("c_partial.{sid}"), w);
+        let b_nf = pb.buffer(&format!("n_partial.{sid}"), w);
         pb.gather(
             format!("gather c_pos {sid}"),
             positions,
-            9,
+            w,
             Arc::new(s.i_central.clone()),
             b_cpos,
         );
         pb.gather(
             format!("gather shift {sid}"),
             shifts,
-            9,
+            w,
             Arc::new(s.i_shift.clone()),
             b_shift,
         );
         pb.gather(
             format!("gather n_pos {sid}"),
             positions,
-            9,
+            w,
             Arc::new(s.i_neighbor.clone()),
             b_npos,
         );
@@ -413,14 +425,14 @@ impl StreamMdApp {
             format!("scatter+ c {sid}"),
             b_cf,
             forces,
-            9,
+            w,
             Arc::new(s.c_scatter.clone()),
         );
         pb.scatter_add(
             format!("scatter+ n {sid}"),
             b_nf,
             forces,
-            9,
+            w,
             Arc::new(s.n_scatter.clone()),
         );
     }
@@ -432,6 +444,7 @@ impl StreamMdApp {
         mem: &mut Memory,
         sid: usize,
         s: &Strip,
+        w: usize,
         kernel: &Arc<CompiledKernel>,
         params: &[f64],
         positions: merrimac_sim::RegionId,
@@ -452,35 +465,35 @@ impl StreamMdApp {
             let buf = pb.buffer(&format!("{name}.{sid}"), 1);
             pb.load(format!("load {name} {sid}"), r, 1, 0, idx.len(), buf);
         }
-        let b_cpos = pb.buffer(&format!("c_pos.{sid}"), 9);
-        let b_shift = pb.buffer(&format!("c_shift.{sid}"), 9);
-        let b_npos = pb.buffer(&format!("n_pos.{sid}"), 9);
-        let b_cf = pb.buffer(&format!("c_force.{sid}"), 9);
+        let b_cpos = pb.buffer(&format!("c_pos.{sid}"), w);
+        let b_shift = pb.buffer(&format!("c_shift.{sid}"), w);
+        let b_npos = pb.buffer(&format!("n_pos.{sid}"), w);
+        let b_cf = pb.buffer(&format!("c_force.{sid}"), w);
         pb.gather(
             format!("gather c_pos {sid}"),
             positions,
-            9,
+            w,
             Arc::new(s.i_central.clone()),
             b_cpos,
         );
         pb.gather(
             format!("gather shift {sid}"),
             shifts,
-            9,
+            w,
             Arc::new(s.i_shift.clone()),
             b_shift,
         );
         pb.gather(
             format!("gather n_pos {sid}"),
             positions,
-            9,
+            w,
             Arc::new(s.i_neighbor.clone()),
             b_npos,
         );
         let mut outputs = vec![b_cf];
         let mut b_nf = None;
         if neighbor_partials {
-            let b = pb.buffer(&format!("n_partial.{sid}"), 9);
+            let b = pb.buffer(&format!("n_partial.{sid}"), w);
             outputs.push(b);
             b_nf = Some(b);
         }
@@ -497,7 +510,7 @@ impl StreamMdApp {
             format!("scatter+ c {sid}"),
             b_cf,
             forces,
-            9,
+            w,
             Arc::new(s.c_scatter.clone()),
         );
         if let Some(b) = b_nf {
@@ -505,7 +518,7 @@ impl StreamMdApp {
                 format!("scatter+ n {sid}"),
                 b,
                 forces,
-                9,
+                w,
                 Arc::new(s.n_scatter.clone()),
             );
         }
@@ -518,6 +531,7 @@ impl StreamMdApp {
         mem: &mut Memory,
         sid: usize,
         s: &Strip,
+        w: usize,
         kernel: &Arc<CompiledKernel>,
         params: &[f64],
         positions: merrimac_sim::RegionId,
@@ -552,30 +566,31 @@ impl StreamMdApp {
             b_flags,
         );
         // Centre records (sequential: prepared in list order by the
-        // scalar core).
-        let n_centers = s.center_records.len() / 18;
+        // scalar core). Records are 2·width words: positions + shift.
+        let rec = 2 * w;
+        let n_centers = s.center_records.len() / rec;
         let r_centers = mem.region(&format!("center_recs[{sid}]"), s.center_records.clone());
         pb.intent(r_centers, AccessIntent::ReadOnly);
-        let b_centers = pb.buffer(&format!("centers.{sid}"), 18);
+        let b_centers = pb.buffer(&format!("centers.{sid}"), rec);
         pb.load(
             format!("load centers {sid}"),
             r_centers,
-            18,
+            rec,
             0,
             n_centers,
             b_centers,
         );
         // Neighbour positions.
-        let b_npos = pb.buffer(&format!("n_pos.{sid}"), 9);
+        let b_npos = pb.buffer(&format!("n_pos.{sid}"), w);
         pb.gather(
             format!("gather n_pos {sid}"),
             positions,
-            9,
+            w,
             Arc::new(s.i_neighbor.clone()),
             b_npos,
         );
-        let b_cf = pb.buffer(&format!("c_force.{sid}"), 9);
-        let b_nf = pb.buffer(&format!("n_partial.{sid}"), 9);
+        let b_cf = pb.buffer(&format!("c_force.{sid}"), w);
+        let b_nf = pb.buffer(&format!("n_partial.{sid}"), w);
         pb.kernel(
             format!("interact {sid}"),
             kernel.clone(),
@@ -589,14 +604,14 @@ impl StreamMdApp {
             format!("scatter+ c {sid}"),
             b_cf,
             forces,
-            9,
+            w,
             Arc::new(s.c_scatter.clone()),
         );
         pb.scatter_add(
             format!("scatter+ n {sid}"),
             b_nf,
             forces,
-            9,
+            w,
             Arc::new(s.n_scatter.clone()),
         );
     }
@@ -680,6 +695,81 @@ mod tests {
             .run_step_with_list(&system, &list, Variant::Variable)
             .unwrap();
         assert_forces_match(&system, &list, &out);
+    }
+
+    fn atomic_system(model: md_sim::water::WaterModel) -> (WaterBox, NeighborList, StreamMdApp) {
+        let system = WaterBox::builder()
+            .molecules(64)
+            .model(model)
+            .density(21.0)
+            .seed(99)
+            .build();
+        let params = NeighborListParams {
+            cutoff: (0.45 * system.pbc().side()).min(1.0),
+            skin: 0.0,
+            rebuild_interval: 1,
+        };
+        let list = NeighborList::build(&system, params);
+        let app = StreamMdApp::builder().neighbor(params).build().unwrap();
+        (system, list, app)
+    }
+
+    #[test]
+    fn atomic_workloads_match_reference_for_all_variants() {
+        use md_sim::atomic::compute_forces_atomic;
+        use md_sim::water::WaterModel;
+        for model in [WaterModel::lj_atom(), WaterModel::charged_atom()] {
+            let (system, list, app) = atomic_system(model.clone());
+            let reference = compute_forces_atomic(&system, &list);
+            let scale = reference
+                .forces
+                .iter()
+                .map(|f| f.norm())
+                .fold(0.0f64, f64::max)
+                .max(1.0);
+            for variant in Variant::ALL {
+                let out = app.run_step_with_list(&system, &list, variant).unwrap();
+                assert_eq!(out.forces.len(), system.num_molecules());
+                for (i, (got, want)) in out.forces.iter().zip(&reference.forces).enumerate() {
+                    let err = (*got - *want).max_abs();
+                    assert!(
+                        err < 1e-8 * scale,
+                        "{}/{variant} atom {i}: got {got:?} want {want:?} (err {err:.3e})",
+                        model.name
+                    );
+                }
+                // Flop accounting follows the workload, not water's 234.
+                let w = crate::workload::Workload::of_model(&model);
+                assert_eq!(
+                    out.perf.solution_flops,
+                    reference.interactions * w.flops_per_interaction(),
+                    "{}/{variant} solution flops",
+                    model.name
+                );
+                assert!(out.perf.intensity_measured > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_intensity_orders_charged_above_lj() {
+        use md_sim::water::WaterModel;
+        // Same variant, same dataset shape: the charged kernel does more
+        // arithmetic per word moved than the plain LJ kernel.
+        let (lj_sys, lj_list, app) = atomic_system(WaterModel::lj_atom());
+        let (ch_sys, ch_list, _) = atomic_system(WaterModel::charged_atom());
+        let lj = app
+            .run_step_with_list(&lj_sys, &lj_list, Variant::Variable)
+            .unwrap();
+        let ch = app
+            .run_step_with_list(&ch_sys, &ch_list, Variant::Variable)
+            .unwrap();
+        assert!(
+            ch.perf.intensity_measured > lj.perf.intensity_measured,
+            "charged {} <= lj {}",
+            ch.perf.intensity_measured,
+            lj.perf.intensity_measured
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@ use merrimac_sim::{KernelEngine, KernelOpt, SdrPolicy};
 
 use crate::app::StreamMdApp;
 use crate::variant::Variant;
+use crate::workload::Workload;
 
 /// Builder for a validated [`StreamMdApp`]. Construct with
 /// [`SimConfigBuilder::new`] or [`StreamMdApp::builder`].
@@ -58,6 +59,7 @@ pub struct SimConfigBuilder {
     strip_iterations: Option<usize>,
     threads: Option<usize>,
     variants: Vec<Variant>,
+    workloads: Vec<Workload>,
     analyze: bool,
     network: NetworkConfig,
     nodes: usize,
@@ -89,6 +91,7 @@ impl SimConfigBuilder {
             strip_iterations: None,
             threads: None,
             variants: Variant::ALL.to_vec(),
+            workloads: Workload::ALL.to_vec(),
             analyze: false,
             network: NetworkConfig::default(),
             nodes: 1,
@@ -151,6 +154,15 @@ impl SimConfigBuilder {
     /// strip too large for `fixed` can still be built for `variable`.
     pub fn variants(mut self, variants: &[Variant]) -> Self {
         self.variants = variants.to_vec();
+        self
+    }
+
+    /// Restrict the workloads this configuration is expected to run.
+    /// Strip-size validation uses the widest record in scope, so a
+    /// strip too large for 9-word water records can still be built for
+    /// the 3-word atomic workloads.
+    pub fn workloads(mut self, workloads: &[Workload]) -> Self {
+        self.workloads = workloads.to_vec();
         self
     }
 
@@ -229,13 +241,27 @@ impl SimConfigBuilder {
                 "neighbour rebuild_interval must be at least 1".into(),
             ));
         }
+        if self.workloads.is_empty() {
+            return Err(SimError::Config(
+                "workload scope must name at least one workload".into(),
+            ));
+        }
         if let Some(strip) = self.strip_iterations {
+            // Validate at the widest record in scope: any strip that
+            // fits the widest workload fits the narrower ones too.
+            let width = self
+                .workloads
+                .iter()
+                .map(|w| w.width())
+                .max()
+                .expect("non-empty workload scope");
             for &variant in &self.variants {
                 let needed = strip_working_set_per_cluster(
                     variant,
                     self.block_l,
                     strip,
                     self.cfg.clusters.max(1),
+                    width,
                 );
                 if needed > self.cfg.srf_words_per_cluster {
                     return Err(SimError::StripSrfOverflow {
@@ -293,28 +319,31 @@ impl SimConfigBuilder {
 /// enough to fill the strip.
 ///
 /// The `variable` variant's centre-record stream is dataset-dependent
-/// (one 18-word record per centre run); the estimate uses the minimum
-/// (a single centre plus the sentinel), so it only rejects strips that
-/// are infeasible for *every* dataset.
+/// (one 2·width-word record per centre run); the estimate uses the
+/// minimum (a single centre plus the sentinel), so it only rejects
+/// strips that are infeasible for *every* dataset. `width` is the
+/// molecule record width (9 for water, 3 for atomic workloads).
 pub(crate) fn strip_working_set_per_cluster(
     variant: Variant,
     block_l: usize,
     strip_iterations: usize,
     clusters: usize,
+    width: usize,
 ) -> usize {
     let s = strip_iterations;
     let l = block_l;
+    let w = width;
     let buffers: Vec<usize> = match variant {
         // c_pos, shift, n_pos in; c_partial, n_partial out.
-        Variant::Expanded => vec![9 * s; 5],
+        Variant::Expanded => vec![w * s; 5],
         // c_pos, shift, n_pos(L per block) in; c_force, n_partial out.
-        Variant::Fixed => vec![9 * s, 9 * s, 9 * l * s, 9 * s, 9 * l * s],
+        Variant::Fixed => vec![w * s, w * s, w * l * s, w * s, w * l * s],
         // As fixed but no neighbour partials.
-        Variant::Duplicated => vec![9 * s, 9 * s, 9 * l * s, 9 * s],
+        Variant::Duplicated => vec![w * s, w * s, w * l * s, w * s],
         // n_pos, flags, centre records in; c_force, n_partial out.
-        Variant::Variable => vec![9 * s, s, 18 * 2, 9 * s, 9 * s],
+        Variant::Variable => vec![w * s, s, 2 * w * 2, w * s, w * s],
     };
-    buffers.iter().map(|w| w.div_ceil(clusters)).sum()
+    buffers.iter().map(|b| b.div_ceil(clusters)).sum()
 }
 
 #[cfg(test)]
@@ -412,9 +441,33 @@ mod tests {
         // 997 blocks at L = 8: five buffers of 8973/8973/71784/8973/71784
         // words → 561+561+4487+561+4487 = 10657 words/cluster, over the
         // 8192-word bank.
-        let w = strip_working_set_per_cluster(Variant::Fixed, 8, 997, 16);
+        let w = strip_working_set_per_cluster(Variant::Fixed, 8, 997, 16, 9);
         assert_eq!(w, 10657);
         assert!(w > MachineConfig::default().srf_words_per_cluster);
+    }
+
+    #[test]
+    fn workload_scope_limits_strip_validation() {
+        // 997-block fixed strips overflow the SRF with 9-word water
+        // records but fit the 3-word atomic records.
+        let atomic = strip_working_set_per_cluster(Variant::Fixed, 8, 997, 16, 3);
+        assert!(atomic <= MachineConfig::default().srf_words_per_cluster);
+        SimConfigBuilder::new()
+            .strip_iterations(997)
+            .workloads(&[Workload::LjFluid, Workload::Charged])
+            .build()
+            .expect("atomic records keep the strip within the SRF");
+        // Unscoped, water is in scope and the strip is rejected.
+        SimConfigBuilder::new()
+            .strip_iterations(997)
+            .build()
+            .expect_err("water in scope rejects the strip");
+        // An empty scope is a config error, not a silent pass.
+        let err = SimConfigBuilder::new()
+            .workloads(&[])
+            .build()
+            .expect_err("empty workload scope");
+        assert!(matches!(err, SimError::Config(_)));
     }
 
     #[test]

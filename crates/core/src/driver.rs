@@ -143,7 +143,15 @@ impl MerrimacDriver {
         };
         let masses: Vec<f64> = system.model().sites.iter().map(|s| s.mass).collect();
         let inv_m: Vec<f64> = masses.iter().map(|m| 1.0 / m).collect();
-        let dof = (6 * system.num_molecules()) as f64 - 3.0;
+        let ns = system.num_sites();
+        // Rigid 3-site molecules keep 6 DoF each (translation + rotation);
+        // point particles keep 3. Both lose 3 to momentum conservation.
+        let constrained = ns == 3;
+        let dof = if constrained {
+            (6 * system.num_molecules()) as f64 - 3.0
+        } else {
+            (3 * ns * system.num_molecules()) as f64 - 3.0
+        };
 
         let mut list = NeighborList::build(system, self.app.neighbor);
         let mut rebuilds = 1usize;
@@ -161,7 +169,7 @@ impl MerrimacDriver {
         for step in 0..steps {
             // Half kick.
             for (i, v) in system.velocities_mut().iter_mut().enumerate() {
-                *v += forces[i] * (inv_m[i % 3] * self.dt * 0.5);
+                *v += forces[i] * (inv_m[i % ns] * self.dt * 0.5);
             }
             // Drift + constraints (reuse the integrator's SHAKE by doing
             // a zero-force half step through its public surface is not
@@ -171,13 +179,15 @@ impl MerrimacDriver {
             for i in 0..new_pos.len() {
                 new_pos[i] = old_pos[i] + system.velocities()[i] * self.dt;
             }
-            shake_rigid_water(
-                system,
-                &old_pos,
-                &mut new_pos,
-                self.shake_tol,
-                self.app.threads,
-            );
+            if constrained {
+                shake_rigid_water(
+                    system,
+                    &old_pos,
+                    &mut new_pos,
+                    self.shake_tol,
+                    self.app.threads,
+                );
+            }
             let mut max_disp = 0.0f64;
             {
                 let vel = system.velocities_mut();
@@ -207,22 +217,24 @@ impl MerrimacDriver {
 
             // Second half kick + velocity constraint projection.
             for (i, v) in system.velocities_mut().iter_mut().enumerate() {
-                *v += forces[i] * (inv_m[i % 3] * self.dt * 0.5);
+                *v += forces[i] * (inv_m[i % ns] * self.dt * 0.5);
             }
-            let pos_snapshot = system.positions().to_vec();
-            rattle_rigid_water(
-                system,
-                &pos_snapshot,
-                self.shake_tol,
-                self.dt,
-                self.app.threads,
-            );
+            if constrained {
+                let pos_snapshot = system.positions().to_vec();
+                rattle_rigid_water(
+                    system,
+                    &pos_snapshot,
+                    self.shake_tol,
+                    self.dt,
+                    self.app.threads,
+                );
+            }
 
             let ke: f64 = system
                 .velocities()
                 .iter()
                 .enumerate()
-                .map(|(i, v)| 0.5 * masses[i % 3] * v.norm2())
+                .map(|(i, v)| 0.5 * masses[i % ns] * v.norm2())
                 .sum();
             report.steps.push(DriverStep {
                 force_cycles: cycles,
@@ -390,6 +402,45 @@ mod tests {
         assert_eq!(a.velocities(), b.velocities());
         assert_eq!(ra.total_force_cycles, rb.total_force_cycles);
         assert_eq!(ra.total_counters, rb.total_counters);
+    }
+
+    #[test]
+    fn atomic_trajectory_runs_without_constraints() {
+        use md_sim::water::WaterModel;
+        for model in [WaterModel::lj_atom(), WaterModel::charged_atom()] {
+            let mut s = WaterBox::builder()
+                .molecules(32)
+                .model(model)
+                .density(21.0)
+                .seed(61)
+                .build();
+            let drv = driver(&s, Variant::Variable);
+            let r = drv.run(&mut s, 4).expect("run");
+            assert_eq!(r.steps.len(), 4);
+            assert!(r.total_force_cycles > 0);
+            for st in &r.steps {
+                assert!(st.temperature.is_finite() && st.temperature > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_parallel_trajectory_is_bitwise_identical() {
+        use md_sim::water::WaterModel;
+        let mut a = WaterBox::builder()
+            .molecules(32)
+            .model(WaterModel::charged_atom())
+            .density(21.0)
+            .seed(62)
+            .build();
+        let mut b = a.clone();
+        let serial = driver(&a, Variant::Fixed);
+        let mut parallel = driver(&b, Variant::Fixed);
+        parallel.app.threads = 4;
+        serial.run(&mut a, 3).expect("serial run");
+        parallel.run(&mut b, 3).expect("parallel run");
+        assert_eq!(a.positions(), b.positions());
+        assert_eq!(a.velocities(), b.velocities());
     }
 
     #[test]

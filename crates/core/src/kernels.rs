@@ -17,10 +17,15 @@
 //! Coulomb charge products `qq[a][b]` pre-scaled by 1/4πɛ₀, then `C6`
 //! and `C12`.
 
+use md_sim::atomic::AtomForceField;
 use md_sim::force::ForceField;
+use md_sim::water::WaterModel;
 use merrimac_kernel::builder::{KernelBuilder, Val, V3};
 use merrimac_kernel::ir::StreamMode;
 use merrimac_kernel::Kernel;
+
+use crate::variant::Variant;
+use crate::workload::Workload;
 
 /// Number of launch parameters: 9 qq products + C6 + C12.
 pub const NUM_PARAMS: usize = 11;
@@ -412,6 +417,332 @@ pub fn variable_kernel() -> Kernel {
     b.build()
 }
 
+// ---------------------------------------------------------------------------
+// Single-site atomic kernels (LJ fluid and charged particle)
+// ---------------------------------------------------------------------------
+//
+// Same four variants, 3-word records instead of 9. The LJ kernel costs 35
+// flops per interaction (1 divide, no square root): shift 3, displacement 3,
+// r² 5, 1/r² 1, LJ chain 10, force 3, neighbour partial 3, virial 5, energy
+// + virial accumulation 2. The charged kernel replaces the 1/r² divide with
+// √r² · (1/r) · (1/r·1/r) and adds the Coulomb energy/force terms: 41 flops
+// (1 divide *and* 1 square root per pair).
+
+/// Launch parameters of the plain LJ kernel: C6, C12.
+pub const NUM_ATOM_PARAMS_LJ: usize = 2;
+/// Launch parameters of the charged kernel: qq, C6, C12.
+pub const NUM_ATOM_PARAMS_CHARGED: usize = 3;
+
+/// Pack atomic force-field parameters in kernel launch order.
+pub fn atom_kernel_params(ff: &AtomForceField, coulomb: bool) -> Vec<f64> {
+    assert_eq!(
+        ff.coulomb(),
+        coulomb,
+        "force field charge does not match the requested kernel"
+    );
+    if coulomb {
+        vec![ff.qq, ff.c6, ff.c12]
+    } else {
+        vec![ff.c6, ff.c12]
+    }
+}
+
+/// Parameter handles of an atomic kernel. `qq` exists only when the
+/// kernel carries a Coulomb term, so the LJ kernel's parameter list
+/// stays minimal (2 words in the microcontroller broadcast).
+struct AtomCtx {
+    qq: Option<Val>,
+    c6: Val,
+    c12: Val,
+    six: Val,
+    twelve: Val,
+    one: Val,
+}
+
+impl AtomCtx {
+    fn new(b: &mut KernelBuilder, coulomb: bool) -> Self {
+        let qq = if coulomb { Some(b.param()) } else { None };
+        let c6 = b.param();
+        let c12 = b.param();
+        Self {
+            qq,
+            c6,
+            c12,
+            six: b.constant(6.0),
+            twelve: b.constant(12.0),
+            one: b.constant(1.0),
+        }
+    }
+}
+
+/// Energy/virial contribution of one atom pair.
+struct AtomContribution {
+    /// Coulomb energy (charged kernel only).
+    vc: Option<Val>,
+    de_lj: Val,
+    vir: Val,
+}
+
+/// One atom-pair interaction: returns (force on centre, force on
+/// neighbour, contributions). The operation DAG matches
+/// `md_sim::atomic::pair_force_atomic` op for op, which is what the
+/// bitwise differential tests rely on.
+fn atom_interaction(
+    b: &mut KernelBuilder,
+    ctx: &AtomCtx,
+    cs: V3,
+    n: V3,
+) -> (V3, V3, AtomContribution) {
+    let d = b.v3_sub(cs, n);
+    let r2 = b.v3_norm2(d);
+    let (fs_c, rinv2, vc) = if let Some(qq) = ctx.qq {
+        // Charged: r = √r², 1/r, then r⁻² rebuilt from 1/r so the
+        // Coulomb force term V/r² reuses it.
+        let r = b.sqrt(r2);
+        let rinv = b.div(ctx.one, r);
+        let rinv2 = b.mul(rinv, rinv);
+        let vc = b.mul(qq, rinv);
+        let fs_c = b.mul(vc, rinv2);
+        (Some(fs_c), rinv2, Some(vc))
+    } else {
+        // Plain LJ needs only even powers: a single divide, no root.
+        (None, b.div(ctx.one, r2), None)
+    };
+    let rinv4 = b.mul(rinv2, rinv2);
+    let rinv6 = b.mul(rinv4, rinv2);
+    let v6 = b.mul(ctx.c6, rinv6);
+    let rinv12 = b.mul(rinv6, rinv6);
+    let v12 = b.mul(ctx.c12, rinv12);
+    let de_lj = b.sub(v12, v6);
+    let t12 = b.mul(ctx.twelve, v12);
+    let u = b.nmsub(ctx.six, v6, t12); // 12·v12 − 6·v6
+    let fs_lj = b.mul(u, rinv2);
+    let fs = match fs_c {
+        Some(c) => b.add(c, fs_lj),
+        None => fs_lj,
+    };
+    let f = b.v3_scale(d, fs);
+    let zero = b.constant(0.0);
+    let zv = V3 {
+        x: zero,
+        y: zero,
+        z: zero,
+    };
+    let fn_ = b.v3_sub(zv, f);
+    let vx = b.mul(d.x, f.x);
+    let vxy = b.madd(d.y, f.y, vx);
+    let vir = b.madd(d.z, f.z, vxy);
+    (f, fn_, AtomContribution { vc, de_lj, vir })
+}
+
+/// Reduce atomic contributions into the accumulator registers. The
+/// Coulomb accumulator is left untouched by the LJ kernel (it stays at
+/// its initial 0.0; no flops are spent on it).
+fn reduce_atom_contributions(
+    b: &mut KernelBuilder,
+    acc: Accum,
+    contribs: &[AtomContribution],
+) -> Accum {
+    let vcs: Vec<Val> = contribs.iter().filter_map(|c| c.vc).collect();
+    let des: Vec<Val> = contribs.iter().map(|c| c.de_lj).collect();
+    let virs: Vec<Val> = contribs.iter().map(|c| c.vir).collect();
+    let e_coul = if vcs.is_empty() {
+        acc.e_coul
+    } else {
+        let s = tree_sum(b, &vcs);
+        b.add(acc.e_coul, s)
+    };
+    let de_sum = tree_sum(b, &des);
+    let vir_sum = tree_sum(b, &virs);
+    Accum {
+        e_coul,
+        e_lj: b.add(acc.e_lj, de_sum),
+        virial: b.add(acc.virial, vir_sum),
+    }
+}
+
+fn atom_kernel_name(coulomb: bool, variant: &str) -> String {
+    if coulomb {
+        format!("streammd_charged_{variant}")
+    } else {
+        format!("streammd_lj_{variant}")
+    }
+}
+
+/// Atomic `expanded`: inputs c_pos(3) + c_shift(3) + n_pos(3); outputs
+/// both 3-word partial-force records every iteration.
+pub fn atom_expanded_kernel(coulomb: bool) -> Kernel {
+    let mut b = KernelBuilder::new(atom_kernel_name(coulomb, "expanded"));
+    let s_cpos = b.input("c_positions", 3, StreamMode::EveryIteration);
+    let s_shift = b.input("c_shifts", 3, StreamMode::EveryIteration);
+    let s_npos = b.input("n_positions", 3, StreamMode::EveryIteration);
+    let o_cf = b.output("c_partial_forces", 3);
+    let o_nf = b.output("n_partial_forces", 3);
+    let ctx = AtomCtx::new(&mut b, coulomb);
+    let (acc0, regs) = accum_regs(&mut b);
+
+    let c = b.read_v3(s_cpos, 0);
+    let shift = b.read_v3(s_shift, 0);
+    let n = b.read_v3(s_npos, 0);
+    let cs = b.v3_add(c, shift);
+    let (fc, fn_, contrib) = atom_interaction(&mut b, &ctx, cs, n);
+    let acc = reduce_atom_contributions(&mut b, acc0, &[contrib]);
+    b.write(o_cf, &[fc.x, fc.y, fc.z]);
+    b.write(o_nf, &[fn_.x, fn_.y, fn_.z]);
+    finish_accum(&mut b, regs, acc);
+    b.build()
+}
+
+/// Atomic `fixed` / `duplicated` block kernel: one centre with `l`
+/// (padded) neighbours per iteration; centre force reduced in-LRF.
+pub fn atom_block_kernel(coulomb: bool, l: usize, write_neighbor_partials: bool) -> Kernel {
+    assert!(l >= 1);
+    let variant = if write_neighbor_partials {
+        format!("fixed_l{l}")
+    } else {
+        format!("duplicated_l{l}")
+    };
+    let mut b = KernelBuilder::new(atom_kernel_name(coulomb, &variant));
+    let s_cpos = b.input("c_positions", 3, StreamMode::EveryIteration);
+    let s_shift = b.input("c_shifts", 3, StreamMode::EveryIteration);
+    let s_npos = b.input("n_positions", (3 * l) as u32, StreamMode::EveryIteration);
+    let o_cf = b.output("c_forces", 3);
+    let o_nf = if write_neighbor_partials {
+        Some(b.output("n_partial_forces", 3))
+    } else {
+        None
+    };
+    let ctx = AtomCtx::new(&mut b, coulomb);
+    let (acc0, regs) = accum_regs(&mut b);
+
+    let c = b.read_v3(s_cpos, 0);
+    let shift = b.read_v3(s_shift, 0);
+    let cs = b.v3_add(c, shift);
+
+    let zero = b.constant(0.0);
+    let zv = V3 {
+        x: zero,
+        y: zero,
+        z: zero,
+    };
+    let mut fc_total = zv;
+    let mut contribs = Vec::with_capacity(l);
+    for nb in 0..l {
+        let n = b.read_v3(s_npos, (3 * nb) as u32);
+        let (fc, fn_, contrib) = atom_interaction(&mut b, &ctx, cs, n);
+        contribs.push(contrib);
+        fc_total = b.v3_add(fc_total, fc);
+        if let Some(o) = o_nf {
+            b.write(o, &[fn_.x, fn_.y, fn_.z]);
+        }
+    }
+    let acc = reduce_atom_contributions(&mut b, acc0, &contribs);
+    b.write(o_cf, &[fc_total.x, fc_total.y, fc_total.z]);
+    finish_accum(&mut b, regs, acc);
+    b.build()
+}
+
+/// Atomic `variable`: conditional-stream kernel with 6-word centre
+/// records (3 position + 3 shift) and 3-word loop-carried force state.
+pub fn atom_variable_kernel(coulomb: bool) -> Kernel {
+    let mut b = KernelBuilder::new(atom_kernel_name(coulomb, "variable"));
+    let s_npos = b.input("n_positions", 3, StreamMode::EveryIteration);
+    let s_flag = b.input("new_center_flags", 1, StreamMode::EveryIteration);
+    let s_center = b.input("center_records", 6, StreamMode::Conditional);
+    let o_cf = b.output("c_forces", 3);
+    let o_nf = b.output("n_partial_forces", 3);
+    let ctx = AtomCtx::new(&mut b, coulomb);
+    let (acc0, acc_regs) = accum_regs(&mut b);
+
+    let zero = b.constant(0.0);
+    let flag = b.read(s_flag, 0);
+    let is_new = b.cmp_lt(zero, flag);
+
+    // Previous accumulated centre force (flushed on a new centre).
+    let fc_regs: Vec<u32> = (0..3).map(|_| b.reg(0.0)).collect();
+    let fc_prev: Vec<Val> = fc_regs.iter().map(|&r| b.read_reg(r)).collect();
+    let guarded: Vec<Val> = fc_prev.iter().map(|v| b.mov(*v)).collect();
+    b.write_if(o_cf, is_new, &guarded);
+
+    // Shifted-centre registers with conditional refresh.
+    let cs_regs: Vec<u32> = (0..3).map(|_| b.reg(0.0)).collect();
+    let mut cs_vals = Vec::with_capacity(3);
+    for (k, &r) in cs_regs.iter().enumerate() {
+        let prev = b.read_reg(r);
+        let pos = b.cond_read(s_center, k as u32, is_new, zero);
+        let shift = b.cond_read(s_center, (k + 3) as u32, is_new, zero);
+        let fresh = b.add(pos, shift); // shift applied on refresh: 3 adds
+        let v = b.sel(is_new, fresh, prev);
+        b.set_reg(r, v);
+        cs_vals.push(v);
+    }
+    let cs = V3 {
+        x: cs_vals[0],
+        y: cs_vals[1],
+        z: cs_vals[2],
+    };
+
+    let n = b.read_v3(s_npos, 0);
+    let (fc, fn_, contrib) = atom_interaction(&mut b, &ctx, cs, n);
+    let acc = reduce_atom_contributions(&mut b, acc0, &[contrib]);
+    b.write(o_nf, &[fn_.x, fn_.y, fn_.z]);
+
+    // Centre force accumulation with conditional reset.
+    let fc_new = [fc.x, fc.y, fc.z];
+    for (k, &r) in fc_regs.iter().enumerate() {
+        let base = b.sel(is_new, zero, fc_prev[k]);
+        let updated = b.add(fc_new[k], base);
+        b.set_reg(r, updated);
+    }
+    finish_accum(&mut b, acc_regs, acc);
+    b.build()
+}
+
+// ---------------------------------------------------------------------------
+// Workload dispatch
+// ---------------------------------------------------------------------------
+
+/// Generate the kernel for a (workload, variant) pair. `block_l` is the
+/// neighbour-block length used by the `Fixed`/`Duplicated` variants.
+pub fn workload_kernel(workload: Workload, variant: Variant, block_l: usize) -> Kernel {
+    match workload {
+        Workload::Water => match variant {
+            Variant::Expanded => expanded_kernel(),
+            Variant::Fixed => block_kernel(block_l, true),
+            Variant::Duplicated => block_kernel(block_l, false),
+            Variant::Variable => variable_kernel(),
+        },
+        Workload::LjFluid | Workload::Charged => {
+            let coulomb = workload.coulomb();
+            match variant {
+                Variant::Expanded => atom_expanded_kernel(coulomb),
+                Variant::Fixed => atom_block_kernel(coulomb, block_l, true),
+                Variant::Duplicated => atom_block_kernel(coulomb, block_l, false),
+                Variant::Variable => atom_variable_kernel(coulomb),
+            }
+        }
+    }
+}
+
+/// Pack launch parameters for any workload's kernels from its model.
+pub fn workload_params(workload: Workload, model: &WaterModel) -> Vec<f64> {
+    match workload {
+        Workload::Water => kernel_params(&ForceField::from_model(model)),
+        Workload::LjFluid | Workload::Charged => {
+            atom_kernel_params(&AtomForceField::from_model(model), workload.coulomb())
+        }
+    }
+}
+
+/// Number of launch parameters per workload.
+pub fn workload_num_params(workload: Workload) -> usize {
+    match workload {
+        Workload::Water => NUM_PARAMS,
+        Workload::LjFluid => NUM_ATOM_PARAMS_LJ,
+        Workload::Charged => NUM_ATOM_PARAMS_CHARGED,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -507,5 +838,118 @@ mod tests {
         assert_eq!(p[8], ff.qq[2][2]);
         assert_eq!(p[9], ff.c6);
         assert_eq!(p[10], ff.c12);
+    }
+
+    #[test]
+    fn atom_expanded_kernels_hit_workload_flop_budgets() {
+        let lj = stats(&atom_expanded_kernel(false));
+        assert_eq!(
+            lj.solution_flops,
+            Workload::LjFluid.flops_per_interaction(),
+            "lj expanded flops"
+        );
+        assert_eq!(lj.divides, 1);
+        assert_eq!(lj.square_roots, 0);
+
+        let ch = stats(&atom_expanded_kernel(true));
+        assert_eq!(
+            ch.solution_flops,
+            Workload::Charged.flops_per_interaction(),
+            "charged expanded flops"
+        );
+        assert_eq!(ch.divides, 1);
+        assert_eq!(ch.square_roots, 1);
+    }
+
+    #[test]
+    fn atom_block_kernels_scale_with_l() {
+        for l in [1usize, 4, 8] {
+            // Fixed: shift 3 + per-neighbour interaction + centre-total
+            // reduction + per-class accumulation.
+            let lj = stats(&atom_block_kernel(false, l, true));
+            assert_eq!(lj.solution_flops, 3 + 35 * l as u64, "lj fixed L={l}");
+            assert_eq!(lj.divides, l as u64);
+            assert_eq!(lj.square_roots, 0);
+            let ch = stats(&atom_block_kernel(true, l, true));
+            assert_eq!(ch.solution_flops, 3 + 41 * l as u64, "charged fixed L={l}");
+            assert_eq!(ch.square_roots, l as u64);
+
+            // Duplicated drops the 3-word neighbour partial per pair.
+            let ljd = stats(&atom_block_kernel(false, l, false));
+            assert_eq!(ljd.solution_flops, 3 + 32 * l as u64, "lj dup L={l}");
+            let chd = stats(&atom_block_kernel(true, l, false));
+            assert_eq!(chd.solution_flops, 3 + 38 * l as u64, "charged dup L={l}");
+        }
+    }
+
+    #[test]
+    fn atom_variable_kernel_word_traffic() {
+        for coulomb in [false, true] {
+            let st = stats(&atom_variable_kernel(coulomb));
+            // 3 neighbour words + 1 flag in, 3 partial-force words out,
+            // unconditionally; 6-word centre record in and 3-word centre
+            // force out under condition.
+            assert_eq!(st.words_in_unconditional, 4);
+            assert_eq!(st.words_out_unconditional, 3);
+            assert_eq!(st.words_in_conditional, 6);
+            assert_eq!(st.words_out_conditional, 3);
+        }
+    }
+
+    #[test]
+    fn atom_variable_kernel_flops_near_expanded() {
+        // Variable = expanded − shift(3) + refresh adds(3) + centre
+        // accumulation adds(3) = expanded + 3, for both atomic workloads.
+        for coulomb in [false, true] {
+            let sv = stats(&atom_variable_kernel(coulomb));
+            let se = stats(&atom_expanded_kernel(coulomb));
+            assert_eq!(sv.solution_flops, se.solution_flops + 3);
+            assert_eq!(sv.divides, se.divides);
+            assert_eq!(sv.square_roots, se.square_roots);
+        }
+    }
+
+    #[test]
+    fn atom_kernels_validate_and_lower() {
+        for coulomb in [false, true] {
+            for k in [
+                atom_expanded_kernel(coulomb),
+                atom_block_kernel(coulomb, 8, true),
+                atom_block_kernel(coulomb, 8, false),
+                atom_variable_kernel(coulomb),
+            ] {
+                k.validate_ssa();
+                let l = lower_kernel(&k, &OpCosts::default());
+                assert!(l.is_lowered());
+            }
+        }
+    }
+
+    #[test]
+    fn atom_params_order_stable() {
+        let lj = AtomForceField::from_model(&WaterModel::lj_atom());
+        let p = atom_kernel_params(&lj, false);
+        assert_eq!(p, vec![lj.c6, lj.c12]);
+        assert_eq!(p.len(), NUM_ATOM_PARAMS_LJ);
+
+        let ch = AtomForceField::from_model(&WaterModel::charged_atom());
+        let p = atom_kernel_params(&ch, true);
+        assert_eq!(p, vec![ch.qq, ch.c6, ch.c12]);
+        assert_eq!(p.len(), NUM_ATOM_PARAMS_CHARGED);
+    }
+
+    #[test]
+    fn workload_dispatch_covers_every_pair() {
+        for w in Workload::ALL {
+            for v in Variant::ALL {
+                let k = workload_kernel(w, v, 8);
+                k.validate_ssa();
+                assert_eq!(
+                    workload_params(w, &w.default_model()).len(),
+                    workload_num_params(w),
+                    "{w}/{v} param count"
+                );
+            }
+        }
     }
 }

@@ -22,6 +22,7 @@ use md_sim::pbc::Pbc;
 use md_sim::system::WaterBox;
 
 use crate::variant::{DatasetStats, Variant};
+use crate::workload::Workload;
 
 /// Distance scale of dummy molecules (nm).
 const DUMMY_FAR: f64 = 2.0e12;
@@ -51,8 +52,9 @@ pub struct Strip {
     pub n_scatter: Vec<u32>,
     /// `variable` only: one flag word per iteration (1.0 = new centre).
     pub flags: Vec<f64>,
-    /// `variable` only: 18-word centre records (9 pos + 9 shift),
-    /// including the trailing sentinel.
+    /// `variable` only: 2·width-word centre records (positions + shift,
+    /// 18 words for water, 6 for atomic workloads), including the
+    /// trailing sentinel.
     pub center_records: Vec<f64>,
 }
 
@@ -60,11 +62,17 @@ pub struct Strip {
 #[derive(Debug, Clone)]
 pub struct Layout {
     pub variant: Variant,
+    /// Interaction model the records describe (derived from the system's
+    /// particle model).
+    pub workload: Workload,
+    /// Words per molecule record (9 for 3-site water, 3 for atomic).
+    pub width: usize,
     /// Canonical molecule position records: `molecules + 2` records of
-    /// 9 words (two dummies at the end: neighbour dummy, centre dummy).
+    /// `width` words (two dummies at the end: neighbour dummy, centre
+    /// dummy).
     pub positions: Vec<f64>,
-    /// 27 shift records of 9 words (the shift vector replicated per
-    /// atom).
+    /// 27 shift records of `width` words (the shift vector replicated
+    /// per site).
     pub shift_table: Vec<f64>,
     /// Force region record count (`molecules + 2`).
     pub force_records: usize,
@@ -79,40 +87,41 @@ pub struct Layout {
 }
 
 /// Canonical position records: each molecule reconstructed rigidly about
-/// its wrapped oxygen, exactly as the reference force engine does.
+/// its wrapped first site, exactly as the reference force engines do.
+/// Records are `num_sites · 3` words wide (9 for water, 3 for atomic).
 pub fn canonical_positions(system: &WaterBox) -> Vec<f64> {
     let pbc = system.pbc();
     let n = system.num_molecules();
-    let mut out = Vec::with_capacity((n + 2) * 9);
+    let ns = system.num_sites();
+    let w = ns * 3;
+    let mut out = Vec::with_capacity((n + 2) * w);
     for m in 0..n {
         let mol = system.molecule(m);
         let o = pbc.wrap(mol[0]);
-        let sites = [
-            o,
-            o + pbc.min_image(mol[1], mol[0]),
-            o + pbc.min_image(mol[2], mol[0]),
-        ];
-        for s in sites {
-            out.extend_from_slice(&[s.x, s.y, s.z]);
+        out.extend_from_slice(&[o.x, o.y, o.z]);
+        for s in mol.iter().skip(1) {
+            let p = o + pbc.min_image(*s, mol[0]);
+            out.extend_from_slice(&[p.x, p.y, p.z]);
         }
     }
     // Dummy neighbour at −FAR, dummy centre at +FAR: mutual distance and
     // distance to every real molecule are enormous.
-    for k in 0..9 {
+    for k in 0..w {
         out.push(if k % 3 == 0 { -DUMMY_FAR } else { 0.0 });
     }
-    for k in 0..9 {
+    for k in 0..w {
         out.push(if k % 3 == 0 { DUMMY_FAR } else { 0.0 });
     }
     out
 }
 
-/// The 27-record shift table (record = shift vector replicated 3×).
-pub fn shift_table(pbc: Pbc) -> Vec<f64> {
-    let mut out = Vec::with_capacity(27 * 9);
+/// The 27-record shift table (record = shift vector replicated once per
+/// site).
+pub fn shift_table(pbc: Pbc, sites: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(27 * sites * 3);
     for idx in 0..Pbc::NUM_SHIFTS {
         let v = pbc.shift_vector(idx);
-        for _ in 0..3 {
+        for _ in 0..sites {
             out.extend_from_slice(&[v.x, v.y, v.z]);
         }
     }
@@ -138,10 +147,13 @@ pub fn build_layout(
     let dummy_neighbor = n as u32;
     let dummy_center = n as u32 + 1;
     let positions = canonical_positions(system);
-    let table = shift_table(system.pbc());
+    let table = shift_table(system.pbc(), system.num_sites());
+    let workload = Workload::of_model(system.model());
 
     let mut layout = Layout {
         variant,
+        workload,
+        width: system.num_sites() * 3,
         positions,
         shift_table: table,
         force_records: n + 2,
@@ -282,6 +294,8 @@ fn build_variable(
     system: &WaterBox,
 ) {
     let pbc = system.pbc();
+    let w = layout.width;
+    let sites = w / 3;
     let dummy_n = layout.dummy_neighbor;
     let dummy_c = layout.dummy_center;
     // Partition centre lists into strips of roughly `strip_iterations`
@@ -304,11 +318,11 @@ fn build_variable(
         let mut run_lengths: Vec<u64> = Vec::with_capacity(slice.len());
         for (c, shift, neighbors) in slice.iter() {
             // Centre record: canonical positions + replicated shift.
-            let base = *c as usize * 9;
+            let base = *c as usize * w;
             s.center_records
-                .extend_from_slice(&layout.positions[base..base + 9]);
+                .extend_from_slice(&layout.positions[base..base + w]);
             let v = pbc.shift_vector(*shift as usize);
-            for _ in 0..3 {
+            for _ in 0..sites {
                 s.center_records.extend_from_slice(&[v.x, v.y, v.z]);
             }
             for (k, &j) in neighbors.iter().enumerate() {
@@ -325,10 +339,10 @@ fn build_variable(
         s.flags.push(1.0);
         s.i_neighbor.push(dummy_n);
         s.n_scatter.push(dummy_n);
-        let base = dummy_c as usize * 9;
+        let base = dummy_c as usize * w;
         s.center_records
-            .extend_from_slice(&layout.positions[base..base + 9]);
-        s.center_records.extend_from_slice(&[0.0; 9]);
+            .extend_from_slice(&layout.positions[base..base + w]);
+        s.center_records.extend(std::iter::repeat_n(0.0, w));
 
         s.iterations = s.i_neighbor.len() as u64;
         // Conditional streams let every cluster pull whole centre runs at
@@ -468,10 +482,51 @@ mod tests {
     #[test]
     fn shift_table_matches_pbc() {
         let pbc = Pbc::cubic(3.0);
-        let t = shift_table(pbc);
+        let t = shift_table(pbc, 3);
         assert_eq!(t.len(), 27 * 9);
         // Central shift record is all zeros.
         assert!(t[13 * 9..14 * 9].iter().all(|&x| x == 0.0));
+        // Atomic table: same shifts, one replica per record.
+        let ta = shift_table(pbc, 1);
+        assert_eq!(ta.len(), 27 * 3);
+        for idx in 0..27 {
+            assert_eq!(ta[idx * 3..idx * 3 + 3], t[idx * 9..idx * 9 + 3]);
+        }
+    }
+
+    #[test]
+    fn atomic_layouts_use_3_word_records() {
+        use md_sim::water::WaterModel;
+        let s = WaterBox::builder()
+            .molecules(64)
+            .model(WaterModel::lj_atom())
+            .density(21.0)
+            .seed(78)
+            .build();
+        let params = NeighborListParams {
+            cutoff: (0.45 * s.pbc().side()).min(1.0),
+            skin: 0.0,
+            rebuild_interval: 1,
+        };
+        let nl = NeighborList::build(&s, params);
+        for v in Variant::ALL {
+            let lay = build_layout(&s, &nl, v, 8, 100);
+            assert_eq!(lay.width, 3);
+            assert_eq!(lay.workload, Workload::LjFluid);
+            assert_eq!(lay.positions.len(), (64 + 2) * 3);
+            assert_eq!(lay.shift_table.len(), 27 * 3);
+            assert_eq!(lay.total_real_interactions() as usize, nl.num_pairs());
+            if v == Variant::Variable {
+                for strip in &lay.strips {
+                    // 6-word centre records: 3 position + 3 shift.
+                    assert_eq!(strip.center_records.len() % 6, 0);
+                }
+            }
+        }
+        // Dummies follow the width-3 pattern.
+        let p = canonical_positions(&s);
+        assert_eq!(p[64 * 3], -2.0e12);
+        assert_eq!(p[65 * 3], 2.0e12);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod metrics;
 pub mod models;
 pub mod multinode;
 pub mod variant;
+pub mod workload;
 
 pub use app::{PerfSummary, StepOutcome, StepProgram, StreamMdApp};
 pub use config::SimConfigBuilder;
@@ -41,5 +42,6 @@ pub use driver::{DriverReport, MerrimacDriver};
 pub use merrimac_sim::machine::SimError;
 pub use merrimac_sim::{AccessIntent, FallbackKind, KernelEngine, PartitionSummary};
 pub use metrics::{AnalyticModel, MultiNodeBreakdown, PhaseBreakdown};
-pub use multinode::{run_multinode, MultiNodeOutcome, NodeRun};
+pub use multinode::{run_multinode, run_multinode_program, MultiNodeOutcome, NodeRun};
 pub use variant::{DatasetStats, Variant};
+pub use workload::Workload;

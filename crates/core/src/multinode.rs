@@ -36,14 +36,14 @@ use std::collections::BTreeMap;
 use md_sim::neighbor::NeighborList;
 use md_sim::system::WaterBox;
 use merrimac_net::multinode::{
-    phase_cycles, MultiNodeTiming, NodeGrid, NodeLoad, PhaseMessage, HALO_FORCE_WORDS,
-    HALO_POSITION_WORDS,
+    halo_force_words, halo_position_words, phase_cycles, MultiNodeTiming, NodeGrid, NodeLoad,
+    PhaseMessage,
 };
 use merrimac_net::topology::{NetError, Topology};
 use merrimac_sim::machine::SimError;
 use merrimac_sim::{StreamProcessor, StreamProgram};
 
-use crate::app::{StepOutcome, StreamMdApp};
+use crate::app::{StepOutcome, StepProgram, StreamMdApp};
 use crate::layout::Strip;
 use crate::metrics::MultiNodeBreakdown;
 use crate::variant::Variant;
@@ -60,7 +60,7 @@ pub struct NodeRun {
     /// Cycles the node's sub-program took on its stream processor.
     pub compute_cycles: u64,
     /// This node's force-region image after running its strips — its
-    /// partial contribution to the global reduction (`(n + 2) × 9`
+    /// partial contribution to the global reduction (`(n + 2) × width`
     /// words). Summed over nodes this matches the canonical forces up
     /// to floating-point association.
     pub forces: Vec<f64>,
@@ -131,7 +131,8 @@ impl StreamMdApp {
 }
 
 /// Run one force step decomposed over `nodes` simulated nodes. See the
-/// module docs for the execution and timing model.
+/// module docs for the execution and timing model. Builds the canonical
+/// step program once and delegates to [`run_multinode_program`].
 pub fn run_multinode(
     app: &StreamMdApp,
     system: &WaterBox,
@@ -139,25 +140,45 @@ pub fn run_multinode(
     variant: Variant,
     nodes: usize,
 ) -> Result<MultiNodeOutcome, SimError> {
+    let step = app.build_step_program(system, list, variant);
+    if app.analyze {
+        app.admit_built(&step)?;
+    }
+    run_multinode_program(app, system, &step, nodes)
+}
+
+/// Run one force step decomposed over `nodes` simulated nodes from an
+/// already-built canonical step program — the multi-node half of the
+/// compile-once / run-many split. The cached [`StepProgram`] is shared
+/// untouched: the canonical single-node run and every node's sub-program
+/// execute on clones of its memory image, so the same build serves any
+/// node count (the strip structure is canonical and N-independent).
+pub fn run_multinode_program(
+    app: &StreamMdApp,
+    system: &WaterBox,
+    step: &StepProgram,
+    nodes: usize,
+) -> Result<MultiNodeOutcome, SimError> {
     let topo = Topology::new(app.network.clone());
     topo.worst_level(nodes).map_err(net_err)?;
+    let variant = step.layout.variant;
+    let w = step.layout.width;
 
     // Canonical run: the N-independent strip structure and the global
     // fixed-shape reduction. This *is* the deterministic cross-node
     // force merge (module docs); it also prices the single-node step.
-    let canonical = app.run_step_with_list(system, list, variant)?;
-    let step = app.build_step_program(system, list, variant);
+    let canonical = app.run_step_program(system, step)?;
     let n_real = system.num_molecules();
 
-    // Spatial decomposition: molecules → nodes by wrapped oxygen
-    // position (word 0..3 of each canonical position record).
+    // Spatial decomposition: molecules → nodes by the wrapped position
+    // of each record's first site (word 0..3 of the canonical record).
     let grid = NodeGrid::new(nodes, system.pbc().side()).map_err(net_err)?;
     let owner: Vec<usize> = (0..n_real)
         .map(|m| {
             grid.node_of([
-                step.layout.positions[m * 9],
-                step.layout.positions[m * 9 + 1],
-                step.layout.positions[m * 9 + 2],
+                step.layout.positions[m * w],
+                step.layout.positions[m * w + 1],
+                step.layout.positions[m * w + 2],
             ])
         })
         .collect();
@@ -185,7 +206,7 @@ pub fn run_multinode(
         // memory shard (its halo arrives by message, so the shard
         // simply starts with the imported positions in place).
         let (compute_cycles, forces) = if strips.is_empty() {
-            (0, vec![0.0; step.layout.force_records * 9])
+            (0, vec![0.0; step.layout.force_records * w])
         } else {
             let sub = StreamProgram {
                 buffers: step.program.buffers.clone(),
@@ -248,7 +269,7 @@ pub fn run_multinode(
             .map(|(&peer, &count)| PhaseMessage {
                 src: peer,
                 dst: node,
-                words: count * HALO_POSITION_WORDS,
+                words: count * halo_position_words(w as u64),
             })
             .collect();
         let returns: Vec<PhaseMessage> = force_by_peer
@@ -256,7 +277,7 @@ pub fn run_multinode(
             .map(|(&peer, &count)| PhaseMessage {
                 src: node,
                 dst: peer,
-                words: count * HALO_FORCE_WORDS,
+                words: count * halo_force_words(w as u64),
             })
             .collect();
         let import_cycles = phase_cycles(&topo, &app.cfg, &imports).map_err(net_err)?;

@@ -24,6 +24,7 @@
 //!   which the kernel crate reproduces exactly.
 
 pub mod analyze;
+pub mod atomic;
 pub mod cell;
 pub mod force;
 pub mod integrate;

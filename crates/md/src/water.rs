@@ -190,6 +190,37 @@ impl WaterModel {
         }
     }
 
+    /// Single-site Lennard-Jones atom (argon-like): no charge, one mass
+    /// point at the origin. σ = 0.34 nm, ε = 0.996 kJ/mol, mass 39.948 u.
+    /// This is the low-arithmetic-intensity end of the workload catalogue
+    /// (MD-Bench's plain LJ fluid).
+    pub fn lj_atom() -> Self {
+        let sigma: f64 = 0.34;
+        let eps = 0.996;
+        Self {
+            name: "LJ-atom".into(),
+            sites: vec![Site {
+                offset: Vec3::ZERO,
+                charge: 0.0,
+                mass: 39.948,
+            }],
+            c6: 4.0 * eps * sigma.powi(6),
+            c12: 4.0 * eps * sigma.powi(12),
+        }
+    }
+
+    /// Single-site charged particle: the LJ atom carrying a partial
+    /// charge, so every pair adds a Coulomb term (√ and ÷) on top of the
+    /// LJ core — higher arithmetic intensity per word than the plain LJ
+    /// fluid. Like-charge pairs only; the LJ core keeps the system bound
+    /// enough for a force-kernel benchmark.
+    pub fn charged_atom() -> Self {
+        let mut m = Self::lj_atom();
+        m.name = "Charged-atom".into();
+        m.sites[0].charge = 0.41;
+        m
+    }
+
     /// Number of interaction sites.
     pub fn num_sites(&self) -> usize {
         self.sites.len()

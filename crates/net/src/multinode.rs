@@ -25,10 +25,28 @@ use serde::{Deserialize, Serialize};
 
 use crate::topology::{NetError, Topology};
 
-/// Words per imported halo position record (9 coordinates + index).
+/// Words per imported halo position record for the 3-site water
+/// workload (9 coordinates + index). Other record widths go through
+/// [`halo_position_words`].
 pub const HALO_POSITION_WORDS: u64 = 10;
-/// Words per returned partial-force record (3 sites × 3 components).
+/// Words per returned partial-force record for the 3-site water
+/// workload (3 sites × 3 components). Other record widths go through
+/// [`halo_force_words`].
 pub const HALO_FORCE_WORDS: u64 = 9;
+
+/// Words per imported halo position record for a workload whose
+/// position records are `width` words: the coordinates plus one index
+/// word identifying the molecule on the receiving node.
+pub const fn halo_position_words(width: u64) -> u64 {
+    width + 1
+}
+
+/// Words per returned partial-force record for a workload whose force
+/// records are `width` words: forces return whole records, the owner
+/// already knows the sender's halo ordering so no index word travels.
+pub const fn halo_force_words(width: u64) -> u64 {
+    width
+}
 
 /// A spatial decomposition of the (cubic, periodic) box into a
 /// gx × gy × gz grid of sub-volumes, one per node.
@@ -221,6 +239,15 @@ impl MultiNodeTiming {
 mod tests {
     use super::*;
     use merrimac_arch::NetworkConfig;
+
+    #[test]
+    fn halo_words_reproduce_water_constants() {
+        assert_eq!(halo_position_words(9), HALO_POSITION_WORDS);
+        assert_eq!(halo_force_words(9), HALO_FORCE_WORDS);
+        // Single-site workloads move 3-word records (+1 index in).
+        assert_eq!(halo_position_words(3), 4);
+        assert_eq!(halo_force_words(3), 3);
+    }
 
     #[test]
     fn grid_dims_are_balanced() {

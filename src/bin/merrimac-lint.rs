@@ -9,18 +9,19 @@
 //! merrimac-lint                  # lint all four variants, 64-molecule box
 //! merrimac-lint --molecules 216  # different dataset size
 //! merrimac-lint --paper          # the paper's 900-molecule box
+//! merrimac-lint --workload lj    # lint the LJ atomic-fluid programs
 //! merrimac-lint --explain SDR_PRESSURE
 //! ```
 
 use std::process::ExitCode;
 
 use merrimac_analysis::{render_all, severity_counts, Lint, ALL_LINTS};
-use merrimac_bench::{analyze, paper_system, small_system, RunSpec};
+use merrimac_bench::{analyze, atomic_system, paper_system, small_system, RunSpec};
 use streammd::Variant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: merrimac-lint [--molecules N] [--paper] [--explain LINT_ID]\n\
+        "usage: merrimac-lint [--molecules N] [--paper] [--workload W] [--explain LINT_ID]\n\
          \n\
          Runs the merrimac_analysis passes (SDR pressure, per-strip\n\
          ordering, SRF capacity preflight, kernel dataflow lints) over\n\
@@ -30,6 +31,7 @@ fn usage() -> ! {
          options:\n\
          \x20 --molecules N      dataset size (default 64)\n\
          \x20 --paper            use the paper's 900-molecule dataset\n\
+         \x20 --workload W       water (default), lj, or charged\n\
          \x20 --explain LINT_ID  print the long explanation for one lint"
     );
     std::process::exit(2)
@@ -61,6 +63,7 @@ fn explain(code: &str) -> ExitCode {
 fn main() -> ExitCode {
     let mut molecules = 64usize;
     let mut paper = false;
+    let mut workload = String::from("water");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -71,6 +74,7 @@ fn main() -> ExitCode {
                     .unwrap_or_else(|| usage())
             }
             "--paper" => paper = true,
+            "--workload" => workload = args.next().unwrap_or_else(|| usage()),
             "--explain" => {
                 let code = args.next().unwrap_or_else(|| usage());
                 return explain(&code);
@@ -83,13 +87,23 @@ fn main() -> ExitCode {
         }
     }
 
-    let (system, list) = if paper {
-        paper_system()
-    } else {
-        small_system(molecules)
+    let (system, list) = match workload.as_str() {
+        "water" => {
+            if paper {
+                paper_system()
+            } else {
+                small_system(molecules)
+            }
+        }
+        "lj" => atomic_system(md_sim::water::WaterModel::lj_atom(), molecules),
+        "charged" => atomic_system(md_sim::water::WaterModel::charged_atom(), molecules),
+        other => {
+            eprintln!("unknown workload `{other}` (expected water, lj or charged)");
+            usage()
+        }
     };
     println!(
-        "linting {} molecules, {} neighbour pairs",
+        "linting workload `{workload}`: {} molecules, {} neighbour pairs",
         system.num_molecules(),
         list.num_pairs()
     );
