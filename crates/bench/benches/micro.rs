@@ -14,7 +14,9 @@ use md_sim::neighbor::{NeighborList, NeighborListParams};
 use md_sim::system::WaterBox;
 use merrimac_arch::{MachineConfig, OpCosts};
 use merrimac_kernel::lower::lower_kernel;
-use merrimac_kernel::{list_schedule, modulo_schedule, CompiledTape, Interpreter, StreamData};
+use merrimac_kernel::{
+    list_schedule, modulo_schedule, BatchWidth, CompiledTape, Interpreter, StreamData,
+};
 use merrimac_sim::cache::StreamCache;
 use streammd::kernels::{expanded_kernel, kernel_params, variable_kernel};
 
@@ -40,16 +42,20 @@ fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> f64 {
     median
 }
 
-/// Report an interp-vs-tape pair as interactions/second plus the
-/// speedup — the numbers the CI micro smoke job archives so host
-/// functional-execution throughput is tracked across commits.
-fn engine_summary(label: &str, interactions: usize, interp_s: f64, tape_s: f64) {
+/// Report a three-engine comparison as interactions/second plus the
+/// batch engine's speedup over each of the other two — the numbers the
+/// CI micro smoke job archives so host functional-execution throughput
+/// is tracked across commits.
+fn engine_summary(label: &str, interactions: usize, interp_s: f64, tape_s: f64, batch_s: f64) {
     let rate = |s: f64| interactions as f64 / s / 1e6;
     println!(
-        "{label:<32} interp {:>8.2} Mint/s | tape {:>8.2} Mint/s | {:>5.2}x",
+        "{label:<24} interp {:>8.2} Mint/s | tape {:>8.2} Mint/s | batch {:>8.2} Mint/s | \
+         batch/interp {:>5.2}x | batch/tape {:>5.2}x",
         rate(interp_s),
         rate(tape_s),
-        interp_s / tape_s
+        rate(batch_s),
+        interp_s / batch_s,
+        tape_s / batch_s
     );
 }
 
@@ -113,6 +119,14 @@ fn main() {
     let tape_s = bench("tape_expanded_256", || {
         tape.run(&inputs, &kparams, n).expect("tape")
     });
+    let batch_s = bench("batch8_expanded_256", || {
+        tape.run_batched(&inputs, &kparams, n, BatchWidth::W8)
+            .expect("batch")
+    });
+    let batch16_s = bench("batch16_expanded_256", || {
+        tape.run_batched(&inputs, &kparams, n, BatchWidth::W16)
+            .expect("batch")
+    });
 
     // `variable` exercises the general tape path (conditional centre
     // stream): new centre every 8 iterations.
@@ -140,8 +154,19 @@ fn main() {
     let vtape_s = bench("tape_variable_256", || {
         vtape.run(&vinputs, &kparams, n).expect("tape")
     });
+    let vbatch_s = bench("batch8_variable_256", || {
+        vtape
+            .run_batched(&vinputs, &kparams, n, BatchWidth::W8)
+            .expect("batch")
+    });
 
     println!();
-    engine_summary("expanded (fast path)", n, interp_s, tape_s);
-    engine_summary("variable (general path)", n, vinterp_s, vtape_s);
+    engine_summary(
+        "expanded (fast path)",
+        n,
+        interp_s,
+        tape_s,
+        batch_s.min(batch16_s),
+    );
+    engine_summary("variable (general path)", n, vinterp_s, vtape_s, vbatch_s);
 }

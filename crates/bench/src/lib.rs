@@ -21,7 +21,7 @@ use md_sim::system::WaterBox;
 use md_sim::water::WaterModel;
 use merrimac_analysis::{Diagnostic, Severity};
 use merrimac_sim::machine::SimError;
-use merrimac_sim::KernelEngine;
+use merrimac_sim::{BatchWidth, KernelEngine};
 use streammd::{StepOutcome, StreamMdApp, Variant, Workload};
 
 pub mod json;
@@ -334,6 +334,11 @@ pub struct RunSpec<'a> {
     /// `MERRIMAC_KERNEL_ENGINE` fallback); set it explicitly — or via
     /// [`RunSpec::from_env_overrides`], which rejects malformed values.
     pub engine: Option<KernelEngine>,
+    /// Lane width of the batched engine. `None` leaves the
+    /// `SimConfigBuilder` default (the legacy lenient
+    /// `MERRIMAC_TAPE_BATCH` fallback); results are bitwise-identical
+    /// at either width.
+    pub tape_batch: Option<BatchWidth>,
 }
 
 impl<'a> RunSpec<'a> {
@@ -345,6 +350,7 @@ impl<'a> RunSpec<'a> {
             threads: 1,
             nodes: 1,
             engine: None,
+            tape_batch: None,
         }
     }
 
@@ -364,12 +370,19 @@ impl<'a> RunSpec<'a> {
         self
     }
 
-    /// Apply the `MERRIMAC_HOST_THREADS`, `MERRIMAC_NODES` and
-    /// `MERRIMAC_KERNEL_ENGINE` environment overrides to this spec —
-    /// the single place those variables are parsed. Unset variables
-    /// leave the spec untouched; a set-but-malformed value is a typed
-    /// [`RunError::Env`] naming the variable, instead of the silent
-    /// fall-back the legacy defaults apply.
+    /// Lane width of the batched engine (default 8).
+    pub fn tape_batch(mut self, width: BatchWidth) -> Self {
+        self.tape_batch = Some(width);
+        self
+    }
+
+    /// Apply the `MERRIMAC_HOST_THREADS`, `MERRIMAC_NODES`,
+    /// `MERRIMAC_KERNEL_ENGINE` and `MERRIMAC_TAPE_BATCH` environment
+    /// overrides to this spec — the single place those variables are
+    /// parsed. Unset variables leave the spec untouched; a
+    /// set-but-malformed value is a typed [`RunError::Env`] naming the
+    /// variable, instead of the silent fall-back the legacy defaults
+    /// apply.
     pub fn from_env_overrides(mut self) -> Result<Self, RunError> {
         if let Some(threads) = env_usize("MERRIMAC_HOST_THREADS")? {
             self.threads = threads;
@@ -381,7 +394,14 @@ impl<'a> RunSpec<'a> {
             self.engine = Some(KernelEngine::parse(&value).ok_or(EnvOverrideError {
                 var: "MERRIMAC_KERNEL_ENGINE",
                 value,
-                expected: "`tape` or `interp`",
+                expected: "`batch`, `tape` or `interp`",
+            })?);
+        }
+        if let Some(value) = env_value("MERRIMAC_TAPE_BATCH") {
+            self.tape_batch = Some(BatchWidth::parse(&value).ok_or(EnvOverrideError {
+                var: "MERRIMAC_TAPE_BATCH",
+                value,
+                expected: "`8` or `16`",
             })?);
         }
         Ok(self)
@@ -396,6 +416,9 @@ impl<'a> RunSpec<'a> {
             .nodes(self.nodes);
         if let Some(engine) = self.engine {
             b = b.engine(engine);
+        }
+        if let Some(width) = self.tape_batch {
+            b = b.tape_batch(width);
         }
         b.build().map_err(|e| RunError::sim(self.variant, e))
     }
@@ -505,6 +528,32 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.1234), "12.3%");
+    }
+
+    #[test]
+    fn tape_batch_env_override_is_checked() {
+        // Junk is a typed error naming the variable; a valid width
+        // lands in the spec. (Other tests tolerate this variable being
+        // transiently set: widths are bitwise-equivalent and the
+        // legacy `BatchWidth::from_env` fallback is lenient.)
+        let (system, list) = small_system(27);
+        std::env::set_var("MERRIMAC_TAPE_BATCH", "12");
+        let err = RunSpec::new(&system, &list, Variant::Expanded)
+            .from_env_overrides()
+            .unwrap_err();
+        match err {
+            RunError::Env(e) => {
+                assert_eq!(e.var, "MERRIMAC_TAPE_BATCH");
+                assert_eq!(e.value, "12");
+            }
+            other => panic!("expected Env error, got {other}"),
+        }
+        std::env::set_var("MERRIMAC_TAPE_BATCH", "16");
+        let spec = RunSpec::new(&system, &list, Variant::Expanded)
+            .from_env_overrides()
+            .expect("valid width");
+        assert_eq!(spec.tape_batch, Some(BatchWidth::W16));
+        std::env::remove_var("MERRIMAC_TAPE_BATCH");
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use merrimac_bench::{CampaignRecord, Dataset, RunError, RunSpec, VariantError};
-use merrimac_sim::KernelEngine;
+use merrimac_sim::{BatchWidth, KernelEngine};
 use streammd::{run_multinode_program, StepOutcome, StreamMdApp, Variant};
 
 use crate::cache::{ArtifactCache, CacheKey, CacheStats, CacheStatus, StepArtifact};
@@ -32,6 +32,8 @@ pub struct JobSpec {
     pub threads: usize,
     pub nodes: usize,
     pub engine: Option<KernelEngine>,
+    /// Lane width of the batched engine (results are width-invariant).
+    pub tape_batch: Option<BatchWidth>,
 }
 
 impl JobSpec {
@@ -42,6 +44,7 @@ impl JobSpec {
             threads: 1,
             nodes: 1,
             engine: None,
+            tape_batch: None,
         }
     }
 
@@ -60,6 +63,11 @@ impl JobSpec {
         self
     }
 
+    pub fn tape_batch(mut self, width: BatchWidth) -> Self {
+        self.tape_batch = Some(width);
+        self
+    }
+
     /// The equivalent borrowed one-shot spec (what `bench::run` would
     /// execute for this job).
     pub fn run_spec(&self) -> RunSpec<'_> {
@@ -67,6 +75,7 @@ impl JobSpec {
             .threads(self.threads)
             .nodes(self.nodes);
         spec.engine = self.engine;
+        spec.tape_batch = self.tape_batch;
         spec
     }
 
@@ -91,6 +100,9 @@ impl JobSpec {
             .nodes(self.nodes);
         if let Some(engine) = self.engine {
             b = b.engine(engine);
+        }
+        if let Some(width) = self.tape_batch {
+            b = b.tape_batch(width);
         }
         b.build().map_err(|source| {
             RunError::from(VariantError {

@@ -11,8 +11,8 @@ use merrimac_arch::{MachineConfig, NetworkConfig, OpCosts};
 use merrimac_sim::machine::SimError;
 use merrimac_sim::program::Memory;
 use merrimac_sim::{
-    AccessIntent, CompiledKernel, KernelEngine, KernelOpt, ProgramBuilder, RegionId, RunReport,
-    SdrPolicy, StreamProcessor, StreamProgram,
+    AccessIntent, BatchWidth, CompiledKernel, KernelEngine, KernelOpt, ProgramBuilder, RegionId,
+    RunReport, SdrPolicy, StreamProcessor, StreamProgram,
 };
 
 use crate::kernels;
@@ -86,13 +86,18 @@ pub struct StreamMdApp {
     /// Simulated node count for [`crate::multinode::run_multinode`]
     /// (validated against `network` at build time; 1 = single node).
     pub nodes: usize,
-    /// Functional kernel-execution engine (bytecode tape or the
-    /// reference interpreter). Simulated results are bitwise-identical
-    /// under both; only host wall-clock differs. First-class
-    /// configuration state: set it via [`crate::SimConfigBuilder::engine`]
-    /// (or the checked `RunSpec::from_env_overrides` in `merrimac_bench`)
-    /// instead of exporting `MERRIMAC_KERNEL_ENGINE` ad hoc.
+    /// Functional kernel-execution engine (batched SoA tape, scalar
+    /// tape, or the reference interpreter). Simulated results are
+    /// bitwise-identical under all three; only host wall-clock differs.
+    /// First-class configuration state: set it via
+    /// [`crate::SimConfigBuilder::engine`] (or the checked
+    /// `RunSpec::from_env_overrides` in `merrimac_bench`) instead of
+    /// exporting `MERRIMAC_KERNEL_ENGINE` ad hoc.
     pub engine: KernelEngine,
+    /// Lane width of the batched engine (8 or 16 iterations per SoA
+    /// batch); irrelevant to results, which are bitwise-identical at
+    /// either width.
+    pub tape_batch: BatchWidth,
 }
 
 /// A built (but not yet executed) StreamMD step: the stream program,
@@ -135,6 +140,7 @@ impl StreamMdApp {
             network: NetworkConfig::default(),
             nodes: 1,
             engine: KernelEngine::from_env(),
+            tape_batch: BatchWidth::from_env(),
         }
     }
 
@@ -311,7 +317,8 @@ impl StreamMdApp {
         let proc = StreamProcessor::new(self.cfg.clone())
             .with_costs(self.costs.clone())
             .with_policy(self.policy)
-            .with_engine(self.engine);
+            .with_engine(self.engine)
+            .with_batch_width(self.tape_batch);
         let report = proc.run_parallel(&mut mem, &step.program, self.threads)?;
 
         // Extract forces for the real molecules (one Vec3 per site).

@@ -40,7 +40,7 @@ use md_sim::neighbor::NeighborListParams;
 use merrimac_arch::{MachineConfig, NetworkConfig, OpCosts};
 use merrimac_net::topology::{NetError, Topology};
 use merrimac_sim::machine::SimError;
-use merrimac_sim::{KernelEngine, KernelOpt, SdrPolicy};
+use merrimac_sim::{BatchWidth, KernelEngine, KernelOpt, SdrPolicy};
 
 use crate::app::StreamMdApp;
 use crate::variant::Variant;
@@ -64,6 +64,7 @@ pub struct SimConfigBuilder {
     network: NetworkConfig,
     nodes: usize,
     engine: Option<KernelEngine>,
+    tape_batch: Option<BatchWidth>,
 }
 
 impl Default for SimConfigBuilder {
@@ -96,6 +97,7 @@ impl SimConfigBuilder {
             network: NetworkConfig::default(),
             nodes: 1,
             engine: None,
+            tape_batch: None,
         }
     }
 
@@ -182,13 +184,22 @@ impl SimConfigBuilder {
         self
     }
 
-    /// Functional kernel-execution engine (bytecode tape or the
-    /// reference interpreter). Unset, the legacy
+    /// Functional kernel-execution engine (batched SoA tape, scalar
+    /// tape, or the reference interpreter). Unset, the legacy
     /// `MERRIMAC_KERNEL_ENGINE` default applies; prefer setting it here
     /// (or via `RunSpec::from_env_overrides` in `merrimac_bench`, which
     /// rejects malformed values with a typed error).
     pub fn engine(mut self, engine: KernelEngine) -> Self {
         self.engine = Some(engine);
+        self
+    }
+
+    /// Lane width of the batched engine ([`KernelEngine::Batch`]): 8 or
+    /// 16 iterations per SoA batch. Unset, the legacy
+    /// `MERRIMAC_TAPE_BATCH` default applies (8). Results are
+    /// bitwise-identical at either width; only host wall-clock differs.
+    pub fn tape_batch(mut self, width: BatchWidth) -> Self {
+        self.tape_batch = Some(width);
         self
     }
 
@@ -305,6 +316,7 @@ impl SimConfigBuilder {
             network: self.network,
             nodes: self.nodes,
             engine: self.engine.unwrap_or_else(KernelEngine::from_env),
+            tape_batch: self.tape_batch.unwrap_or_else(BatchWidth::from_env),
         })
     }
 }

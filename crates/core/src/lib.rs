@@ -40,7 +40,7 @@ pub use app::{PerfSummary, StepOutcome, StepProgram, StreamMdApp};
 pub use config::SimConfigBuilder;
 pub use driver::{DriverReport, MerrimacDriver};
 pub use merrimac_sim::machine::SimError;
-pub use merrimac_sim::{AccessIntent, FallbackKind, KernelEngine, PartitionSummary};
+pub use merrimac_sim::{AccessIntent, BatchWidth, FallbackKind, KernelEngine, PartitionSummary};
 pub use metrics::{AnalyticModel, MultiNodeBreakdown, PhaseBreakdown};
 pub use multinode::{run_multinode, run_multinode_program, MultiNodeOutcome, NodeRun};
 pub use variant::{DatasetStats, Variant};

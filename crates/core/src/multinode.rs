@@ -192,7 +192,8 @@ pub fn run_multinode_program(
     let proc = StreamProcessor::new(app.cfg.clone())
         .with_costs(app.costs.clone())
         .with_policy(app.policy)
-        .with_engine(app.engine);
+        .with_engine(app.engine)
+        .with_batch_width(app.tape_batch);
 
     let mut per_node = Vec::with_capacity(nodes);
     let mut loads = Vec::with_capacity(nodes);

@@ -26,6 +26,7 @@
 //! 6. [`render`] — ASCII rendering of schedules in the style of
 //!    Figure 10.
 
+pub mod batch;
 pub mod builder;
 pub mod interp;
 pub mod ir;
@@ -39,6 +40,7 @@ pub mod tape;
 pub mod unroll;
 pub mod validate;
 
+pub use batch::BatchWidth;
 pub use builder::KernelBuilder;
 pub use interp::{InterpOutput, Interpreter, StreamData};
 pub use ir::{Kernel, Node, NodeId, OpKind, StreamMode};

@@ -33,11 +33,12 @@
 //! values — which `tests/tape_equivalence.rs` proves differentially
 //! over random kernels. The interpreter remains the reference oracle.
 
+use crate::batch::BatchPlan;
 use crate::interp::{InterpError, InterpOutput, StreamData};
 use crate::ir::{Kernel, Node, OpKind, StreamMode};
 
 /// Sentinel for "no condition" in a [`WritePlan`].
-const NO_COND: u32 = u32::MAX;
+pub(crate) const NO_COND: u32 = u32::MAX;
 
 /// Tape opcodes. Plain register/stream reads never appear here: they
 /// are source nodes with no operands, so the compiler batches them into
@@ -45,7 +46,7 @@ const NO_COND: u32 = u32::MAX;
 /// without opcode dispatch. Constants and parameters are hoisted
 /// further, into the once-per-launch init plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Code {
+pub(crate) enum Code {
     /// `dst = cond_reads[a]` (see [`CondReadSlot`])
     CondRead,
     Add,
@@ -74,22 +75,22 @@ enum Code {
 /// and `c` are operand slots for arithmetic ops; for conditional reads
 /// `a` indexes the [`CondReadSlot`] table.
 #[derive(Debug, Clone, Copy)]
-struct TapeOp {
-    code: Code,
-    dst: u32,
-    a: u32,
-    b: u32,
-    c: u32,
+pub(crate) struct TapeOp {
+    pub(crate) code: Code,
+    pub(crate) dst: u32,
+    pub(crate) a: u32,
+    pub(crate) b: u32,
+    pub(crate) c: u32,
 }
 
 /// Iteration-prologue reads from one every-iteration input stream:
 /// `vals[dst] = current_record[field]`. Grouped per stream so the
 /// record row is sliced once and shared by all its field reads.
 #[derive(Debug, Clone)]
-struct StreamReads {
-    stream: u32,
+pub(crate) struct StreamReads {
+    pub(crate) stream: u32,
     /// `(value slot, field)` pairs.
-    reads: Vec<(u32, u32)>,
+    pub(crate) reads: Vec<(u32, u32)>,
 }
 
 /// Pre-resolved conditional-stream read. `slot` indexes the flat pop
@@ -99,23 +100,23 @@ struct StreamReads {
 /// independently — exactly the interpreter's per-predicate `HashMap`
 /// semantics, but with the slot assignment done at compile time.
 #[derive(Debug, Clone, Copy)]
-struct CondReadSlot {
-    stream: u32,
-    field: u32,
-    pred: u32,
-    fallback: u32,
-    slot: u32,
+pub(crate) struct CondReadSlot {
+    pub(crate) stream: u32,
+    pub(crate) field: u32,
+    pub(crate) pred: u32,
+    pub(crate) fallback: u32,
+    pub(crate) slot: u32,
 }
 
 /// One output write per iteration: `write_values[start..start+len]`
 /// appended to `outputs[stream]` when `cond` (a value slot, or
 /// [`NO_COND`]) is non-zero.
 #[derive(Debug, Clone, Copy)]
-struct WritePlan {
-    stream: u32,
-    cond: u32,
-    start: u32,
-    len: u32,
+pub(crate) struct WritePlan {
+    pub(crate) stream: u32,
+    pub(crate) cond: u32,
+    pub(crate) start: u32,
+    pub(crate) len: u32,
 }
 
 /// A kernel compiled to a flat execution tape. Immutable and shareable
@@ -123,36 +124,39 @@ struct WritePlan {
 /// [`CompiledTape::run`].
 #[derive(Debug, Clone)]
 pub struct CompiledTape {
-    name: String,
-    num_nodes: usize,
+    pub(crate) name: String,
+    pub(crate) num_nodes: usize,
     /// `(value slot, constant)` — loop-invariant, applied once per run.
-    const_inits: Vec<(u32, f64)>,
+    pub(crate) const_inits: Vec<(u32, f64)>,
     /// `(value slot, param index)` — loop-invariant.
-    param_inits: Vec<(u32, u32)>,
+    pub(crate) param_inits: Vec<(u32, u32)>,
     /// `(value slot, register)` — iteration prologue. Registers only
     /// change in the iteration epilogue (`reg_updates`), so every
     /// register read can run before the arithmetic tape.
-    reg_reads: Vec<(u32, u32)>,
+    pub(crate) reg_reads: Vec<(u32, u32)>,
     /// Per-stream iteration-prologue reads (every-iteration streams
     /// only; `validate_ssa` rejects plain reads of conditional streams).
-    stream_reads: Vec<StreamReads>,
+    pub(crate) stream_reads: Vec<StreamReads>,
     /// The arithmetic/conditional-read tape proper.
-    ops: Vec<TapeOp>,
-    cond_reads: Vec<CondReadSlot>,
+    pub(crate) ops: Vec<TapeOp>,
+    pub(crate) cond_reads: Vec<CondReadSlot>,
     /// Number of distinct `(stream, predicate)` pop slots.
-    pop_slots: usize,
-    input_record_len: Vec<usize>,
-    input_every_iter: Vec<bool>,
-    num_params: usize,
-    reg_init: Vec<f64>,
-    reg_updates: Vec<(u32, u32)>,
-    writes: Vec<WritePlan>,
-    write_values: Vec<u32>,
-    out_record_len: Vec<usize>,
+    pub(crate) pop_slots: usize,
+    pub(crate) input_record_len: Vec<usize>,
+    pub(crate) input_every_iter: Vec<bool>,
+    pub(crate) num_params: usize,
+    pub(crate) reg_init: Vec<f64>,
+    pub(crate) reg_updates: Vec<(u32, u32)>,
+    pub(crate) writes: Vec<WritePlan>,
+    pub(crate) write_values: Vec<u32>,
+    pub(crate) out_record_len: Vec<usize>,
     /// Worst-case words appended per iteration to each output — exact
     /// for outputs with only unconditional writes.
-    out_words_per_iter: Vec<usize>,
-    fast_path: bool,
+    pub(crate) out_words_per_iter: Vec<usize>,
+    pub(crate) fast_path: bool,
+    /// Dataflow phase partition of `ops` for the batched SoA engine
+    /// ([`crate::batch`]), precomputed here so every launch reuses it.
+    pub(crate) batch: BatchPlan,
 }
 
 impl CompiledTape {
@@ -271,7 +275,7 @@ impl CompiledTape {
             .iter()
             .all(|s| s.mode == StreamMode::EveryIteration);
 
-        Self {
+        let mut tape = Self {
             name: kernel.name.clone(),
             num_nodes: kernel.nodes.len(),
             const_inits,
@@ -303,7 +307,10 @@ impl CompiledTape {
                 .collect(),
             out_words_per_iter,
             fast_path,
-        }
+            batch: BatchPlan::default(),
+        };
+        tape.batch = BatchPlan::analyze(&tape);
+        tape
     }
 
     /// True when the kernel has no conditional input streams, so the
@@ -358,6 +365,33 @@ impl CompiledTape {
         params: &[f64],
         iterations: usize,
     ) -> Result<InterpOutput, InterpError> {
+        self.validate_signature(inputs, params)?;
+        let mut outputs = self.make_outputs(iterations);
+        let mut regs = self.reg_init.clone();
+        let mut vals = self.init_vals(params);
+
+        let records_consumed = if self.fast_path {
+            self.run_fast(inputs, &mut vals, &mut regs, &mut outputs, iterations)?
+        } else {
+            self.run_general(inputs, &mut vals, &mut regs, &mut outputs, iterations)?
+        };
+
+        Ok(InterpOutput {
+            outputs,
+            records_consumed,
+            iterations,
+            final_regs: regs,
+        })
+    }
+
+    /// Check the launch signature: stream count, per-stream record
+    /// length and param count. Shared by every engine that executes
+    /// this tape so mismatch messages are identical.
+    pub(crate) fn validate_signature(
+        &self,
+        inputs: &[StreamData],
+        params: &[f64],
+    ) -> Result<(), InterpError> {
         if inputs.len() != self.input_record_len.len() {
             return Err(InterpError::SignatureMismatch(format!(
                 "kernel {} expects {} input streams, got {}",
@@ -382,9 +416,13 @@ impl CompiledTape {
                 params.len()
             )));
         }
+        Ok(())
+    }
 
-        let mut outputs: Vec<StreamData> = self
-            .out_record_len
+    /// Output streams with exact per-launch capacity reservation
+    /// (`iterations × worst-case words appended per iteration`).
+    pub(crate) fn make_outputs(&self, iterations: usize) -> Vec<StreamData> {
+        self.out_record_len
             .iter()
             .zip(&self.out_words_per_iter)
             .map(|(rl, w)| {
@@ -392,8 +430,12 @@ impl CompiledTape {
                 s.data.reserve_exact(iterations * w);
                 s
             })
-            .collect();
-        let mut regs = self.reg_init.clone();
+            .collect()
+    }
+
+    /// Value-slot array with the once-per-launch init plan applied
+    /// (constants and params hoisted out of the iteration loop).
+    pub(crate) fn init_vals(&self, params: &[f64]) -> Vec<f64> {
         let mut vals = vec![0.0f64; self.num_nodes];
         for &(slot, c) in &self.const_inits {
             vals[slot as usize] = c;
@@ -401,19 +443,7 @@ impl CompiledTape {
         for &(slot, p) in &self.param_inits {
             vals[slot as usize] = params[p as usize];
         }
-
-        let records_consumed = if self.fast_path {
-            self.run_fast(inputs, &mut vals, &mut regs, &mut outputs, iterations)?
-        } else {
-            self.run_general(inputs, &mut vals, &mut regs, &mut outputs, iterations)?
-        };
-
-        Ok(InterpOutput {
-            outputs,
-            records_consumed,
-            iterations,
-            final_regs: regs,
-        })
+        vals
     }
 
     /// Fast path: every input stream pops exactly once per iteration,
@@ -427,8 +457,20 @@ impl CompiledTape {
         outputs: &mut [StreamData],
         iterations: usize,
     ) -> Result<Vec<usize>, InterpError> {
-        // First stream (in index order) to run dry loses — matching the
-        // interpreter's per-iteration check order.
+        self.prove_fast_underrun(inputs, iterations)?;
+        let mut row_base = vec![0usize; inputs.len()];
+        self.run_fast_range(inputs, vals, regs, outputs, &mut row_base, iterations);
+        Ok(vec![iterations; inputs.len()])
+    }
+
+    /// Decide fast-path underrun before any iteration runs: the first
+    /// stream (in index order) to run dry loses — matching the
+    /// interpreter's per-iteration check order.
+    pub(crate) fn prove_fast_underrun(
+        &self,
+        inputs: &[StreamData],
+        iterations: usize,
+    ) -> Result<(), InterpError> {
         let mut limit = iterations;
         let mut bad = None;
         for (s, d) in inputs.iter().enumerate() {
@@ -444,10 +486,23 @@ impl CompiledTape {
                 iteration: limit,
             });
         }
+        Ok(())
+    }
 
-        let mut row_base = vec![0usize; inputs.len()];
-        for _ in 0..iterations {
-            self.read_prologue(inputs, &row_base, regs, vals);
+    /// `count` fast-path iterations resuming at `row_base` (advanced in
+    /// place). Underrun must already be proven impossible for the whole
+    /// launch ([`Self::prove_fast_underrun`]).
+    pub(crate) fn run_fast_range(
+        &self,
+        inputs: &[StreamData],
+        vals: &mut [f64],
+        regs: &mut [f64],
+        outputs: &mut [StreamData],
+        row_base: &mut [usize],
+        count: usize,
+    ) {
+        for _ in 0..count {
+            self.read_prologue(inputs, row_base, regs, vals);
             // Arithmetic only (conditional reads cannot occur on the
             // fast path; plain reads live in the prologue).
             for op in &self.ops {
@@ -461,7 +516,6 @@ impl CompiledTape {
                 *base += rl;
             }
         }
-        Ok(vec![iterations; inputs.len()])
     }
 
     /// General path: conditional streams pop on demand through the flat
@@ -474,24 +528,39 @@ impl CompiledTape {
         outputs: &mut [StreamData],
         iterations: usize,
     ) -> Result<Vec<usize>, InterpError> {
-        let num_records: Vec<usize> = inputs.iter().map(|d| d.num_records()).collect();
-        let mut cursors = vec![0usize; inputs.len()];
-        let mut row_base = vec![0usize; inputs.len()];
-        let mut pop_gen = vec![0u64; self.pop_slots];
-        let mut pop_base = vec![0usize; self.pop_slots];
-        let mut generation = 0u64;
+        let mut st = ScalarState::new(self, inputs.len());
+        self.run_general_range(inputs, vals, regs, outputs, &mut st, 0, iterations)?;
+        Ok(st.cursors)
+    }
 
-        for iter in 0..iterations {
-            generation += 1;
+    /// General-path iterations `start..end`, resuming from (and
+    /// advancing) `st`. Iteration indices in underrun errors are
+    /// absolute, so a caller that ran `start` iterations by other means
+    /// (the batched engine) reports the same error values as a scalar
+    /// run from zero.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_general_range(
+        &self,
+        inputs: &[StreamData],
+        vals: &mut [f64],
+        regs: &mut [f64],
+        outputs: &mut [StreamData],
+        st: &mut ScalarState,
+        start: usize,
+        end: usize,
+    ) -> Result<(), InterpError> {
+        let num_records: Vec<usize> = inputs.iter().map(|d| d.num_records()).collect();
+        for iter in start..end {
+            st.generation += 1;
             for (s, every) in self.input_every_iter.iter().enumerate() {
-                if *every && cursors[s] >= num_records[s] {
+                if *every && st.cursors[s] >= num_records[s] {
                     return Err(InterpError::StreamUnderrun {
                         stream: s,
                         iteration: iter,
                     });
                 }
             }
-            self.read_prologue(inputs, &row_base, regs, vals);
+            self.read_prologue(inputs, &st.row_base, regs, vals);
             for op in &self.ops {
                 vals[op.dst as usize] = match op.code {
                     Code::CondRead => {
@@ -499,19 +568,19 @@ impl CompiledTape {
                         if vals[cr.pred as usize] != 0.0 {
                             let s = cr.stream as usize;
                             let slot = cr.slot as usize;
-                            if pop_gen[slot] != generation {
-                                if cursors[s] >= num_records[s] {
+                            if st.pop_gen[slot] != st.generation {
+                                if st.cursors[s] >= num_records[s] {
                                     return Err(InterpError::StreamUnderrun {
                                         stream: s,
                                         iteration: iter,
                                     });
                                 }
-                                pop_gen[slot] = generation;
-                                pop_base[slot] = row_base[s];
-                                cursors[s] += 1;
-                                row_base[s] += self.input_record_len[s];
+                                st.pop_gen[slot] = st.generation;
+                                st.pop_base[slot] = st.row_base[s];
+                                st.cursors[s] += 1;
+                                st.row_base[s] += self.input_record_len[s];
                             }
-                            inputs[s].data[pop_base[slot] + cr.field as usize]
+                            inputs[s].data[st.pop_base[slot] + cr.field as usize]
                         } else {
                             vals[cr.fallback as usize]
                         }
@@ -525,12 +594,12 @@ impl CompiledTape {
             }
             for (s, every) in self.input_every_iter.iter().enumerate() {
                 if *every {
-                    cursors[s] += 1;
-                    row_base[s] += self.input_record_len[s];
+                    st.cursors[s] += 1;
+                    st.row_base[s] += self.input_record_len[s];
                 }
             }
         }
-        Ok(cursors)
+        Ok(())
     }
 
     /// Run the write plan for one iteration, preserving the kernel's
@@ -545,6 +614,38 @@ impl CompiledTape {
             let out = &mut outputs[w.stream as usize].data;
             let range = w.start as usize..(w.start + w.len) as usize;
             out.extend(self.write_values[range].iter().map(|&v| vals[v as usize]));
+        }
+    }
+}
+
+/// Resumable mutable state of the general scalar path: stream cursors
+/// and conditional-pop bookkeeping. The batched engine
+/// ([`crate::batch`]) carries one of these across its vector batches
+/// and hands it to [`CompiledTape::run_general_range`] for the scalar
+/// remainder, so both paths share one implementation of pop and
+/// underrun semantics instead of duplicating them.
+#[derive(Debug)]
+pub(crate) struct ScalarState {
+    /// Records consumed so far per input stream.
+    pub(crate) cursors: Vec<usize>,
+    /// Word offset of each stream's next record.
+    pub(crate) row_base: Vec<usize>,
+    /// Generation stamp of each pop slot's last pop.
+    pub(crate) pop_gen: Vec<u64>,
+    /// Word offset of each pop slot's current record.
+    pub(crate) pop_base: Vec<usize>,
+    /// Iterations started so far — the pop-slot reset generation.
+    pub(crate) generation: u64,
+}
+
+impl ScalarState {
+    pub(crate) fn new(tape: &CompiledTape, num_inputs: usize) -> Self {
+        Self {
+            cursors: vec![0; num_inputs],
+            row_base: vec![0; num_inputs],
+            pop_gen: vec![0; tape.pop_slots],
+            pop_base: vec![0; tape.pop_slots],
+            generation: 0,
         }
     }
 }
@@ -586,7 +687,7 @@ fn eval_arith(op: &TapeOp, vals: &[f64]) -> f64 {
 }
 
 #[inline]
-fn mask(b: bool) -> f64 {
+pub(crate) fn mask(b: bool) -> f64 {
     if b {
         1.0
     } else {

@@ -10,12 +10,19 @@
 //! strictly required by the physics" — the [`NeighborListParams::skin`]
 //! parameter.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::cell::CellGrid;
 use crate::pbc::Pbc;
 use crate::system::WaterBox;
 use crate::vec3::Vec3;
+
+/// Centre count above which [`NeighborList::build`] fans the per-centre
+/// search out over the rayon worker pool. Below it, thread spawn/join
+/// costs more than the search; at the 10⁵–10⁶-particle sweep points the
+/// build dominates wall-clock and scales with cores.
+const PAR_BUILD_MIN_CENTERS: usize = 512;
 
 /// Parameters of the neighbour search.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -68,7 +75,20 @@ pub struct NeighborList {
 
 impl NeighborList {
     /// Build from a water box using a cell grid over oxygen positions.
+    ///
+    /// Large boxes fan the per-centre search out over the rayon worker
+    /// pool: each centre's lists are a pure function of the (read-only)
+    /// grid and positions, and the order-preserving parallel collect
+    /// reassembles them in centre order, so the emitted list is
+    /// byte-identical to the serial build at any thread count (pinned
+    /// by `parallel_build_is_byte_identical_to_serial`).
     pub fn build(system: &WaterBox, params: NeighborListParams) -> Self {
+        let parallel =
+            system.num_molecules() >= PAR_BUILD_MIN_CENTERS && rayon::current_num_threads() > 1;
+        Self::build_impl(system, params, parallel)
+    }
+
+    fn build_impl(system: &WaterBox, params: NeighborListParams, parallel: bool) -> Self {
         let n = system.num_molecules();
         let pbc = system.pbc();
         let radius = params.list_radius();
@@ -80,11 +100,14 @@ impl NeighborList {
         let oxygens: Vec<Vec3> = (0..n).map(|m| pbc.wrap(system.oxygen(m))).collect();
         let grid = CellGrid::build(pbc, &oxygens, radius);
 
-        let mut lists: Vec<CenterList> = Vec::new();
-        let mut by_shift: Vec<Vec<u32>> = vec![Vec::new(); Pbc::NUM_SHIFTS];
-        let mut used_shifts: Vec<usize> = Vec::new();
-        for i in 0..n {
-            for v in &mut by_shift {
+        // One centre's (shift-grouped, sorted) lists, appended to `out`.
+        // Scratch buffers are caller-owned so the serial path can reuse
+        // them across centres.
+        let collect_center = |i: usize,
+                              by_shift: &mut Vec<Vec<u32>>,
+                              used_shifts: &mut Vec<usize>,
+                              out: &mut Vec<CenterList>| {
+            for v in by_shift.iter_mut() {
                 v.clear();
             }
             used_shifts.clear();
@@ -106,16 +129,42 @@ impl NeighborList {
                 }
             });
             used_shifts.sort_unstable();
-            for &si in &used_shifts {
+            for &si in used_shifts.iter() {
                 let mut neighbors = std::mem::take(&mut by_shift[si]);
                 neighbors.sort_unstable();
-                lists.push(CenterList {
+                out.push(CenterList {
                     center: i as u32,
                     shift_index: si as u8,
                     neighbors,
                 });
             }
-        }
+        };
+
+        let lists: Vec<CenterList> = if parallel {
+            let per_center: Vec<Vec<CenterList>> = (0..n)
+                .into_par_iter()
+                .map(|i| {
+                    let mut by_shift: Vec<Vec<u32>> = vec![Vec::new(); Pbc::NUM_SHIFTS];
+                    let mut used_shifts: Vec<usize> = Vec::new();
+                    let mut out = Vec::new();
+                    collect_center(i, &mut by_shift, &mut used_shifts, &mut out);
+                    out
+                })
+                .collect();
+            let mut lists = Vec::with_capacity(per_center.iter().map(Vec::len).sum());
+            for mut v in per_center {
+                lists.append(&mut v);
+            }
+            lists
+        } else {
+            let mut lists = Vec::new();
+            let mut by_shift: Vec<Vec<u32>> = vec![Vec::new(); Pbc::NUM_SHIFTS];
+            let mut used_shifts: Vec<usize> = Vec::new();
+            for i in 0..n {
+                collect_center(i, &mut by_shift, &mut used_shifts, &mut lists);
+            }
+            lists
+        };
         Self { params, lists }
     }
 
@@ -319,6 +368,30 @@ mod tests {
         };
         let r = std::panic::catch_unwind(|| NeighborList::build(&sys, params));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_serial() {
+        // Above and below the parallelism threshold, forced through
+        // both paths: same lists in the same order, so downstream
+        // consumers (dataset cache keys, kernels) cannot observe the
+        // host thread count.
+        for (n, seed) in [(125usize, 21u64), (700, 22)] {
+            let sys = small_box(n, seed);
+            let params = NeighborListParams {
+                cutoff: 0.55,
+                skin: 0.05,
+                rebuild_interval: 10,
+            };
+            let serial = NeighborList::build_impl(&sys, params, false);
+            let parallel = NeighborList::build_impl(&sys, params, true);
+            assert_eq!(serial, parallel, "n={n}");
+            assert_eq!(
+                NeighborList::build(&sys, params),
+                serial,
+                "n={n} front door"
+            );
+        }
     }
 
     #[test]

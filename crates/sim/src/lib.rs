@@ -41,6 +41,7 @@ pub use machine::{
     buffer_capacity_words, produced_buffers, KernelEngine, RunReport, SimError, StreamProcessor,
 };
 pub use memsys::{MemOpCost, MemSystem};
+pub use merrimac_kernel::BatchWidth;
 pub use parallel::{
     partition_program, read_write_hazards, FallbackKind, FallbackReason, OrderingHazard,
     PartitionReport, PartitionSummary,

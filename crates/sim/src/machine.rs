@@ -11,6 +11,7 @@
 
 use merrimac_arch::{MachineConfig, OpCosts};
 use merrimac_kernel::interp::{InterpError, Interpreter, StreamData};
+use merrimac_kernel::BatchWidth;
 
 use crate::cache::CacheAccessStats;
 use crate::counters::{Counters, PhaseCycles};
@@ -153,17 +154,20 @@ pub(crate) enum ExecMode<'a> {
 
 /// Which functional engine executes kernel dataflow graphs.
 ///
-/// The bytecode tape ([`merrimac_kernel::CompiledTape`], compiled once
-/// per kernel and cached on [`crate::kernelc::CompiledKernel`]) is the
-/// default; the graph-walking [`Interpreter`] remains as the reference
-/// oracle and as an escape hatch for bisecting
-/// (`MERRIMAC_KERNEL_ENGINE=interp`). Both produce bitwise-identical
-/// outputs, consumed counts and final registers — proven differentially
-/// by `tests/tape_equivalence.rs`.
+/// The batched SoA engine ([`merrimac_kernel::batch`], executing the
+/// compiled tape in vectorizable lanes of 8/16 iterations) is the
+/// default. The scalar bytecode tape and the graph-walking
+/// [`Interpreter`] remain as bisection oracles behind
+/// `MERRIMAC_KERNEL_ENGINE=tape|interp`. All three produce
+/// bitwise-identical outputs, consumed counts and final registers —
+/// proven differentially by `tests/tape_equivalence.rs`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum KernelEngine {
-    /// Flat bytecode tape, compiled once at kernel-compile time.
+    /// Batched SoA execution of the compiled tape, 8/16 lanes per
+    /// batch ([`BatchWidth`]).
     #[default]
+    Batch,
+    /// Flat bytecode tape, one scalar iteration at a time.
     Tape,
     /// Reference graph-walking interpreter.
     Interp,
@@ -176,6 +180,7 @@ impl KernelEngine {
     /// `RunSpec::from_env_overrides`, which calls this.
     pub fn parse(value: &str) -> Option<Self> {
         match value {
+            "batch" => Some(KernelEngine::Batch),
             "tape" => Some(KernelEngine::Tape),
             "interp" => Some(KernelEngine::Interp),
             _ => None,
@@ -183,10 +188,11 @@ impl KernelEngine {
     }
 
     /// Resolve from the `MERRIMAC_KERNEL_ENGINE` environment variable
-    /// (`interp` or `tape`; anything else, including unset, means tape).
-    /// Lenient legacy default for a raw [`StreamProcessor`]; the
-    /// validated front doors (`SimConfigBuilder::engine`,
-    /// `RunSpec::from_env_overrides`) reject malformed values instead.
+    /// (`batch`, `tape` or `interp`; anything else, including unset,
+    /// means batch). Lenient legacy default for a raw
+    /// [`StreamProcessor`]; the validated front doors
+    /// (`SimConfigBuilder::engine`, `RunSpec::from_env_overrides`)
+    /// reject malformed values instead.
     pub fn from_env() -> Self {
         std::env::var("MERRIMAC_KERNEL_ENGINE")
             .ok()
@@ -196,6 +202,7 @@ impl KernelEngine {
 
     pub fn name(self) -> &'static str {
         match self {
+            KernelEngine::Batch => "batch",
             KernelEngine::Tape => "tape",
             KernelEngine::Interp => "interp",
         }
@@ -220,6 +227,7 @@ pub(crate) fn kernel_functional(
     params: &[f64],
     iterations: u64,
     engine: KernelEngine,
+    batch: BatchWidth,
 ) -> Result<(Vec<StreamData>, u64), SimError> {
     let unroll = kernel.opt.unroll as u64;
     if !iterations.is_multiple_of(unroll) {
@@ -256,6 +264,11 @@ pub(crate) fn kernel_functional(
     };
     let unrolled_iters = iterations / unroll;
     let out = match engine {
+        KernelEngine::Batch => {
+            kernel
+                .tape
+                .run_batched(&shaped, params, unrolled_iters as usize, batch)?
+        }
         KernelEngine::Tape => kernel.tape.run(&shaped, params, unrolled_iters as usize)?,
         KernelEngine::Interp => {
             Interpreter::new(&kernel.ir).run(&shaped, params, unrolled_iters as usize)?
@@ -290,9 +303,14 @@ pub struct StreamProcessor {
     pub partition_verbose: bool,
     /// Which functional engine executes kernel dataflow graphs.
     /// Defaults from the `MERRIMAC_KERNEL_ENGINE` environment variable
-    /// (tape unless set to `interp`). Simulated results are
-    /// bitwise-identical under both; only host wall-clock differs.
+    /// (batch unless set to `tape` or `interp`). Simulated results are
+    /// bitwise-identical under all three; only host wall-clock differs.
     pub kernel_engine: KernelEngine,
+    /// Lane width of the batched engine ([`KernelEngine::Batch`]).
+    /// Defaults from the `MERRIMAC_TAPE_BATCH` environment variable
+    /// (8 unless set to `16`). Results are bitwise-identical at either
+    /// width.
+    pub tape_batch: BatchWidth,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -313,6 +331,7 @@ impl StreamProcessor {
                 .map(|v| !v.is_empty() && v != "0")
                 .unwrap_or(false),
             kernel_engine: KernelEngine::from_env(),
+            tape_batch: BatchWidth::from_env(),
         }
     }
 
@@ -321,10 +340,17 @@ impl StreamProcessor {
         self
     }
 
-    /// Select the functional kernel-execution engine (tape or the
-    /// reference interpreter) regardless of the environment default.
+    /// Select the functional kernel-execution engine (batch, tape or
+    /// the reference interpreter) regardless of the environment default.
     pub fn with_engine(mut self, engine: KernelEngine) -> Self {
         self.kernel_engine = engine;
+        self
+    }
+
+    /// Select the lane width of the batched engine regardless of the
+    /// environment default.
+    pub fn with_batch_width(mut self, width: BatchWidth) -> Self {
+        self.tape_batch = width;
         self
     }
 
@@ -778,6 +804,7 @@ impl StreamProcessor {
                                     params,
                                     *iterations,
                                     self.kernel_engine,
+                                    self.tape_batch,
                                 )?;
                                 for (o, b) in outs.into_iter().zip(outputs) {
                                     buffers[b.0] = Some(o);

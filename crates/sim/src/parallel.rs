@@ -57,6 +57,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use merrimac_arch::MachineConfig;
 use merrimac_kernel::interp::StreamData;
+use merrimac_kernel::BatchWidth;
 use rayon::prelude::*;
 
 use crate::cache::CacheAccessStats;
@@ -636,10 +637,11 @@ impl StreamProcessor {
         let shared: &Memory = memory;
         let cfg = &self.cfg;
         let engine = self.kernel_engine;
+        let batch = self.tape_batch;
         let outcomes: Result<Vec<StripOutcome>, SimError> = pool.install(|| {
             strips
                 .into_par_iter()
-                .map(|ops| exec_strip(cfg, shared, program, &ops, engine))
+                .map(|ops| exec_strip(cfg, shared, program, &ops, engine, batch))
                 .collect()
         });
         let outcomes = outcomes?;
@@ -713,6 +715,7 @@ fn exec_strip(
     program: &StreamProgram,
     ops: &[usize],
     engine: KernelEngine,
+    batch: BatchWidth,
 ) -> Result<StripOutcome, SimError> {
     let mut buffers: HashMap<usize, StreamData> = HashMap::new();
     let mut memsys = MemSystem::strip_shard(cfg);
@@ -790,8 +793,15 @@ fn exec_strip(
                             .cloned()
                     })
                     .collect::<Result<_, _>>()?;
-                let (outs, srf_words) =
-                    kernel_functional(&lop.label, kernel, input_data, params, *iterations, engine)?;
+                let (outs, srf_words) = kernel_functional(
+                    &lop.label,
+                    kernel,
+                    input_data,
+                    params,
+                    *iterations,
+                    engine,
+                    batch,
+                )?;
                 for (o, b) in outs.into_iter().zip(outputs) {
                     buffers.insert(b.0, o);
                 }

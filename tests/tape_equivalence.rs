@@ -1,11 +1,12 @@
-//! Differential proof that the bytecode tape engine and the reference
-//! graph-walking interpreter are the same function: over random kernels
-//! (with and without conditional streams, unrolled and not), both
-//! engines must produce bitwise-identical outputs, records-consumed
-//! counts, final registers — and identical errors when a stream
-//! underruns. A strip-level test then shows `run_with_threads` produces
-//! identical `RunReport`s and region contents under both engines at
-//! every thread count.
+//! Differential proof that all three host engines — the reference
+//! graph-walking interpreter, the scalar bytecode tape, and the batched
+//! SoA tape (at both widths, 8 and 16) — are the same function: over
+//! random kernels (with and without conditional streams, unrolled and
+//! not), every engine must produce bitwise-identical outputs,
+//! records-consumed counts, final registers — and identical errors when
+//! a stream underruns. A strip-level test then shows `run_with_threads`
+//! produces identical `RunReport`s and region contents under every
+//! engine at every thread count.
 
 use std::sync::Arc;
 
@@ -14,7 +15,7 @@ use merrimac_kernel::builder::Val;
 use merrimac_kernel::interp::{InterpOutput, Interpreter, StreamData};
 use merrimac_kernel::ir::{Kernel, Node, StreamMode};
 use merrimac_kernel::unroll::unroll;
-use merrimac_kernel::{CompiledTape, KernelBuilder};
+use merrimac_kernel::{BatchWidth, CompiledTape, KernelBuilder};
 use merrimac_sim::{
     AccessIntent, CompiledKernel, KernelEngine, KernelOpt, Memory, ProgramBuilder, RegionId,
     StreamProcessor,
@@ -214,10 +215,11 @@ fn assert_bitwise_equal(tape: &InterpOutput, interp: &InterpOutput, ctx: &str) {
     );
 }
 
-/// Run both engines on `k` and require identical results (or identical
-/// errors).
+/// Run all three engines on `k` (the batched tape at both widths) and
+/// require identical results (or identical errors).
 fn assert_engines_agree(k: &Kernel, inputs: &[StreamData], params: &[f64], iterations: usize) {
-    let tape = CompiledTape::compile(k).run(inputs, params, iterations);
+    let compiled = CompiledTape::compile(k);
+    let tape = compiled.run(inputs, params, iterations);
     let interp = Interpreter::new(k).run(inputs, params, iterations);
     match (&tape, &interp) {
         (Ok(t), Ok(i)) => assert_bitwise_equal(t, i, &k.name),
@@ -226,6 +228,17 @@ fn assert_engines_agree(k: &Kernel, inputs: &[StreamData], params: &[f64], itera
             "kernel '{}': engines disagree on error",
             k.name
         ),
+    }
+    for width in [BatchWidth::W8, BatchWidth::W16] {
+        let batch = compiled.run_batched(inputs, params, iterations, width);
+        match (&batch, &tape) {
+            (Ok(b), Ok(t)) => assert_bitwise_equal(b, t, &format!("{} (batch {width})", k.name)),
+            _ => assert_eq!(
+                batch, tape,
+                "kernel '{}': batch {width} disagrees with scalar tape on error",
+                k.name
+            ),
+        }
     }
 }
 
@@ -344,14 +357,18 @@ fn strip_program(strips: usize, n: usize) -> (Memory, merrimac_sim::StreamProgra
 
 /// `run_with_threads` must produce identical `RunReport`s and region
 /// contents whichever engine executes the kernels, at every thread
-/// count — the tape changes host wall-clock only, never simulated
+/// count — the engines change host wall-clock only, never simulated
 /// results.
 #[test]
-fn strip_run_reports_identical_under_both_engines() {
+fn strip_run_reports_identical_under_all_engines() {
     let strips = 4;
     let n = 200;
     let mut baseline: Option<(Vec<f64>, merrimac_sim::RunReport)> = None;
-    for engine in [KernelEngine::Interp, KernelEngine::Tape] {
+    for engine in [
+        KernelEngine::Interp,
+        KernelEngine::Tape,
+        KernelEngine::Batch,
+    ] {
         for threads in [1usize, 4] {
             let (mut mem, program) = strip_program(strips, n);
             let proc = StreamProcessor::new(MachineConfig::default()).with_engine(engine);
@@ -402,7 +419,7 @@ fn strip_run_reports_identical_under_both_engines() {
 /// The serial scoreboard path (cross-strip buffer → fallback) must also
 /// agree between engines.
 #[test]
-fn serial_fallback_identical_under_both_engines() {
+fn serial_fallback_identical_under_all_engines() {
     let cfg = MachineConfig::default();
     let k = cond_kernel(&cfg, KernelOpt::default());
     let n = 128usize;
@@ -436,7 +453,7 @@ fn serial_fallback_identical_under_both_engines() {
         .run(&mut m1, &p1)
         .expect("interp");
     let (mut m2, p2) = build();
-    let r2 = StreamProcessor::new(cfg)
+    let r2 = StreamProcessor::new(cfg.clone())
         .with_engine(KernelEngine::Tape)
         .run(&mut m2, &p2)
         .expect("tape");
@@ -445,6 +462,19 @@ fn serial_fallback_identical_under_both_engines() {
     assert_eq!(r1.cycles, r2.cycles);
     assert_eq!(r1.counters, r2.counters);
     assert_eq!(r1.cache_stats, r2.cache_stats);
+    for width in [BatchWidth::W8, BatchWidth::W16] {
+        let (mut m3, p3) = build();
+        let r3 = StreamProcessor::new(cfg.clone())
+            .with_engine(KernelEngine::Batch)
+            .with_batch_width(width)
+            .run(&mut m3, &p3)
+            .unwrap_or_else(|e| panic!("batch {width}: {e}"));
+        assert!(!r3.partition.parallelized);
+        assert_eq!(m1.data(RegionId(2)), m3.data(RegionId(2)), "batch {width}");
+        assert_eq!(r1.cycles, r3.cycles, "batch {width}");
+        assert_eq!(r1.counters, r3.counters, "batch {width}");
+        assert_eq!(r1.cache_stats, r3.cache_stats, "batch {width}");
+    }
 }
 
 /// The StreamMD production kernels compile to fast-path tapes except
