@@ -1,0 +1,63 @@
+//! BATCH_PLAN_SPLIT: audit every launched kernel's three-phase batch
+//! plan against the invariants the SoA engine's correctness rests on.
+//!
+//! `BatchPlan::analyze` splits a tape into `vec_pre` (lane-independent,
+//! vectorized before lane state exists), `seq` (the per-lane scalar
+//! core: register chains and conditional pops in iteration order) and
+//! `vec_post` (lane-coupled but state-free consumers). The batch engine
+//! is bitwise-identical to the scalar tape *only if* every op lands in
+//! exactly one phase, conditional reads stay sequential, no phase-1 op
+//! reads lane-coupled state, nothing the next lane needs resolves in
+//! phase 3, and each phase preserves tape (SSA) order.
+//!
+//! `CompiledTape::audit_batch_plan` re-derives those invariants from
+//! the tape — independently of the analysis that built the plan — and
+//! this pass renders each kernel's violations as one Error diagnostic.
+//! A clean audit is the expected (and, for every shipped kernel,
+//! asserted) outcome; any finding means the cached plan is unsound and
+//! the batch engine must not be trusted with the kernel.
+
+use std::collections::BTreeSet;
+
+use merrimac_sim::program::StreamOp;
+
+use crate::diag::Diagnostic;
+use crate::lints::Lint;
+use crate::ProgramContext;
+
+/// One Error per distinct kernel whose cached batch plan violates the
+/// split invariants, listing every violation as a note.
+pub fn check(ctx: &ProgramContext) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut seen: BTreeSet<*const u8> = BTreeSet::new();
+    for lop in &ctx.program.ops {
+        let StreamOp::Kernel { kernel, .. } = &lop.op else {
+            continue;
+        };
+        if !seen.insert(std::sync::Arc::as_ptr(kernel) as *const u8) {
+            continue;
+        }
+        let violations = kernel.tape.audit_batch_plan();
+        if violations.is_empty() {
+            continue;
+        }
+        let mut d = Diagnostic::new(
+            Lint::BatchPlanSplit,
+            format!("kernel '{}' (op '{}')", kernel.source.name, lop.label),
+            format!(
+                "batch plan violates {} split invariant{}; the SoA engine is not \
+                 bitwise-equivalent to the scalar tape for this kernel",
+                violations.len(),
+                if violations.len() == 1 { "" } else { "s" }
+            ),
+        );
+        for v in &violations {
+            d = d.note(v.to_string());
+        }
+        diags.push(d.help(
+            "the cached BatchPlan is unsound — recompile the kernel (BatchPlan::analyze) \
+             or run it on the tape/interp engines until the plan is fixed",
+        ));
+    }
+    diags
+}

@@ -18,7 +18,19 @@
 //!   buffers and how many words over capacity;
 //! * [`kernel_lints`] — dataflow lints over each kernel's IR:
 //!   uninitialized register reads, dead values, stream consumption
-//!   imbalance, unused outputs.
+//!   imbalance, unused outputs;
+//! * [`intent`] — proves declared region access intents against the
+//!   actual footprint the strip partitioner admits on
+//!   (INTENT_MISMATCH / INTENT_UNDECLARED);
+//! * [`underrun`] — statically proves underrun-freedom for every
+//!   kernel launch, or pinpoints the first offending iteration
+//!   (STREAM_UNDERRUN);
+//! * [`batch_split`] — audits each kernel's cached three-phase batch
+//!   plan against the SoA engine's invariants (BATCH_PLAN_SPLIT).
+//!
+//! The last three share the [`dataflow`] abstract-interpretation
+//! framework: per-stream consumption intervals and per-region
+//! word-range summaries.
 //!
 //! Entry points: [`analyze_program`] for a built [`StreamProgram`] (all
 //! four passes), [`analyze_kernel`] for one [`Kernel`] in isolation.
@@ -26,12 +38,16 @@
 //! will reject; warnings flag performance hazards that still execute
 //! correctly.
 
+pub mod batch_split;
+pub mod dataflow;
 pub mod diag;
+pub mod intent;
 pub mod kernel_lints;
 pub mod lints;
 pub mod ordering;
 pub mod sdr_pressure;
 pub mod srf_preflight;
+pub mod underrun;
 
 use std::collections::BTreeSet;
 
@@ -67,6 +83,9 @@ pub fn analyze_program(ctx: &ProgramContext) -> Vec<Diagnostic> {
     diags.extend(srf_preflight::check(ctx));
     diags.extend(sdr_pressure::check(ctx));
     diags.extend(ordering::check(ctx));
+    diags.extend(intent::check(ctx));
+    diags.extend(underrun::check(ctx));
+    diags.extend(batch_split::check(ctx));
     // Each distinct kernel once, however many strips launch it.
     let mut seen: BTreeSet<*const u8> = BTreeSet::new();
     for lop in &ctx.program.ops {

@@ -25,10 +25,25 @@ pub enum Lint {
     StreamImbalance,
     /// A declared kernel output stream is never written.
     UnusedOutput,
+    /// An op performs an access kind the region's declared intent
+    /// forbids (e.g. a store to a `ReadOnly` region); the simulator
+    /// rejects the program.
+    IntentMismatch,
+    /// A region is accessed but carries no declared access intent, so
+    /// the partitioner must treat it conservatively.
+    IntentUndeclared,
+    /// The whole-program dataflow prover found a kernel launch whose
+    /// guaranteed consumption exceeds the records its input buffers can
+    /// ever hold — a certain stream underrun at run time.
+    StreamUnderrun,
+    /// A compiled tape's three-phase batch plan violates the
+    /// compress/expand split invariants (missing/duplicated ops or an
+    /// illegal cross-phase dependence).
+    BatchPlanSplit,
 }
 
 /// All registered lints, in report order.
-pub const ALL_LINTS: [Lint; 7] = [
+pub const ALL_LINTS: [Lint; 11] = [
     Lint::SdrPressure,
     Lint::StripOrdering,
     Lint::SrfCapacity,
@@ -36,6 +51,10 @@ pub const ALL_LINTS: [Lint; 7] = [
     Lint::DeadValue,
     Lint::StreamImbalance,
     Lint::UnusedOutput,
+    Lint::IntentMismatch,
+    Lint::IntentUndeclared,
+    Lint::StreamUnderrun,
+    Lint::BatchPlanSplit,
 ];
 
 impl Lint {
@@ -49,6 +68,10 @@ impl Lint {
             Lint::DeadValue => "DEAD_VALUE",
             Lint::StreamImbalance => "STREAM_IMBALANCE",
             Lint::UnusedOutput => "UNUSED_OUTPUT",
+            Lint::IntentMismatch => "INTENT_MISMATCH",
+            Lint::IntentUndeclared => "INTENT_UNDECLARED",
+            Lint::StreamUnderrun => "STREAM_UNDERRUN",
+            Lint::BatchPlanSplit => "BATCH_PLAN_SPLIT",
         }
     }
 
@@ -60,12 +83,17 @@ impl Lint {
     }
 
     /// Severity the pass assigns unless it has a reason to deviate.
-    /// Only [`Lint::SrfCapacity`] is an error — it names programs the
-    /// simulator rejects outright; everything else is a performance or
-    /// hygiene warning on programs that still execute correctly.
+    /// Errors name programs the simulator rejects outright (or whose
+    /// runtime machinery is provably broken): SRF overflow, intent
+    /// contract violations, certain stream underruns, and corrupted
+    /// batch plans. Everything else is a performance or hygiene warning
+    /// on programs that still execute correctly.
     pub fn default_severity(&self) -> Severity {
         match self {
-            Lint::SrfCapacity => Severity::Error,
+            Lint::SrfCapacity
+            | Lint::IntentMismatch
+            | Lint::StreamUnderrun
+            | Lint::BatchPlanSplit => Severity::Error,
             _ => Severity::Warn,
         }
     }
@@ -88,6 +116,18 @@ impl Lint {
                 "a kernel reads fewer record fields than the stream's declared record length"
             }
             Lint::UnusedOutput => "a declared kernel output stream is never written",
+            Lint::IntentMismatch => {
+                "an op's access kind violates the region's declared intent; the simulator rejects the program"
+            }
+            Lint::IntentUndeclared => {
+                "a region is accessed without a declared intent; the partitioner treats it conservatively"
+            }
+            Lint::StreamUnderrun => {
+                "a kernel launch is statically proven to underrun one of its input streams"
+            }
+            Lint::BatchPlanSplit => {
+                "a compiled tape's three-phase batch plan violates the compress/expand split invariants"
+            }
         }
     }
 
@@ -186,6 +226,80 @@ impl Lint {
                  Drop the unused output from the kernel signature, or add the missing\n\
                  write."
             }
+            Lint::IntentMismatch => {
+                "Every memory region may declare an access intent — `ReadOnly`,\n\
+                 `WriteOwned` or `ReduceAdd` — and the strip partitioner admits\n\
+                 parallel execution on the strength of that declaration: read-only\n\
+                 regions are shared freely, write-owned regions parallelize when the\n\
+                 stored ranges are disjoint, reduce-add regions merge through the\n\
+                 deterministic tree reduction. An op whose access kind the declared\n\
+                 intent forbids (a store to a `ReadOnly` region, a gather from a\n\
+                 `ReduceAdd` target, a scatter-add into a `WriteOwned` slice) breaks\n\
+                 the contract the partitioner trusted; depending on the direction of\n\
+                 the lie it either unsoundly parallelizes racing accesses or silently\n\
+                 forces a serial fallback. The simulator's `validate_program` rejects\n\
+                 such programs at run time; this pass proves the same violation\n\
+                 statically from the whole-program access footprint, naming the op,\n\
+                 the access kind and the word range it touches.\n\
+                 \n\
+                 Fix it by declaring the intent the ops actually need (e.g. promote\n\
+                 the region to `WriteOwned`) or by removing the offending access."
+            }
+            Lint::IntentUndeclared => {
+                "A memory region is gathered, loaded, stored or scatter-added but no\n\
+                 access intent was declared for it at `ProgramBuilder` level. The\n\
+                 partitioner then has no contract to admit the region on, so it falls\n\
+                 back to conservative rules: mixed reads and writes serialize the\n\
+                 whole program even when every strip touches a disjoint slice, and\n\
+                 the analysis passes cannot prove cross-strip disjointness claims on\n\
+                 the region's behalf.\n\
+                 \n\
+                 The diagnostic reports the access kinds the program actually\n\
+                 performs and the intent they imply. Declare that intent with\n\
+                 `ProgramBuilder::intent` so the partitioner can admit the region\n\
+                 deliberately instead of conservatively."
+            }
+            Lint::StreamUnderrun => {
+                "The whole-program dataflow prover tracks how many records each SRF\n\
+                 buffer can ever hold (gathers produce exactly `indices.len()`\n\
+                 records, loads exactly `records`, kernels at least their guaranteed\n\
+                 unconditional writes per iteration) and how many records each kernel\n\
+                 launch is guaranteed to consume: one per iteration for\n\
+                 every-iteration streams, and a `[0, pop-slots]` interval per\n\
+                 iteration for conditional streams. When the guaranteed consumption\n\
+                 of an every-iteration stream exceeds what its buffer can hold, the\n\
+                 launch will underrun no matter what data flows at run time — the\n\
+                 engines would stop at the reported iteration with a\n\
+                 `StreamUnderrun` error.\n\
+                 \n\
+                 The same analysis, run in the other direction, produces a static\n\
+                 underrun-freedom proof: when every stream's worst-case demand is\n\
+                 covered, the proof object is stamped on the program and the tape and\n\
+                 batch engines skip their runtime underrun checks for that launch.\n\
+                 \n\
+                 Fix a flagged launch by sizing the producer (gather index list or\n\
+                 load record count) to at least the iteration count, or by reducing\n\
+                 the launch's iterations to what the buffer holds."
+            }
+            Lint::BatchPlanSplit => {
+                "The batched SoA engine executes each compiled tape in three\n\
+                 dataflow-ordered phases: `vec_pre` (lane-independent ops,\n\
+                 vectorized), `seq` (conditional reads plus the lane-coupled slice\n\
+                 feeding register updates and pop predicates, scalar in iteration\n\
+                 order) and `vec_post` (lane-coupled but state-free consumers,\n\
+                 vectorized after the sequential core resolves). Bitwise identity\n\
+                 with the scalar engines holds only while the split satisfies its\n\
+                 invariants: every tape op lands in exactly one phase, conditional\n\
+                 reads stay sequential, no pre-phase op reads a register slot or a\n\
+                 later phase's result, no sequential op reads a post-phase result,\n\
+                 and each phase preserves tape (SSA) order.\n\
+                 \n\
+                 This pass audits the plan cached on every compiled kernel against\n\
+                 those invariants and reports each violation with the offending op\n\
+                 and phase. A violation means the batch engine would compute wrong\n\
+                 values or pop streams out of order — the program must not run under\n\
+                 the batched engine until the plan is rebuilt."
+            }
         }
     }
 }
@@ -216,14 +330,23 @@ mod tests {
     }
 
     #[test]
-    fn only_srf_capacity_errors_by_default() {
+    fn error_lints_name_programs_the_machine_rejects() {
+        // Errors are reserved for contract violations the simulator (or
+        // the batch engine's own invariants) would refuse to run.
         for lint in ALL_LINTS {
-            let expect = if lint == Lint::SrfCapacity {
-                Severity::Error
-            } else {
-                Severity::Warn
-            };
-            assert_eq!(lint.default_severity(), expect, "{:?}", lint);
+            let expect = matches!(
+                lint,
+                Lint::SrfCapacity
+                    | Lint::IntentMismatch
+                    | Lint::StreamUnderrun
+                    | Lint::BatchPlanSplit
+            );
+            assert_eq!(
+                lint.default_severity() == Severity::Error,
+                expect,
+                "{:?}",
+                lint
+            );
         }
     }
 }

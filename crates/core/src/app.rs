@@ -235,8 +235,12 @@ impl StreamMdApp {
                 ),
             }
         }
+        // Stamp static underrun proofs so the functional engines run
+        // their check-elided fast paths wherever safety is provable.
+        let mut program = pb.build();
+        program.underrun_proofs = program.prove_underruns();
         StepProgram {
-            program: pb.build(),
+            program,
             memory: mem,
             layout,
             forces,

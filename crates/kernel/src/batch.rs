@@ -43,8 +43,10 @@
 //! reimplementation. `tests/tape_equivalence.rs` pins all of this
 //! differentially against both scalar oracles.
 
+use std::fmt;
+
 use crate::interp::{InterpError, InterpOutput, StreamData};
-use crate::tape::{mask, Code, CompiledTape, ScalarState, TapeOp, NO_COND};
+use crate::tape::{mask, Code, CompiledTape, ScalarState, TapeOp, UnderrunProof, NO_COND};
 
 /// Lane count of the batched SoA engine: 8 or 16 iterations per batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -184,7 +186,196 @@ fn used_args(op: &TapeOp) -> [Option<u32>; 3] {
     }
 }
 
+/// One violated invariant of the three-phase batch split, as found by
+/// [`CompiledTape::audit_batch_plan`]. A correct [`BatchPlan`] never
+/// produces any of these; each variant names the op slot (and where
+/// relevant the phase or operand) that breaks the contract the batch
+/// engine's correctness proof rests on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPlanViolation {
+    /// A tape op's destination slot appears in no phase: the batch
+    /// engine would simply never compute it.
+    MissingOp { dst: u32 },
+    /// A destination slot appears in more than one phase (or twice in
+    /// one): the op would execute multiple times per iteration.
+    DuplicateOp { dst: u32 },
+    /// A conditional read was scheduled outside the sequential phase,
+    /// where the shared pop cursor cannot resolve in lane order.
+    CondReadOutsideSeq { dst: u32, phase: &'static str },
+    /// A phase-1 (pre-vectorized) op reads a lane-coupled slot — a
+    /// register read, a sequential result, or a phase-3 result — whose
+    /// per-lane value does not exist yet when phase 1 runs.
+    PreReadsCoupled { dst: u32, arg: u32 },
+    /// A sequential op reads a slot that only resolves in phase 3,
+    /// which runs after the whole sequential phase.
+    SeqReadsPost { dst: u32, arg: u32 },
+    /// A register-update source or a pop predicate/fallback resolves
+    /// only in phase 3 — the next lane would observe a stale value.
+    NeededInPost { dst: u32 },
+    /// Ops inside one phase are out of tape (SSA) order, so an op could
+    /// read an operand slot before the phase has written it.
+    PhaseOrder { phase: &'static str, dst: u32 },
+}
+
+impl fmt::Display for BatchPlanViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BatchPlanViolation::MissingOp { dst } => {
+                write!(f, "op slot {dst} is scheduled in no phase")
+            }
+            BatchPlanViolation::DuplicateOp { dst } => {
+                write!(f, "op slot {dst} is scheduled more than once")
+            }
+            BatchPlanViolation::CondReadOutsideSeq { dst, phase } => {
+                write!(f, "conditional read at slot {dst} scheduled in {phase} instead of seq")
+            }
+            BatchPlanViolation::PreReadsCoupled { dst, arg } => {
+                write!(f, "vec_pre op at slot {dst} reads lane-coupled slot {arg}")
+            }
+            BatchPlanViolation::SeqReadsPost { dst, arg } => {
+                write!(f, "seq op at slot {dst} reads vec_post slot {arg}")
+            }
+            BatchPlanViolation::NeededInPost { dst } => {
+                write!(
+                    f,
+                    "slot {dst} feeds a register update or pop control but resolves in vec_post"
+                )
+            }
+            BatchPlanViolation::PhaseOrder { phase, dst } => {
+                write!(f, "{phase} breaks tape order at slot {dst}")
+            }
+        }
+    }
+}
+
 impl CompiledTape {
+    /// Re-derive every invariant the batch engine assumes of its cached
+    /// [`BatchPlan`] and report each breach. Independent of
+    /// [`BatchPlan::analyze`]'s own bookkeeping on purpose: the audit
+    /// checks the *plan artifact* against the tape, so a bug in the
+    /// analysis (or a hand-corrupted plan in tests) is caught rather
+    /// than re-trusted. Returns an empty vector for a sound plan.
+    pub fn audit_batch_plan(&self) -> Vec<BatchPlanViolation> {
+        let plan = &self.batch;
+        let mut out = Vec::new();
+        let n = self.num_nodes;
+
+        // Phase membership by destination slot, plus the multi-set
+        // count for exactly-once coverage.
+        let mut in_pre = vec![false; n];
+        let mut in_seq = vec![false; n];
+        let mut in_post = vec![false; n];
+        let mut count = vec![0usize; n];
+        for op in &plan.vec_pre {
+            in_pre[op.dst as usize] = true;
+            count[op.dst as usize] += 1;
+        }
+        for op in &plan.seq {
+            in_seq[op.dst as usize] = true;
+            count[op.dst as usize] += 1;
+        }
+        for op in &plan.vec_post {
+            in_post[op.dst as usize] = true;
+            count[op.dst as usize] += 1;
+        }
+        for op in &self.ops {
+            match count[op.dst as usize] {
+                0 => out.push(BatchPlanViolation::MissingOp { dst: op.dst }),
+                1 => {}
+                _ => out.push(BatchPlanViolation::DuplicateOp { dst: op.dst }),
+            }
+        }
+
+        // Conditional reads must resolve the shared pop cursor in lane
+        // order — only the sequential phase provides that.
+        for (phase, ops) in [("vec_pre", &plan.vec_pre), ("vec_post", &plan.vec_post)] {
+            for op in ops.iter() {
+                if op.code == Code::CondRead {
+                    out.push(BatchPlanViolation::CondReadOutsideSeq { dst: op.dst, phase });
+                }
+            }
+        }
+
+        // Lane-coupled slots: register reads carry prior-lane state;
+        // seq and post results are per-lane by construction.
+        let mut coupled = vec![false; n];
+        for &(dst, _) in &self.reg_reads {
+            coupled[dst as usize] = true;
+        }
+        for s in 0..n {
+            if in_seq[s] || in_post[s] {
+                coupled[s] = true;
+            }
+        }
+        for op in &plan.vec_pre {
+            for a in used_args(op).into_iter().flatten() {
+                if coupled[a as usize] {
+                    out.push(BatchPlanViolation::PreReadsCoupled { dst: op.dst, arg: a });
+                }
+            }
+        }
+
+        // The sequential phase runs strictly before phase 3.
+        for op in &plan.seq {
+            for a in used_args(op).into_iter().flatten() {
+                if in_post[a as usize] {
+                    out.push(BatchPlanViolation::SeqReadsPost { dst: op.dst, arg: a });
+                }
+            }
+        }
+
+        // Everything the next lane depends on — register-update sources
+        // and pop predicates/fallbacks — must resolve by end of seq.
+        let mut needed_now = vec![false; n];
+        for &(_, v) in &self.reg_updates {
+            needed_now[v as usize] = true;
+        }
+        for cr in &self.cond_reads {
+            needed_now[cr.pred as usize] = true;
+            needed_now[cr.fallback as usize] = true;
+        }
+        for s in 0..n {
+            if needed_now[s] && in_post[s] {
+                out.push(BatchPlanViolation::NeededInPost { dst: s as u32 });
+            }
+        }
+
+        // Tape order within each phase: dsts are strictly increasing in
+        // tape order (SSA), so any inversion means an op could read a
+        // slot its own phase has not written yet.
+        for (phase, ops) in [
+            ("vec_pre", &plan.vec_pre),
+            ("seq", &plan.seq),
+            ("vec_post", &plan.vec_post),
+        ] {
+            for w in ops.windows(2) {
+                if w[1].dst <= w[0].dst {
+                    out.push(BatchPlanViolation::PhaseOrder { phase, dst: w[1].dst });
+                }
+            }
+        }
+
+        out
+    }
+
+    /// Drop the last op of the first non-empty phase, leaving a plan
+    /// the audit must flag with exactly one `MissingOp`. Test-only
+    /// sabotage hook for the BATCH_PLAN_SPLIT fixtures — never called
+    /// by production code.
+    #[doc(hidden)]
+    pub fn corrupt_batch_plan_for_tests(&mut self) {
+        for ops in [
+            &mut self.batch.vec_pre,
+            &mut self.batch.seq,
+            &mut self.batch.vec_post,
+        ] {
+            if !ops.is_empty() {
+                ops.pop();
+                return;
+            }
+        }
+    }
+
     /// Execute the tape in SoA batches of `width` lanes. Bitwise
     /// identical to [`CompiledTape::run`]: same outputs, consumed
     /// counts, final registers, and the same [`InterpError`] values on
@@ -198,12 +389,35 @@ impl CompiledTape {
         width: BatchWidth,
     ) -> Result<InterpOutput, InterpError> {
         match width {
-            BatchWidth::W8 => self.run_batched_impl::<8>(inputs, params, iterations),
-            BatchWidth::W16 => self.run_batched_impl::<16>(inputs, params, iterations),
+            BatchWidth::W8 => self.run_batched_impl::<8, true>(inputs, params, iterations),
+            BatchWidth::W16 => self.run_batched_impl::<16, true>(inputs, params, iterations),
         }
     }
 
-    fn run_batched_impl<const B: usize>(
+    /// [`CompiledTape::run_batched`] with a static underrun proof:
+    /// after the O(streams) [`UnderrunProof::covers`] revalidation, the
+    /// up-front underrun decision, the every-stream batch clamp and the
+    /// per-pop depth checks are all elided — the proof guarantees none
+    /// of them could fire. Bitwise-identical to the checked path; a
+    /// proof that does not cover the launch falls back to it.
+    pub fn run_batched_proven(
+        &self,
+        inputs: &[StreamData],
+        params: &[f64],
+        iterations: usize,
+        width: BatchWidth,
+        proof: &UnderrunProof,
+    ) -> Result<InterpOutput, InterpError> {
+        if !proof.covers(inputs, iterations) {
+            return self.run_batched(inputs, params, iterations, width);
+        }
+        match width {
+            BatchWidth::W8 => self.run_batched_impl::<8, false>(inputs, params, iterations),
+            BatchWidth::W16 => self.run_batched_impl::<16, false>(inputs, params, iterations),
+        }
+    }
+
+    fn run_batched_impl<const B: usize, const CHECKED: bool>(
         &self,
         inputs: &[StreamData],
         params: &[f64],
@@ -224,29 +438,35 @@ impl CompiledTape {
             lanes[slot as usize] = [params[p as usize]; B];
         }
 
-        if self.fast_path {
+        if CHECKED && self.fast_path {
             // The scalar fast path decides underrun before the loop; the
             // batch engine inherits the proof (and its blame order)
-            // wholesale.
+            // wholesale. A static UnderrunProof discharges this.
             self.prove_fast_underrun(inputs, iterations)?;
         }
         // Full batches run vectorized only while every every-iteration
         // stream still covers the whole batch; the scalar tail owns the
-        // (possibly erroring) remainder.
+        // (possibly erroring) remainder. A proven launch needs no clamp:
+        // the proof guarantees every every-iteration stream covers all
+        // `iterations`, so the clamp would be a no-op.
         let num_records: Vec<usize> = inputs.iter().map(|d| d.num_records()).collect();
-        let every_limit = self
-            .input_every_iter
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| **e)
-            .map(|(s, _)| num_records[s])
-            .min()
-            .unwrap_or(usize::MAX);
-        let batches = iterations.min(every_limit) / B;
+        let batches = if CHECKED {
+            let every_limit = self
+                .input_every_iter
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| **e)
+                .map(|(s, _)| num_records[s])
+                .min()
+                .unwrap_or(usize::MAX);
+            iterations.min(every_limit) / B
+        } else {
+            iterations / B
+        };
 
         let mut st = ScalarState::new(self, inputs.len());
         for b in 0..batches {
-            self.exec_batch::<B>(
+            self.exec_batch::<B, CHECKED>(
                 inputs,
                 &num_records,
                 &mut lanes,
@@ -276,15 +496,27 @@ impl CompiledTape {
         } else {
             if done < iterations {
                 let mut vals = self.init_vals(params);
-                self.run_general_range(
-                    inputs,
-                    &mut vals,
-                    &mut regs,
-                    &mut outputs,
-                    &mut st,
-                    done,
-                    iterations,
-                )?;
+                if CHECKED {
+                    self.run_general_range(
+                        inputs,
+                        &mut vals,
+                        &mut regs,
+                        &mut outputs,
+                        &mut st,
+                        done,
+                        iterations,
+                    )?;
+                } else {
+                    self.run_general_range_unchecked(
+                        inputs,
+                        &mut vals,
+                        &mut regs,
+                        &mut outputs,
+                        &mut st,
+                        done,
+                        iterations,
+                    );
+                }
             }
             st.cursors
         };
@@ -301,7 +533,7 @@ impl CompiledTape {
     /// lane-major write drain, cursor advance. `base` is the absolute
     /// iteration index of lane 0 (for underrun blame).
     #[allow(clippy::too_many_arguments)]
-    fn exec_batch<const B: usize>(
+    fn exec_batch<const B: usize, const CHECKED: bool>(
         &self,
         inputs: &[StreamData],
         num_records: &[usize],
@@ -344,7 +576,7 @@ impl CompiledTape {
                             let s = cr.stream as usize;
                             let slot = cr.slot as usize;
                             if st.pop_gen[slot] != st.generation {
-                                if st.cursors[s] >= num_records[s] {
+                                if CHECKED && st.cursors[s] >= num_records[s] {
                                     return Err(InterpError::StreamUnderrun {
                                         stream: s,
                                         iteration: base + l,
@@ -753,5 +985,140 @@ mod tests {
         let k = b.build();
         let data: Vec<f64> = (0..27).map(|i| 0.5 + i as f64).collect();
         assert_matches_scalar(&k, &[StreamData::new(1, data)], &[3.25], 27);
+    }
+
+    #[test]
+    fn audit_passes_on_analyzed_plans() {
+        for k in [accum_kernel()] {
+            let tape = CompiledTape::compile(&k);
+            assert_eq!(tape.audit_batch_plan(), vec![], "kernel '{}'", k.name);
+        }
+        // Conditional kernel: CondReads pin ops into seq; the audit
+        // must still find nothing to complain about.
+        let mut b = KernelBuilder::new("cond_audit");
+        let s = b.input("v", 1, StreamMode::Conditional);
+        let o = b.output("out", 1);
+        let one = b.constant(1.0);
+        let zero = b.constant(0.0);
+        let v = b.cond_read(s, 0, one, zero);
+        let doubled = b.add(v, v);
+        b.write(o, &[doubled]);
+        let tape = CompiledTape::compile(&b.build());
+        assert_eq!(tape.audit_batch_plan(), vec![]);
+    }
+
+    #[test]
+    fn audit_flags_a_dropped_op_exactly_once() {
+        let mut tape = CompiledTape::compile(&accum_kernel());
+        tape.corrupt_batch_plan_for_tests();
+        let violations = tape.audit_batch_plan();
+        assert_eq!(violations.len(), 1, "violations: {violations:?}");
+        assert!(
+            matches!(violations[0], BatchPlanViolation::MissingOp { .. }),
+            "violations: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn audit_flags_duplicates_misphased_condreads_and_order() {
+        let tape = CompiledTape::compile(&accum_kernel());
+        // Duplicate: replay the first vec_pre op at the end of vec_pre.
+        // That both duplicates the op and breaks tape order.
+        let mut dup = tape.clone();
+        let first = dup.batch.vec_pre[0];
+        dup.batch.vec_pre.push(first);
+        let v = dup.audit_batch_plan();
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, BatchPlanViolation::DuplicateOp { .. })),
+            "violations: {v:?}"
+        );
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, BatchPlanViolation::PhaseOrder { phase: "vec_pre", .. })),
+            "violations: {v:?}"
+        );
+
+        // Hoisting the coupled seq op into vec_pre: its register-read
+        // operand makes it lane-coupled, so the audit must reject it.
+        let mut hoist = tape.clone();
+        let seq_op = hoist.batch.seq.remove(0);
+        hoist.batch.vec_pre.push(seq_op);
+        let v = hoist.audit_batch_plan();
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, BatchPlanViolation::PreReadsCoupled { .. })),
+            "violations: {v:?}"
+        );
+
+        // Demoting it to vec_post instead starves the register update.
+        let mut demote = tape.clone();
+        let seq_op = demote.batch.seq.remove(0);
+        demote.batch.vec_post.push(seq_op);
+        let v = demote.audit_batch_plan();
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, BatchPlanViolation::NeededInPost { .. })),
+            "violations: {v:?}"
+        );
+
+        // A CondRead outside seq is always wrong.
+        let mut b = KernelBuilder::new("cond_misphase");
+        let s = b.input("v", 1, StreamMode::Conditional);
+        let o = b.output("out", 1);
+        let one = b.constant(1.0);
+        let zero = b.constant(0.0);
+        let val = b.cond_read(s, 0, one, zero);
+        b.write(o, &[val]);
+        let mut mis = CompiledTape::compile(&b.build());
+        let cr = mis.batch.seq.remove(0);
+        mis.batch.vec_post.push(cr);
+        let v = mis.audit_batch_plan();
+        assert!(
+            v.iter().any(|x| matches!(
+                x,
+                BatchPlanViolation::CondReadOutsideSeq {
+                    phase: "vec_post",
+                    ..
+                }
+            )),
+            "violations: {v:?}"
+        );
+    }
+
+    #[test]
+    fn proven_batched_run_is_bitwise_identical() {
+        let k = accum_kernel();
+        let tape = CompiledTape::compile(&k);
+        for n in [0usize, 1, 8, 23, 48] {
+            let data: Vec<f64> = (0..2 * n).map(|i| 1.0 + 0.25 * i as f64).collect();
+            let inputs = [StreamData::new(2, data)];
+            let proof = tape
+                .prove_underrun_free(&[n], n)
+                .expect("exact-length inputs must prove safe");
+            for w in WIDTHS {
+                let checked = tape.run_batched(&inputs, &[], n, w).unwrap();
+                let proven = tape.run_batched_proven(&inputs, &[], n, w, &proof).unwrap();
+                assert_eq!(checked, proven, "width {w}, n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn stale_proof_falls_back_to_the_checked_path() {
+        let k = accum_kernel();
+        let tape = CompiledTape::compile(&k);
+        // Proof for 8 iterations does not cover a 32-iteration launch
+        // over short inputs: the proven entry point must re-check and
+        // reproduce the checked path's error exactly.
+        let proof = tape.prove_underrun_free(&[8], 8).unwrap();
+        let data: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let inputs = [StreamData::new(2, data)];
+        for w in WIDTHS {
+            let checked = tape.run_batched(&inputs, &[], 32, w);
+            let proven = tape.run_batched_proven(&inputs, &[], 32, w, &proof);
+            assert_eq!(checked, proven);
+            assert!(proven.is_err());
+        }
     }
 }

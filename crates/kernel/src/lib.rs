@@ -40,11 +40,11 @@ pub mod tape;
 pub mod unroll;
 pub mod validate;
 
-pub use batch::BatchWidth;
+pub use batch::{BatchPlanViolation, BatchWidth};
 pub use builder::KernelBuilder;
 pub use interp::{InterpOutput, Interpreter, StreamData};
 pub use ir::{Kernel, Node, NodeId, OpKind, StreamMode};
 pub use pipeline::{modulo_schedule, PipelinedSchedule};
 pub use schedule::{list_schedule, Schedule};
 pub use stats::KernelStats;
-pub use tape::CompiledTape;
+pub use tape::{CompiledTape, UnderrunProof};

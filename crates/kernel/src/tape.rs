@@ -159,6 +159,52 @@ pub struct CompiledTape {
     pub(crate) batch: BatchPlan,
 }
 
+/// A static proof that a launch of this tape cannot underrun any input
+/// stream, produced by [`CompiledTape::prove_underrun_free`].
+///
+/// The proof records the worst-case records each stream can consume
+/// over the proven iteration count (one per iteration for
+/// every-iteration streams, `iterations × pop-slots` for conditional
+/// streams). A launch presents the proof to [`CompiledTape::run_proven`]
+/// or [`CompiledTape::run_batched_proven`]; after an O(streams)
+/// revalidation ([`UnderrunProof::covers`]) the engines execute with no
+/// per-iteration availability checks and no per-pop depth checks — they
+/// provably cannot fire. Misuse is safe: a proof that does not cover
+/// the launch falls back to the checked path, bitwise-identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnderrunProof {
+    /// Iterations the proof covers (a launch may run fewer).
+    iterations: usize,
+    /// Worst-case records consumed per input stream over `iterations`.
+    needed_records: Vec<usize>,
+}
+
+impl UnderrunProof {
+    /// Iterations the proof covers.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Worst-case records consumed per input stream.
+    pub fn needed_records(&self) -> &[usize] {
+        &self.needed_records
+    }
+
+    /// Does this proof discharge the underrun checks for a launch of
+    /// `iterations` over `inputs`? Consumption bounds are monotone in
+    /// the iteration count, so any launch no longer than the proven one
+    /// whose streams are at least as deep as the proven worst case is
+    /// covered.
+    pub fn covers(&self, inputs: &[StreamData], iterations: usize) -> bool {
+        iterations <= self.iterations
+            && inputs.len() == self.needed_records.len()
+            && inputs
+                .iter()
+                .zip(&self.needed_records)
+                .all(|(d, n)| d.num_records() >= *n)
+    }
+}
+
 impl CompiledTape {
     /// Compile `kernel` into a tape. Validates the kernel once here so
     /// [`CompiledTape::run`] never re-validates.
@@ -329,6 +375,123 @@ impl CompiledTape {
                 .map(|g| g.reads.len())
                 .sum::<usize>()
             + self.ops.len()
+    }
+
+    /// Worst-case records popped from input stream `s` in one
+    /// iteration: exactly one for every-iteration streams, one per
+    /// distinct `(stream, predicate)` pop slot for conditional streams
+    /// (each slot pops at most once per iteration; the lower bound for
+    /// a conditional stream is zero).
+    pub fn max_pops_per_iter(&self, s: usize) -> usize {
+        if self.input_every_iter[s] {
+            1
+        } else {
+            let mut slots: Vec<u32> = self
+                .cond_reads
+                .iter()
+                .filter(|cr| cr.stream as usize == s)
+                .map(|cr| cr.slot)
+                .collect();
+            slots.sort_unstable();
+            slots.dedup();
+            slots.len()
+        }
+    }
+
+    /// Guaranteed words appended to each output stream per iteration —
+    /// unconditional writes only (conditional writes may append zero
+    /// words). The upper bound is `out_words_per_iter`.
+    pub fn min_out_words_per_iter(&self) -> Vec<usize> {
+        let mut min = vec![0usize; self.out_record_len.len()];
+        for w in &self.writes {
+            if w.cond == NO_COND {
+                min[w.stream as usize] += w.len as usize;
+            }
+        }
+        min
+    }
+
+    /// Worst-case words appended to each output stream per iteration —
+    /// every write counted, conditional or not. The lower bound is
+    /// [`CompiledTape::min_out_words_per_iter`].
+    pub fn max_out_words_per_iter(&self) -> Vec<usize> {
+        let mut max = vec![0usize; self.out_record_len.len()];
+        for w in &self.writes {
+            max[w.stream as usize] += w.len as usize;
+        }
+        max
+    }
+
+    /// Statically prove a launch of `iterations` over streams holding
+    /// `records[s]` records cannot underrun: every stream must cover
+    /// its worst-case consumption (`iterations × max pops/iter`).
+    /// Returns `None` when the worst case is not covered — which for a
+    /// conditional stream does *not* mean the launch fails, only that
+    /// safety cannot be guaranteed without the runtime checks.
+    pub fn prove_underrun_free(
+        &self,
+        records: &[usize],
+        iterations: usize,
+    ) -> Option<UnderrunProof> {
+        if records.len() != self.input_record_len.len() {
+            return None;
+        }
+        let needed: Vec<usize> = (0..records.len())
+            .map(|s| iterations.saturating_mul(self.max_pops_per_iter(s)))
+            .collect();
+        if needed.iter().zip(records).all(|(n, r)| r >= n) {
+            Some(UnderrunProof {
+                iterations,
+                needed_records: needed,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// [`CompiledTape::run`] with a static underrun proof: after the
+    /// O(streams) [`UnderrunProof::covers`] revalidation, the loop runs
+    /// with no underrun decision up front and no per-pop depth checks.
+    /// Bitwise-identical to the checked path (the skipped checks
+    /// provably never fire); a proof that does not cover the launch
+    /// falls back to the checked path.
+    pub fn run_proven(
+        &self,
+        inputs: &[StreamData],
+        params: &[f64],
+        iterations: usize,
+        proof: &UnderrunProof,
+    ) -> Result<InterpOutput, InterpError> {
+        if !proof.covers(inputs, iterations) {
+            return self.run(inputs, params, iterations);
+        }
+        self.validate_signature(inputs, params)?;
+        let mut outputs = self.make_outputs(iterations);
+        let mut regs = self.reg_init.clone();
+        let mut vals = self.init_vals(params);
+        let records_consumed = if self.fast_path {
+            let mut row_base = vec![0usize; inputs.len()];
+            self.run_fast_range(inputs, &mut vals, &mut regs, &mut outputs, &mut row_base, iterations);
+            vec![iterations; inputs.len()]
+        } else {
+            let mut st = ScalarState::new(self, inputs.len());
+            self.run_general_range_unchecked(
+                inputs,
+                &mut vals,
+                &mut regs,
+                &mut outputs,
+                &mut st,
+                0,
+                iterations,
+            );
+            st.cursors
+        };
+        Ok(InterpOutput {
+            outputs,
+            records_consumed,
+            iterations,
+            final_regs: regs,
+        })
     }
 
     /// Copy the iteration's register and stream-record reads into their
@@ -549,15 +712,51 @@ impl CompiledTape {
         start: usize,
         end: usize,
     ) -> Result<(), InterpError> {
+        self.run_general_range_impl::<true>(inputs, vals, regs, outputs, st, start, end)
+    }
+
+    /// The check-elided general path: identical iteration bodies with
+    /// the per-iteration availability checks and per-pop depth checks
+    /// compiled out. Only reachable behind a validated
+    /// [`UnderrunProof`], which guarantees the elided checks could
+    /// never have fired.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_general_range_unchecked(
+        &self,
+        inputs: &[StreamData],
+        vals: &mut [f64],
+        regs: &mut [f64],
+        outputs: &mut [StreamData],
+        st: &mut ScalarState,
+        start: usize,
+        end: usize,
+    ) {
+        self.run_general_range_impl::<false>(inputs, vals, regs, outputs, st, start, end)
+            .expect("unchecked general range is infallible");
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_general_range_impl<const CHECKED: bool>(
+        &self,
+        inputs: &[StreamData],
+        vals: &mut [f64],
+        regs: &mut [f64],
+        outputs: &mut [StreamData],
+        st: &mut ScalarState,
+        start: usize,
+        end: usize,
+    ) -> Result<(), InterpError> {
         let num_records: Vec<usize> = inputs.iter().map(|d| d.num_records()).collect();
         for iter in start..end {
             st.generation += 1;
-            for (s, every) in self.input_every_iter.iter().enumerate() {
-                if *every && st.cursors[s] >= num_records[s] {
-                    return Err(InterpError::StreamUnderrun {
-                        stream: s,
-                        iteration: iter,
-                    });
+            if CHECKED {
+                for (s, every) in self.input_every_iter.iter().enumerate() {
+                    if *every && st.cursors[s] >= num_records[s] {
+                        return Err(InterpError::StreamUnderrun {
+                            stream: s,
+                            iteration: iter,
+                        });
+                    }
                 }
             }
             self.read_prologue(inputs, &st.row_base, regs, vals);
@@ -569,7 +768,7 @@ impl CompiledTape {
                             let s = cr.stream as usize;
                             let slot = cr.slot as usize;
                             if st.pop_gen[slot] != st.generation {
-                                if st.cursors[s] >= num_records[s] {
+                                if CHECKED && st.cursors[s] >= num_records[s] {
                                     return Err(InterpError::StreamUnderrun {
                                         stream: s,
                                         iteration: iter,

@@ -220,6 +220,7 @@ impl std::fmt::Display for KernelEngine {
 /// SRF words moved (inputs consumed + outputs written). Shared between
 /// the inline scoreboard and the parallel per-strip executor so the two
 /// paths cannot drift.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn kernel_functional(
     label: &str,
     kernel: &crate::kernelc::CompiledKernel,
@@ -228,6 +229,7 @@ pub(crate) fn kernel_functional(
     iterations: u64,
     engine: KernelEngine,
     batch: BatchWidth,
+    proof: Option<&merrimac_kernel::UnderrunProof>,
 ) -> Result<(Vec<StreamData>, u64), SimError> {
     let unroll = kernel.opt.unroll as u64;
     if !iterations.is_multiple_of(unroll) {
@@ -263,14 +265,28 @@ pub(crate) fn kernel_functional(
         shaped
     };
     let unrolled_iters = iterations / unroll;
-    let out = match engine {
-        KernelEngine::Batch => {
+    // A static underrun proof routes the tape engines through their
+    // check-elided entry points; a stale proof falls back to the
+    // checked path inside those entry points, so results (and errors)
+    // are bitwise-identical either way.
+    let out = match (engine, proof) {
+        (KernelEngine::Batch, Some(p)) => {
+            kernel
+                .tape
+                .run_batched_proven(&shaped, params, unrolled_iters as usize, batch, p)?
+        }
+        (KernelEngine::Batch, None) => {
             kernel
                 .tape
                 .run_batched(&shaped, params, unrolled_iters as usize, batch)?
         }
-        KernelEngine::Tape => kernel.tape.run(&shaped, params, unrolled_iters as usize)?,
-        KernelEngine::Interp => {
+        (KernelEngine::Tape, Some(p)) => {
+            kernel
+                .tape
+                .run_proven(&shaped, params, unrolled_iters as usize, p)?
+        }
+        (KernelEngine::Tape, None) => kernel.tape.run(&shaped, params, unrolled_iters as usize)?,
+        (KernelEngine::Interp, _) => {
             Interpreter::new(&kernel.ir).run(&shaped, params, unrolled_iters as usize)?
         }
     };
@@ -805,6 +821,7 @@ impl StreamProcessor {
                                     *iterations,
                                     self.kernel_engine,
                                     self.tape_batch,
+                                    program.underrun_proofs.get(&i),
                                 )?;
                                 for (o, b) in outs.into_iter().zip(outputs) {
                                     buffers[b.0] = Some(o);

@@ -10,28 +10,38 @@
 //! merrimac-lint --molecules 216  # different dataset size
 //! merrimac-lint --paper          # the paper's 900-molecule box
 //! merrimac-lint --workload lj    # lint the LJ atomic-fluid programs
+//! merrimac-lint --json           # machine-readable diagnostics
+//! merrimac-lint --deny warnings  # promote warnings to errors (CI gate)
+//! merrimac-lint --allow DEAD_VALUE --deny warnings
 //! merrimac-lint --explain SDR_PRESSURE
 //! ```
 
 use std::process::ExitCode;
 
-use merrimac_analysis::{render_all, severity_counts, Lint, ALL_LINTS};
+use merrimac_analysis::{render_all, severity_counts, Diagnostic, Lint, Severity, ALL_LINTS};
 use merrimac_bench::{analyze, atomic_system, paper_system, small_system, RunSpec};
 use streammd::Variant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: merrimac-lint [--molecules N] [--paper] [--workload W] [--explain LINT_ID]\n\
+        "usage: merrimac-lint [--molecules N] [--paper] [--workload W] [--json]\n\
+         \x20                    [--deny warnings] [--allow LINT_ID] [--explain LINT_ID]\n\
          \n\
          Runs the merrimac_analysis passes (SDR pressure, per-strip\n\
-         ordering, SRF capacity preflight, kernel dataflow lints) over\n\
-         the step program of every StreamMD variant and prints the\n\
-         diagnostics. Exits 1 if any diagnostic is an error.\n\
+         ordering, SRF capacity preflight, kernel dataflow lints, and\n\
+         the whole-program verifier: intent proofs, static underrun\n\
+         freedom, batch-plan audit) over the step program of every\n\
+         StreamMD variant and prints the diagnostics. Exits 1 if any\n\
+         diagnostic is an error.\n\
          \n\
          options:\n\
          \x20 --molecules N      dataset size (default 64)\n\
          \x20 --paper            use the paper's 900-molecule dataset\n\
          \x20 --workload W       water (default), lj, or charged\n\
+         \x20 --json             emit one JSON document instead of text\n\
+         \x20 --deny warnings    promote warnings to errors (also via\n\
+         \x20                    MERRIMAC_LINT_DENY=warnings)\n\
+         \x20 --allow LINT_ID    suppress one lint (repeatable)\n\
          \x20 --explain LINT_ID  print the long explanation for one lint"
     );
     std::process::exit(2)
@@ -60,10 +70,57 @@ fn explain(code: &str) -> ExitCode {
     }
 }
 
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn diagnostic_json(d: &Diagnostic) -> String {
+    let notes = d
+        .notes
+        .iter()
+        .map(|n| json_str(n))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let help = match &d.help {
+        Some(h) => json_str(h),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"code\": {}, \"severity\": {}, \"location\": {}, \"message\": {}, \
+         \"notes\": [{}], \"help\": {}}}",
+        json_str(d.lint.code()),
+        json_str(&d.severity.to_string()),
+        json_str(&d.location),
+        json_str(&d.message),
+        notes,
+        help
+    )
+}
+
 fn main() -> ExitCode {
     let mut molecules = 64usize;
     let mut paper = false;
     let mut workload = String::from("water");
+    let mut json = false;
+    let mut deny_warnings = matches!(
+        std::env::var("MERRIMAC_LINT_DENY").as_deref(),
+        Ok("warnings") | Ok("warn") | Ok("1")
+    );
+    let mut allow: Vec<Lint> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -75,6 +132,21 @@ fn main() -> ExitCode {
             }
             "--paper" => paper = true,
             "--workload" => workload = args.next().unwrap_or_else(|| usage()),
+            "--json" => json = true,
+            "--deny" => match args.next().as_deref() {
+                Some("warnings") | Some("warn") => deny_warnings = true,
+                _ => {
+                    eprintln!("--deny takes `warnings`");
+                    usage()
+                }
+            },
+            "--allow" => {
+                let code = args.next().unwrap_or_else(|| usage());
+                match Lint::from_code(&code) {
+                    Some(lint) => allow.push(lint),
+                    None => return explain(&code),
+                }
+            }
             "--explain" => {
                 let code = args.next().unwrap_or_else(|| usage());
                 return explain(&code);
@@ -102,39 +174,89 @@ fn main() -> ExitCode {
             usage()
         }
     };
-    println!(
-        "linting workload `{workload}`: {} molecules, {} neighbour pairs",
-        system.num_molecules(),
-        list.num_pairs()
-    );
+    if !json {
+        println!(
+            "linting workload `{workload}`: {} molecules, {} neighbour pairs",
+            system.num_molecules(),
+            list.num_pairs()
+        );
+    }
 
     let mut total_errors = 0;
+    let mut variant_docs = Vec::new();
     for variant in Variant::ALL {
-        println!("\n== variant `{}` ==", variant.name());
+        if !json {
+            println!("\n== variant `{}` ==", variant.name());
+        }
         match analyze(RunSpec::new(&system, &list, variant)) {
-            Ok(diags) => {
+            Ok(mut diags) => {
+                diags.retain(|d| !allow.contains(&d.lint));
+                if deny_warnings {
+                    for d in &mut diags {
+                        if d.severity == Severity::Warn {
+                            d.severity = Severity::Error;
+                            d.notes
+                                .push("promoted from warning by --deny warnings".to_string());
+                        }
+                    }
+                }
                 let (errors, warnings, infos) = severity_counts(&diags);
                 total_errors += errors;
-                if diags.is_empty() {
-                    println!("clean: no diagnostics");
+                if json {
+                    let body = diags
+                        .iter()
+                        .map(diagnostic_json)
+                        .collect::<Vec<_>>()
+                        .join(",\n      ");
+                    variant_docs.push(format!(
+                        "    {{\"variant\": {}, \"errors\": {errors}, \"warnings\": {warnings}, \
+                         \"infos\": {infos}, \"diagnostics\": [\n      {body}\n    ]}}",
+                        json_str(variant.name())
+                    ));
                 } else {
-                    println!("{}", render_all(&diags));
+                    if diags.is_empty() {
+                        println!("clean: no diagnostics");
+                    } else {
+                        println!("{}", render_all(&diags));
+                    }
+                    println!("summary: {errors} error(s), {warnings} warning(s), {infos} info(s)");
                 }
-                println!("summary: {errors} error(s), {warnings} warning(s), {infos} info(s)");
             }
             Err(e) => {
                 // A config-level rejection is as fatal as a lint error.
-                eprintln!("cannot build step program: {e}");
                 total_errors += 1;
+                if json {
+                    variant_docs.push(format!(
+                        "    {{\"variant\": {}, \"errors\": 1, \"warnings\": 0, \"infos\": 0, \
+                         \"build_error\": {}, \"diagnostics\": []}}",
+                        json_str(variant.name()),
+                        json_str(&e.to_string())
+                    ));
+                } else {
+                    eprintln!("cannot build step program: {e}");
+                }
             }
         }
     }
 
+    if json {
+        println!(
+            "{{\n  \"workload\": {},\n  \"molecules\": {},\n  \"deny_warnings\": {},\n  \
+             \"variants\": [\n{}\n  ],\n  \"total_errors\": {}\n}}",
+            json_str(&workload),
+            system.num_molecules(),
+            deny_warnings,
+            variant_docs.join(",\n"),
+            total_errors
+        );
+    }
     if total_errors > 0 {
         eprintln!("\nmerrimac-lint: {total_errors} error(s)");
         ExitCode::FAILURE
     } else {
-        println!("\nmerrimac-lint: all variants clean of errors");
+        if !json {
+            println!("\nmerrimac-lint: all variants clean of errors");
+        }
         ExitCode::SUCCESS
     }
 }

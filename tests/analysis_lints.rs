@@ -327,6 +327,193 @@ fn unused_output_fixture_fires_once() {
     assert!(diags[0].location.contains("spare"));
 }
 
+/// Shared harness for the program-level verifier fixtures: one strip,
+/// load n records -> square kernel over `iterations` -> store. The
+/// closure customizes intents/compiled kernel before the program is
+/// analyzed.
+fn verifier_program(
+    _cfg: &MachineConfig,
+    n: usize,
+    iterations: u64,
+    kernel: Arc<CompiledKernel>,
+    declare: impl FnOnce(&mut ProgramBuilder, merrimac_sim::RegionId, merrimac_sim::RegionId),
+) -> (Memory, StreamProgram) {
+    let mut mem = Memory::new();
+    let xs = mem.region("xs", (0..n).map(|i| 1.0 + i as f64).collect());
+    let out = mem.region("out", vec![0.0; n]);
+    let mut pb = ProgramBuilder::new();
+    declare(&mut pb, xs, out);
+    pb.strip(0);
+    let bx = pb.buffer("x", 1);
+    let by = pb.buffer("y", 1);
+    pb.load("load", xs, 1, 0, n, bx);
+    pb.kernel(
+        "kernel",
+        kernel,
+        vec![bx],
+        vec![by],
+        vec![],
+        iterations,
+        iterations.div_ceil(16),
+    );
+    pb.store("store", by, out, 1, 0);
+    (mem, pb.build())
+}
+
+fn analyze_fixture(cfg: &MachineConfig, mem: &Memory, program: &StreamProgram) -> Vec<merrimac_analysis::Diagnostic> {
+    analyze_program(&ProgramContext {
+        cfg,
+        policy: SdrPolicy::Eager,
+        strip_lookahead: 1,
+        program,
+        memory: mem,
+    })
+}
+
+#[test]
+fn intent_mismatch_fixture_fires_once_as_error() {
+    let cfg = MachineConfig::default();
+    let k = square_kernel(&cfg);
+    let n = 64usize;
+    // `out` is stored to but declared ReadOnly: the static mirror of
+    // validate_program's dynamic intent rejection.
+    let (mut mem, program) = verifier_program(&cfg, n, n as u64, k, |pb, xs, out| {
+        pb.intent(xs, AccessIntent::ReadOnly)
+            .intent(out, AccessIntent::ReadOnly);
+    });
+    let diags = analyze_fixture(&cfg, &mem, &program);
+    assert_only(&diags, Lint::IntentMismatch);
+    let d = &diags[0];
+    assert_eq!(d.severity, Severity::Error);
+    assert!(
+        d.message.contains("read-only") && d.message.contains("write"),
+        "must name the declared intent and the offending kind: {}",
+        d.message
+    );
+    // Not a false positive: the simulator rejects the same program.
+    let proc = StreamProcessor::new(cfg);
+    assert!(proc.run(&mut mem, &program).is_err());
+}
+
+#[test]
+fn intent_undeclared_fixture_fires_once_as_warning() {
+    let cfg = MachineConfig::default();
+    let k = square_kernel(&cfg);
+    let n = 64usize;
+    // `out` carries no declaration at all.
+    let (mut mem, program) = verifier_program(&cfg, n, n as u64, k, |pb, xs, _out| {
+        pb.intent(xs, AccessIntent::ReadOnly);
+    });
+    let diags = analyze_fixture(&cfg, &mem, &program);
+    assert_only(&diags, Lint::IntentUndeclared);
+    let d = &diags[0];
+    assert_eq!(d.severity, Severity::Warn);
+    assert!(
+        d.message.contains("out"),
+        "must name the undeclared region: {}",
+        d.message
+    );
+    // Only a warning: the simulator still runs the program.
+    let proc = StreamProcessor::new(cfg);
+    assert!(proc.run(&mut mem, &program).is_ok());
+}
+
+#[test]
+fn stream_underrun_fixture_fires_once_as_error() {
+    let cfg = MachineConfig::default();
+    let k = square_kernel(&cfg);
+    // 32 staged records, 64 iterations: a certain underrun the pass
+    // must pinpoint at iteration 32.
+    let (mut mem, program) = verifier_program(&cfg, 32, 64, k, |pb, xs, out| {
+        pb.intent(xs, AccessIntent::ReadOnly)
+            .intent(out, AccessIntent::WriteOwned);
+    });
+    let diags = analyze_fixture(&cfg, &mem, &program);
+    assert_only(&diags, Lint::StreamUnderrun);
+    let d = &diags[0];
+    assert_eq!(d.severity, Severity::Error);
+    assert!(
+        d.notes.iter().any(|n| n.contains("iteration 32")),
+        "must pinpoint the first offending iteration: {:#?}",
+        d.notes
+    );
+    // The engines blame exactly the iteration the pass predicted.
+    let proc = StreamProcessor::new(cfg);
+    let err = proc.run(&mut mem, &program).expect_err("must underrun");
+    assert!(
+        err.to_string().contains("32"),
+        "simulator must blame iteration 32: {err}"
+    );
+}
+
+#[test]
+fn batch_plan_split_fixture_fires_once_as_error() {
+    let cfg = MachineConfig::default();
+    let n = 64usize;
+    // Adversarial fixture: hand-corrupt the compiled kernel's cached
+    // batch plan, then analyze a program that launches it.
+    let k = {
+        let mut b = KernelBuilder::new("square_corrupt");
+        let s = b.input("x", 1, StreamMode::EveryIteration);
+        let o = b.output("y", 1);
+        let x = b.read(s, 0);
+        let y = b.mul(x, x);
+        b.write(o, &[y]);
+        let mut ck = CompiledKernel::compile(
+            b.build(),
+            &cfg,
+            &OpCosts::default(),
+            KernelOpt::default(),
+        );
+        ck.tape.corrupt_batch_plan_for_tests();
+        Arc::new(ck)
+    };
+    let (mem, program) = verifier_program(&cfg, n, n as u64, k, |pb, xs, out| {
+        pb.intent(xs, AccessIntent::ReadOnly)
+            .intent(out, AccessIntent::WriteOwned);
+    });
+    let diags = analyze_fixture(&cfg, &mem, &program);
+    assert_only(&diags, Lint::BatchPlanSplit);
+    let d = &diags[0];
+    assert_eq!(d.severity, Severity::Error);
+    assert!(
+        d.notes.iter().any(|n| n.contains("no phase")),
+        "must name the violated invariant: {:#?}",
+        d.notes
+    );
+}
+
+#[test]
+fn seeded_intent_mislabel_is_rejected_by_the_admission_gate() {
+    // Build a real shipped step program, then mislabel the force
+    // reduction region as ReadOnly: `admit_built` (the analyze() gate)
+    // must reject it with INTENT_MISMATCH before anything runs.
+    let system = WaterBox::builder().molecules(27).seed(7).build();
+    let params = NeighborListParams {
+        cutoff: (0.45 * system.pbc().side()).min(1.0),
+        skin: 0.0,
+        rebuild_interval: 10,
+    };
+    let list = NeighborList::build(&system, params);
+    let app = StreamMdApp::builder()
+        .neighbor(params)
+        .analyze()
+        .build()
+        .expect("valid configuration");
+    let mut step = app.build_step_program(&system, &list, Variant::Expanded);
+    app.admit_built(&step).expect("unmodified program is clean");
+    step.program
+        .intents
+        .insert(step.forces.0, AccessIntent::ReadOnly);
+    let err = app
+        .admit_built(&step)
+        .expect_err("mislabeled intent must be rejected");
+    assert!(
+        err.to_string().contains("INTENT_MISMATCH"),
+        "gate must blame the intent proof: {err}"
+    );
+}
+
 #[test]
 fn every_lint_documents_itself() {
     for lint in ALL_LINTS {

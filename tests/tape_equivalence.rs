@@ -216,7 +216,11 @@ fn assert_bitwise_equal(tape: &InterpOutput, interp: &InterpOutput, ctx: &str) {
 }
 
 /// Run all three engines on `k` (the batched tape at both widths) and
-/// require identical results (or identical errors).
+/// require identical results (or identical errors). Also pins the
+/// static underrun prover: it must never claim safety for a launch any
+/// engine underruns on (soundness), and whenever it does produce a
+/// proof, the check-elided proven entry points must be bitwise-identical
+/// to the checked paths.
 fn assert_engines_agree(k: &Kernel, inputs: &[StreamData], params: &[f64], iterations: usize) {
     let compiled = CompiledTape::compile(k);
     let tape = compiled.run(inputs, params, iterations);
@@ -229,6 +233,29 @@ fn assert_engines_agree(k: &Kernel, inputs: &[StreamData], params: &[f64], itera
             k.name
         ),
     }
+    let records: Vec<usize> = inputs.iter().map(|d| d.num_records()).collect();
+    let proof = compiled.prove_underrun_free(&records, iterations);
+    if matches!(
+        &tape,
+        Err(merrimac_kernel::interp::InterpError::StreamUnderrun { .. })
+    ) {
+        assert!(
+            proof.is_none(),
+            "kernel '{}': prover claimed underrun-freedom but the scalar tape underran",
+            k.name
+        );
+    }
+    if let Some(p) = &proof {
+        let proven = compiled.run_proven(inputs, params, iterations, p);
+        match (&proven, &tape) {
+            (Ok(a), Ok(t)) => assert_bitwise_equal(a, t, &format!("{} (proven)", k.name)),
+            _ => assert_eq!(
+                proven, tape,
+                "kernel '{}': proven tape disagrees with checked tape",
+                k.name
+            ),
+        }
+    }
     for width in [BatchWidth::W8, BatchWidth::W16] {
         let batch = compiled.run_batched(inputs, params, iterations, width);
         match (&batch, &tape) {
@@ -238,6 +265,19 @@ fn assert_engines_agree(k: &Kernel, inputs: &[StreamData], params: &[f64], itera
                 "kernel '{}': batch {width} disagrees with scalar tape on error",
                 k.name
             ),
+        }
+        if let Some(p) = &proof {
+            let proven = compiled.run_batched_proven(inputs, params, iterations, width, p);
+            match (&proven, &batch) {
+                (Ok(a), Ok(b)) => {
+                    assert_bitwise_equal(a, b, &format!("{} (proven batch {width})", k.name))
+                }
+                _ => assert_eq!(
+                    proven, batch,
+                    "kernel '{}': proven batch {width} disagrees with checked batch",
+                    k.name
+                ),
+            }
         }
     }
 }
